@@ -1,0 +1,140 @@
+// Command spfuse runs one kernel combination over one matrix with every
+// implementation and prints a comparison table: inspection time, executor
+// time, GFLOP/s and barrier count.
+//
+// Usage:
+//
+//	spfuse [-matrix SPEC] [-combo NAME] [-threads N] [-runs R] [-reorder]
+//
+// SPEC is a generator spec (lap2d:300, lap3d:40, rand:50000:8, band:N:W,
+// pow:N:D) or a Matrix Market path. NAME is one of trsv-trsv, dad-ilu0,
+// trsv-mv, ic0-trsv, ilu0-trsv, dad-ic0, mv-mv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"sparsefusion/internal/combos"
+	"sparsefusion/internal/core"
+	"sparsefusion/internal/exec"
+	"sparsefusion/internal/figures"
+	"sparsefusion/internal/metrics"
+	"sparsefusion/internal/suite"
+)
+
+var comboByFlag = map[string]combos.ID{
+	"trsv-trsv": combos.TrsvTrsv,
+	"dad-ilu0":  combos.DscalIlu0,
+	"trsv-mv":   combos.TrsvMv,
+	"ic0-trsv":  combos.Ic0Trsv,
+	"ilu0-trsv": combos.Ilu0Trsv,
+	"dad-ic0":   combos.DscalIc0,
+	"mv-mv":     combos.MvMv,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spfuse: ")
+	var (
+		matrix  = flag.String("matrix", "lap2d:200", "matrix spec or .mtx path")
+		combo   = flag.String("combo", "trsv-mv", "kernel combination")
+		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "schedule width r")
+		runs    = flag.Int("runs", 5, "executor repetitions (minimum reported)")
+		reorder = flag.Bool("reorder", true, "apply nested-dissection reordering first (the paper's METIS step)")
+		dump    = flag.Bool("dump", false, "print the fused schedule's per-s-partition shape")
+		trace   = flag.String("trace", "", "write a Chrome trace of one fused execution to this path")
+	)
+	flag.Parse()
+
+	id, ok := comboByFlag[strings.ToLower(*combo)]
+	if !ok {
+		log.Fatalf("unknown combo %q; choose from %v", *combo, keys())
+	}
+	a, err := suite.Parse(*matrix, *reorder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := combos.Build(id, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s: n=%d nnz=%d reuse=%.3f threads=%d\n\n",
+		in.Name, *matrix, a.Rows, a.NNZ(), in.Reuse, *threads)
+	if *dump {
+		sched, err := core.ICO(in.Loops, core.Params{Threads: *threads, ReuseRatio: in.Reuse, LBC: figures.PaperLBC()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("fused schedule shape (s-partition: width, iterations, w-partition costs):")
+		for si, st := range sched.Stats(in.Loops) {
+			fmt.Printf("  s%-4d width=%-3d iters=%-8d costs=%v\n", si, st.Widths, st.Iters, st.Costs)
+		}
+		fmt.Println()
+	}
+	if *trace != "" {
+		sched, err := core.ICO(in.Loops, core.Params{Threads: *threads, ReuseRatio: in.Reuse, LBC: figures.PaperLBC()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, spans := exec.RunFusedTraced(in.Kernels, sched, *threads)
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := exec.WriteChromeTrace(f, spans); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote trace to %s (open in chrome://tracing)\n\n", *trace)
+	}
+	seq := in.RunSequential()
+	fmt.Printf("%-18s %12s %12s %9s %9s\n", "implementation", "inspect", "execute", "gflops", "barriers")
+	fmt.Printf("%-18s %12s %12v %9.3f %9s\n", "sequential", "-", seq,
+		metrics.GFlops(in.FlopCount(), seq), "-")
+
+	impls := []*combos.Impl{
+		in.SparseFusion(*threads, figures.PaperLBC()),
+		in.UnfusedParSy(*threads, figures.PaperLBC()),
+		in.UnfusedMKL(*threads),
+		in.JointWavefront(*threads),
+		in.JointLBC(*threads, figures.PaperLBC()),
+		in.JointDAGP(*threads),
+	}
+	for _, im := range impls {
+		if err := im.Inspect(); err != nil {
+			fmt.Printf("%-18s %12s\n", im.Name, "infeasible")
+			continue
+		}
+		best := time.Duration(0)
+		barriers := 0
+		for r := 0; r < *runs; r++ {
+			st, err := im.Execute()
+			if err != nil {
+				log.Fatalf("%s: %v", im.Name, err)
+			}
+			if best == 0 || st.Elapsed < best {
+				best = st.Elapsed
+			}
+			barriers = st.Barriers
+		}
+		fmt.Printf("%-18s %12v %12v %9.3f %9d\n",
+			im.Name, im.InspectTime.Round(time.Microsecond), best,
+			metrics.GFlops(in.FlopCount(), best), barriers)
+	}
+}
+
+func keys() []string {
+	var ks []string
+	for k := range comboByFlag {
+		ks = append(ks, k)
+	}
+	return ks
+}

@@ -1,0 +1,66 @@
+package sparsefusion_test
+
+import (
+	"fmt"
+
+	"sparsefusion"
+)
+
+// ExampleNewOperation fuses a triangular solve with a matrix-vector product
+// and runs it twice, reusing the inspected schedule.
+func ExampleNewOperation() {
+	m := sparsefusion.Laplacian2D(30)
+	op, err := sparsefusion.NewOperation(sparsefusion.TrsvMv, m, sparsefusion.Options{Threads: 2})
+	if err != nil {
+		panic(err)
+	}
+	x := make([]float64, m.Rows())
+	for i := range x {
+		x[i] = 1
+	}
+	if err := op.SetInput(x); err != nil {
+		panic(err)
+	}
+	op.Run()
+	first := op.Output()[0]
+	op.Run() // replay: same schedule, same result
+	fmt.Printf("z[0] = %.6f (stable across runs: %v)\n", first, first == op.Output()[0])
+	fmt.Printf("packing: separated = %v\n", !op.Interleaved())
+	// Output:
+	// z[0] = 0.375000 (stable across runs: true)
+	// packing: separated = true
+}
+
+// ExampleGaussSeidel solves a small SPD system with fused sweep chains.
+func ExampleGaussSeidel() {
+	m := sparsefusion.Laplacian2D(10)
+	gs, err := sparsefusion.NewGaussSeidel(m, sparsefusion.GSOptions{SweepsPerFusion: 2})
+	if err != nil {
+		panic(err)
+	}
+	b := make([]float64, m.Rows())
+	b[0] = 1
+	x, _, err := gs.Solve(b, 1e-10, 10000)
+	if err != nil {
+		panic(err)
+	}
+	// Verify A*x ~= b at the driven entry.
+	ax, _ := m.MulVec(x)
+	fmt.Printf("converged: %v\n", ax[0]-1 < 1e-9 && ax[0]-1 > -1e-9)
+	// Output:
+	// converged: true
+}
+
+// ExampleMatrix_SolveCG contrasts plain and IC0-preconditioned CG.
+func ExampleMatrix_SolveCG() {
+	m := sparsefusion.Laplacian2D(25)
+	b := make([]float64, m.Rows())
+	for i := range b {
+		b[i] = 1
+	}
+	_, plain, _ := m.SolveCG(b, sparsefusion.CGOptions{Tol: 1e-8})
+	_, pre, _ := m.SolveCG(b, sparsefusion.CGOptions{Tol: 1e-8, Precondition: true})
+	fmt.Printf("preconditioning reduced iterations: %v\n", pre < plain)
+	// Output:
+	// preconditioning reduced iterations: true
+}

@@ -1,0 +1,49 @@
+// Gauss-Seidel: solve an SPD system with fused sweep chains (paper section
+// 4.3). Unrolling several sweeps exposes 2*s loops that sparse fusion
+// schedules as one partitioning, cutting barriers and reusing the matrix
+// across sweeps. This example sweeps the unroll factor, mirroring the
+// paper's exhaustive 2-6 loop search.
+//
+//	go run ./examples/gauss_seidel
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sparsefusion"
+)
+
+func main() {
+	m := sparsefusion.Laplacian2D(60)
+	rm, _, err := m.Reorder()
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := rm.Rows()
+	fmt.Printf("solving A x = b, n=%d, nnz=%d, tol=1e-5\n\n", n, rm.NNZ())
+
+	// Right-hand side for a known solution of all ones is not available
+	// without A*1; use b = 1 and watch the residual instead.
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+
+	fmt.Printf("%-14s %10s %8s %10s\n", "fused loops", "time", "sweeps", "barriers")
+	for _, sweeps := range []int{1, 2, 3} {
+		gs, err := sparsefusion.NewGaussSeidel(rm, sparsefusion.GSOptions{SweepsPerFusion: sweeps})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		_, used, err := gs.Solve(b, 1e-5, 8000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14d %10v %8d %10d\n", 2*sweeps, time.Since(t0).Round(time.Microsecond), used, gs.Barriers())
+	}
+	fmt.Println("\nmore fused loops -> fewer barriers per sweep; the paper reports")
+	fmt.Println("55% of its Gauss-Seidel wins coming from fusing six loops.")
+}

@@ -1,0 +1,105 @@
+// Preconditioned conjugate gradient: the motivating application of the
+// paper's introduction ("in iterative solvers ... sparse kernels that apply
+// a preconditioner are repeatedly executed inside and between iterations").
+// Each PCG iteration applies the IC0 preconditioner through a fused
+// forward+backward triangular solve schedule; the example compares iteration
+// counts with and without preconditioning.
+//
+//	go run ./examples/pcg
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sparsefusion"
+)
+
+func main() {
+	m := sparsefusion.Laplacian2D(80)
+	rm, _, err := m.Reorder()
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := rm.Rows()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	fmt.Printf("PCG on a %d x %d system (%d nonzeros), tol 1e-8\n\n", n, n, rm.NNZ())
+
+	pre, err := sparsefusion.NewIC0Preconditioner(rm, sparsefusion.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fused preconditioner apply: %d barriers per call\n\n", pre.Barriers())
+
+	itPre, err := pcg(rm, b, pre, 1e-8, 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	itPlain, err := pcg(rm, b, nil, 1e-8, 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CG  iterations: %d\n", itPlain)
+	fmt.Printf("PCG iterations: %d  (%.1fx fewer with the fused IC0 preconditioner)\n",
+		itPre, float64(itPlain)/float64(itPre))
+}
+
+// pcg runs (preconditioned) conjugate gradient; pre == nil disables
+// preconditioning. Returns the iteration count at convergence.
+func pcg(m *sparsefusion.Matrix, b []float64, pre *sparsefusion.IC0Preconditioner, tol float64, maxIter int) (int, error) {
+	n := len(b)
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	apply := func(v []float64) ([]float64, error) {
+		if pre == nil {
+			out := make([]float64, n)
+			copy(out, v)
+			return out, nil
+		}
+		return pre.Apply(v, nil)
+	}
+	z, err := apply(r)
+	if err != nil {
+		return 0, err
+	}
+	p := append([]float64(nil), z...)
+	rz := dot(r, z)
+	normB := math.Sqrt(dot(b, b))
+	for it := 1; it <= maxIter; it++ {
+		ap, err := m.MulVec(p)
+		if err != nil {
+			return 0, err
+		}
+		alpha := rz / dot(p, ap)
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		if math.Sqrt(dot(r, r))/normB < tol {
+			return it, nil
+		}
+		z, err = apply(r)
+		if err != nil {
+			return 0, err
+		}
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return maxIter, nil
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

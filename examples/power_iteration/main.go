@@ -1,0 +1,51 @@
+// Power iteration with fused SpMV-SpMV: estimates the largest eigenvalue of
+// an SPD matrix by repeatedly applying A twice per step through the fused
+// MV-MV operation (the parallel-loop fusion extension of paper section 4.3
+// and figure 10).
+//
+//	go run ./examples/power_iteration
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sparsefusion"
+)
+
+func main() {
+	m := sparsefusion.Laplacian2D(100)
+	op, err := sparsefusion.NewOperation(sparsefusion.MvMv, m, sparsefusion.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := m.Rows()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / math.Sqrt(float64(n))
+	}
+	lambda := 0.0
+	for step := 1; step <= 40; step++ {
+		if err := op.SetInput(x); err != nil {
+			log.Fatal(err)
+		}
+		op.Run()
+		z := op.Output() // z = A*(A*x)
+		norm := 0.0
+		for _, v := range z {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		for i := range x {
+			x[i] = z[i] / norm
+		}
+		// One fused run applies A twice: ||A^2 x||^(1/2) estimates lambda.
+		lambda = math.Sqrt(norm)
+		if step%10 == 0 {
+			fmt.Printf("step %3d: lambda ~= %.6f\n", step, lambda)
+		}
+	}
+	// The 2D Laplacian's largest eigenvalue approaches 8 as the grid grows.
+	fmt.Printf("\nestimated largest eigenvalue: %.6f (analytic limit: 8)\n", lambda)
+}

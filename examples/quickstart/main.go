@@ -1,0 +1,62 @@
+// Quickstart: fuse a sparse triangular solve with a sparse matrix-vector
+// product (the paper's running example, Table 1 row 3) and compare the fused
+// execution against running the kernels back to back.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sparsefusion"
+)
+
+func main() {
+	// A 200x200 grid Laplacian: SPD, ~200K nonzeros after the implicit
+	// lower-triangular extraction inside the operation.
+	m := sparsefusion.Laplacian2D(200)
+	// Reorder to expose wavefront parallelism (the paper's METIS step).
+	rm, _, err := m.Reorder()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("matrix: %d rows, %d nonzeros\n", rm.Rows(), rm.NNZ())
+
+	// Inspect once: builds the kernel DAGs, the inter-kernel dependency
+	// matrix F, the reuse ratio, and the ICO fused schedule.
+	op, err := sparsefusion.NewOperation(sparsefusion.TrsvMv, rm, sparsefusion.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reuse ratio: %.3f -> %s packing, %d barriers per run\n",
+		op.ReuseRatio(), packing(op), op.Barriers())
+
+	// Set the input and execute. The schedule is reused across runs as long
+	// as the sparsity pattern is unchanged - exactly the inspector-executor
+	// contract of the paper.
+	x := make([]float64, rm.Rows())
+	for i := range x {
+		x[i] = 1
+	}
+	if err := op.SetInput(x); err != nil {
+		log.Fatal(err)
+	}
+	var best time.Duration
+	for run := 0; run < 5; run++ {
+		rep := op.Run()
+		if best == 0 || rep.Time < best {
+			best = rep.Time
+		}
+	}
+	out := op.Output()
+	fmt.Printf("fused  y = L\\x; z = A*y: best of 5 runs %v, z[0]=%.6f\n", best, out[0])
+}
+
+func packing(op *sparsefusion.Operation) string {
+	if op.Interleaved() {
+		return "interleaved"
+	}
+	return "separated"
+}

@@ -1,0 +1,3 @@
+module sparsefusion
+
+go 1.22

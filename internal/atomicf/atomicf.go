@@ -1,0 +1,33 @@
+// Package atomicf provides lock-free atomic accumulation on float64 values,
+// the Go equivalent of the paper's "Atomic:" annotation on scatter updates
+// (figure 2a line 11): CSC-side kernels executed in parallel scatter into a
+// shared dense vector and need atomic read-modify-write.
+package atomicf
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Add atomically performs *addr += delta using a compare-and-swap loop.
+func Add(addr *float64, delta float64) {
+	bits := (*uint64)(unsafe.Pointer(addr))
+	for {
+		old := atomic.LoadUint64(bits)
+		new := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(bits, old, new) {
+			return
+		}
+	}
+}
+
+// Load atomically reads *addr.
+func Load(addr *float64) float64 {
+	return math.Float64frombits(atomic.LoadUint64((*uint64)(unsafe.Pointer(addr))))
+}
+
+// Store atomically writes v to *addr.
+func Store(addr *float64, v float64) {
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(addr)), math.Float64bits(v))
+}

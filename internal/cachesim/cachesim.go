@@ -1,0 +1,257 @@
+// Package cachesim models the memory hierarchy well enough to compute the
+// paper's average-memory-access-latency proxy (figure 6, top), replacing the
+// PAPI hardware counters of the original evaluation: per-thread L1 and TLB,
+// a shared last-level cache, LRU replacement, and the textbook
+// average-latency formula (Hennessy & Patterson).
+//
+// Kernels expose their per-iteration address streams through
+// kernels.Tracer; the Measure* functions replay a schedule's streams in
+// execution order, one simulated cache hierarchy per thread slot.
+package cachesim
+
+import (
+	"fmt"
+
+	"sparsefusion/internal/core"
+	"sparsefusion/internal/kernels"
+	"sparsefusion/internal/partition"
+)
+
+// Config describes the simulated hierarchy. Latencies are in cycles.
+type Config struct {
+	L1Size, L1Assoc   int
+	LLCSize, LLCAssoc int
+	LineSize          int
+	TLBEntries        int
+	PageSize          int
+	L1Lat, LLCLat     float64
+	MemLat            float64
+	TLBMissLat        float64
+}
+
+// Default mirrors the paper's Cascade Lake testbed: 32 KiB 8-way L1, 33 MB
+// 16-way shared LLC, 64-byte lines, 64-entry TLB with 4 KiB pages; 4 / 40 /
+// 200 cycle latencies and 100 cycles per TLB miss.
+func Default() Config {
+	return Config{
+		L1Size: 32 << 10, L1Assoc: 8,
+		LLCSize: 33 << 20, LLCAssoc: 16,
+		LineSize:   64,
+		TLBEntries: 64, PageSize: 4 << 10,
+		L1Lat: 4, LLCLat: 40, MemLat: 200, TLBMissLat: 100,
+	}
+}
+
+// cache is a set-associative LRU cache over line/page tags.
+type cache struct {
+	sets     [][]uint64
+	setShift uint
+	setMask  uint64
+}
+
+func newCache(size, assoc, line int) *cache {
+	nSets := size / (assoc * line)
+	if nSets < 1 {
+		nSets = 1
+	}
+	// Round down to a power of two for mask indexing.
+	for nSets&(nSets-1) != 0 {
+		nSets &= nSets - 1
+	}
+	c := &cache{sets: make([][]uint64, nSets), setMask: uint64(nSets - 1)}
+	for s := uint(0); (1 << s) < line; s++ {
+		c.setShift = s + 1
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]uint64, 0, assoc)
+	}
+	return c
+}
+
+// access returns true on hit and updates LRU order (most recent last).
+func (c *cache) access(addr uintptr) bool {
+	tag := uint64(addr) >> c.setShift
+	set := c.sets[tag&c.setMask]
+	for i, t := range set {
+		if t == tag {
+			copy(set[i:], set[i+1:])
+			set[len(set)-1] = tag
+			return true
+		}
+	}
+	if len(set) < cap(set) {
+		set = append(set, tag)
+	} else {
+		copy(set, set[1:])
+		set[len(set)-1] = tag
+	}
+	c.sets[tag&c.setMask] = set
+	return false
+}
+
+// thread is one simulated hardware thread: private L1 and TLB, a pointer to
+// the shared LLC.
+type thread struct {
+	l1, tlb *cache
+	llc     *cache
+	cfg     *Config
+
+	accesses int64
+	cycles   float64
+}
+
+func newThread(cfg *Config, llc *cache) *thread {
+	return &thread{
+		l1:  newCache(cfg.L1Size, cfg.L1Assoc, cfg.LineSize),
+		tlb: newCache(cfg.TLBEntries*cfg.PageSize, cfg.TLBEntries, cfg.PageSize),
+		llc: llc,
+		cfg: cfg,
+	}
+}
+
+func (t *thread) access(addr uintptr) {
+	t.accesses++
+	if !t.tlb.access(addr) {
+		t.cycles += t.cfg.TLBMissLat
+	}
+	switch {
+	case t.l1.access(addr):
+		t.cycles += t.cfg.L1Lat
+	case t.llc.access(addr):
+		t.cycles += t.cfg.LLCLat
+	default:
+		t.cycles += t.cfg.MemLat
+	}
+}
+
+// Result aggregates a measurement.
+type Result struct {
+	Accesses int64
+	Cycles   float64
+}
+
+// AvgLatency returns cycles per access, the figure 6 metric.
+func (r Result) AvgLatency() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return r.Cycles / float64(r.Accesses)
+}
+
+func (r *Result) add(t *thread) {
+	r.Accesses += t.accesses
+	r.Cycles += t.cycles
+}
+
+// sim holds the shared LLC and one hierarchy per thread slot.
+type sim struct {
+	cfg     Config
+	llc     *cache
+	threads []*thread
+}
+
+func newSim(cfg Config, width int) *sim {
+	if width < 1 {
+		width = 1
+	}
+	s := &sim{cfg: cfg, llc: newCache(cfg.LLCSize, cfg.LLCAssoc, cfg.LineSize)}
+	s.threads = make([]*thread, width)
+	for i := range s.threads {
+		s.threads[i] = newThread(&cfg, s.llc)
+	}
+	return s
+}
+
+func (s *sim) result() Result {
+	var r Result
+	for _, t := range s.threads {
+		r.add(t)
+	}
+	return r
+}
+
+func tracer(k kernels.Kernel) (kernels.Tracer, error) {
+	t, ok := k.(kernels.Tracer)
+	if !ok {
+		return nil, fmt.Errorf("cachesim: kernel %s does not support tracing", k.Name())
+	}
+	return t, nil
+}
+
+// MeasureFused replays a fused schedule: w-partition w of every s-partition
+// runs on thread slot w.
+func MeasureFused(ks []kernels.Kernel, sched *core.Schedule, cfg Config) (Result, error) {
+	trs := make([]kernels.Tracer, len(ks))
+	for i, k := range ks {
+		t, err := tracer(k)
+		if err != nil {
+			return Result{}, err
+		}
+		trs[i] = t
+	}
+	s := newSim(cfg, sched.MaxWidth())
+	for _, sp := range sched.S {
+		for w, part := range sp {
+			th := s.threads[w]
+			for _, it := range part {
+				trs[it.Loop].Trace(it.Idx, th.access)
+			}
+		}
+	}
+	return s.result(), nil
+}
+
+// MeasureChain replays kernels back to back, each under its own
+// partitioning (nil partitioning: sequential on thread 0).
+func MeasureChain(ks []kernels.Kernel, ps []*partition.Partitioning, width int, cfg Config) (Result, error) {
+	s := newSim(cfg, width)
+	for i, k := range ks {
+		tr, err := tracer(k)
+		if err != nil {
+			return Result{}, err
+		}
+		if ps[i] == nil {
+			th := s.threads[0]
+			for it := 0; it < k.Iterations(); it++ {
+				tr.Trace(it, th.access)
+			}
+			continue
+		}
+		for _, sp := range ps[i].S {
+			for w, part := range sp {
+				th := s.threads[w%len(s.threads)]
+				for _, v := range part {
+					tr.Trace(v, th.access)
+				}
+			}
+		}
+	}
+	return s.result(), nil
+}
+
+// MeasureJoint replays a joint-DAG partitioning over two kernels.
+func MeasureJoint(k1, k2 kernels.Kernel, p *partition.Partitioning, width int, cfg Config) (Result, error) {
+	t1, err := tracer(k1)
+	if err != nil {
+		return Result{}, err
+	}
+	t2, err := tracer(k2)
+	if err != nil {
+		return Result{}, err
+	}
+	n1 := k1.Iterations()
+	s := newSim(cfg, width)
+	for _, sp := range p.S {
+		for w, part := range sp {
+			th := s.threads[w%len(s.threads)]
+			for _, v := range part {
+				if v < n1 {
+					t1.Trace(v, th.access)
+				} else {
+					t2.Trace(v-n1, th.access)
+				}
+			}
+		}
+	}
+	return s.result(), nil
+}

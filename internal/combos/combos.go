@@ -1,0 +1,435 @@
+// Package combos assembles the kernel combinations of the paper's Table 1
+// (plus SpMV-SpMV from figure 10 and the Gauss-Seidel chain of figure 9)
+// over a concrete matrix, and exposes every implementation the evaluation
+// compares:
+//
+//	sparse fusion        — ICO schedule, fused executor (the contribution)
+//	unfused ParSy        — LBC per kernel DAG, kernels run back to back
+//	unfused MKL          — refimpl: row-parallel SpMV, level-set TRSV,
+//	                       sequential factorizations
+//	fused wavefront      — wavefront schedule of the joint DAG
+//	fused LBC            — chordalize + LBC on the joint DAG
+//	fused DAGP           — multilevel acyclic partitioning of the joint DAG
+//
+// Each implementation reports its inspection time and executor statistics,
+// which cmd/figures and the root benchmarks turn into the paper's figures.
+package combos
+
+import (
+	"fmt"
+	"time"
+
+	"sparsefusion/internal/core"
+	"sparsefusion/internal/dag"
+	"sparsefusion/internal/dagp"
+	"sparsefusion/internal/exec"
+	"sparsefusion/internal/hdagg"
+	"sparsefusion/internal/kernels"
+	"sparsefusion/internal/lbc"
+	"sparsefusion/internal/partition"
+	"sparsefusion/internal/sparse"
+	"sparsefusion/internal/wavefront"
+)
+
+// ID selects a kernel combination; values 1-6 follow Table 1.
+type ID int
+
+const (
+	TrsvTrsv  ID = 1 // SpTRSV CSR -> SpTRSV CSR
+	DscalIlu0 ID = 2 // DSCAL CSR -> SpILU0 CSR
+	TrsvMv    ID = 3 // SpTRSV CSR -> SpMV CSC
+	Ic0Trsv   ID = 4 // SpIC0 CSC -> SpTRSV CSC
+	Ilu0Trsv  ID = 5 // SpILU0 CSR -> SpTRSV CSR
+	DscalIc0  ID = 6 // DSCAL CSC -> SpIC0 CSC
+	MvMv      ID = 7 // SpMV CSR -> SpMV CSR (figure 10)
+)
+
+// Names mirrors the paper's figure labels.
+var Names = map[ID]string{
+	TrsvTrsv:  "TRSV-TRSV",
+	DscalIlu0: "DAD-ILU0",
+	TrsvMv:    "TRSV-MV",
+	Ic0Trsv:   "IC0-TRSV",
+	Ilu0Trsv:  "ILU0-TRSV",
+	DscalIc0:  "DAD-IC0",
+	MvMv:      "MV-MV",
+}
+
+// All lists the six Table 1 combinations.
+var All = []ID{TrsvTrsv, DscalIlu0, TrsvMv, Ic0Trsv, Ilu0Trsv, DscalIc0}
+
+// Instance is one combination instantiated over one matrix: its kernels in
+// program order, the fusion input (DAGs plus F), the reuse ratio the
+// inspector computed, and an observable result for verification.
+type Instance struct {
+	ID      ID
+	Name    string
+	Kernels []kernels.Kernel
+	Loops   *core.Loops
+	Reuse   float64
+	// Snapshot copies the observable output (the last kernel's result).
+	Snapshot func() []float64
+	// Input is the combination's input vector (nil for matrix-only
+	// combinations such as DSCAL->factor); callers may overwrite it between
+	// runs. Output aliases the storage Snapshot copies.
+	Input, Output []float64
+	// mklSeq flags kernels that the MKL baseline runs sequentially
+	// (factorizations, per section 4.2).
+	mklSeq []bool
+	// GSX0 is the sweep-chain input of a BuildGS instance (copy Output into
+	// it between executions to iterate the solver); nil otherwise.
+	GSX0 []float64
+}
+
+// FlopCount sums the kernels' floating-point work.
+func (in *Instance) FlopCount() int64 {
+	var f int64
+	for _, k := range in.Kernels {
+		f += k.Flops()
+	}
+	return f
+}
+
+// Build instantiates combination id over the SPD matrix a. Input vectors are
+// derived deterministically from the matrix size.
+func Build(id ID, a *sparse.CSR) (*Instance, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("combos: matrix must be square, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	in := &Instance{ID: id, Name: Names[id]}
+	vec := func(seed int64) []float64 { return sparse.RandomVec(n, seed) }
+	switch id {
+	case TrsvTrsv:
+		l := a.Lower()
+		y, x, z := vec(1), make([]float64, n), make([]float64, n)
+		k1 := kernels.NewSpTRSVCSR(l, y, x)
+		k2 := kernels.NewSpTRSVCSR(l, x, z)
+		in.Kernels = []kernels.Kernel{k1, k2}
+		in.Loops = &core.Loops{G: []*dag.Graph{k1.DAG(), k2.DAG()}, F: []*sparse.CSR{core.FDiagonal(n)}}
+		in.Snapshot = snap(z)
+		in.Input, in.Output = y, z
+		in.mklSeq = []bool{false, false}
+	case DscalIlu0:
+		work := a.Clone()
+		d := kernels.JacobiScaling(a)
+		k1 := kernels.NewDScalCSR(work, d, work)
+		k2 := kernels.NewSpILU0CSR(work)
+		// DSCAL rewrites every entry of work on each run, so it owns the
+		// replay; the factor restoring its own snapshot would clobber the
+		// chain in kernel-at-a-time order.
+		k2.DisableRestore()
+		in.Kernels = []kernels.Kernel{k1, k2}
+		in.Loops = &core.Loops{G: []*dag.Graph{k1.DAG(), k2.DAG()}, F: []*sparse.CSR{core.FDiagonal(n)}}
+		in.Snapshot = snap(work.X)
+		in.Output = work.X
+		in.mklSeq = []bool{false, true}
+	case TrsvMv:
+		l := a.Lower()
+		ac := a.ToCSC()
+		x, y, z := vec(1), make([]float64, n), make([]float64, n)
+		k1 := kernels.NewSpTRSVCSR(l, x, y)
+		k2 := kernels.NewSpMVCSC(ac, y, z)
+		in.Kernels = []kernels.Kernel{k1, k2}
+		in.Loops = &core.Loops{G: []*dag.Graph{k1.DAG(), k2.DAG()}, F: []*sparse.CSR{core.FTrsvToMVCSC(ac)}}
+		in.Snapshot = snap(z)
+		in.Input, in.Output = x, z
+		in.mklSeq = []bool{false, false}
+	case Ic0Trsv:
+		lc := a.Lower().ToCSC()
+		x, y := vec(1), make([]float64, n)
+		k1 := kernels.NewSpIC0CSC(lc)
+		k2 := kernels.NewSpTRSVCSC(lc, x, y)
+		in.Kernels = []kernels.Kernel{k1, k2}
+		in.Loops = &core.Loops{G: []*dag.Graph{k1.DAG(), k2.DAG()}, F: []*sparse.CSR{core.FDiagonal(n)}}
+		in.Snapshot = snap(y)
+		in.Input, in.Output = x, y
+		in.mklSeq = []bool{true, false}
+	case Ilu0Trsv:
+		work := a.Clone()
+		b, y := vec(1), make([]float64, n)
+		k1 := kernels.NewSpILU0CSR(work)
+		k2 := kernels.NewSpTRSVUnitLowerCSR(work, b, y)
+		in.Kernels = []kernels.Kernel{k1, k2}
+		in.Loops = &core.Loops{G: []*dag.Graph{k1.DAG(), k2.DAG()}, F: []*sparse.CSR{core.FDiagonal(n)}}
+		in.Snapshot = snap(y)
+		in.Input, in.Output = b, y
+		in.mklSeq = []bool{true, false}
+	case DscalIc0:
+		lc := a.Lower().ToCSC()
+		d := kernels.JacobiScaling(a)
+		k1 := kernels.NewDScalCSC(lc, d, lc)
+		k2 := kernels.NewSpIC0CSC(lc)
+		k2.DisableRestore() // DSCAL owns the replay, as in DscalIlu0
+
+		in.Kernels = []kernels.Kernel{k1, k2}
+		in.Loops = &core.Loops{G: []*dag.Graph{k1.DAG(), k2.DAG()}, F: []*sparse.CSR{core.FDiagonal(n)}}
+		in.Snapshot = snap(lc.X)
+		in.Output = lc.X
+		in.mklSeq = []bool{false, true}
+	case MvMv:
+		x, y, z := vec(1), make([]float64, n), make([]float64, n)
+		k1 := kernels.NewSpMVCSR(a, x, y)
+		k2 := kernels.NewSpMVCSR(a, y, z)
+		in.Kernels = []kernels.Kernel{k1, k2}
+		in.Loops = &core.Loops{G: []*dag.Graph{k1.DAG(), k2.DAG()}, F: []*sparse.CSR{core.FPattern(a)}}
+		in.Snapshot = snap(z)
+		in.Input, in.Output = x, z
+		in.mklSeq = []bool{false, false}
+	default:
+		return nil, fmt.Errorf("combos: unknown combination %d", id)
+	}
+	in.Reuse = core.ReuseRatioChain(in.Kernels)
+	return in, nil
+}
+
+// BuildGS builds the multi-loop Gauss-Seidel chain (paper section 4.3):
+// nSweeps sweeps of x <- L \ (b - U*x), each sweep contributing an SpMV+b
+// loop and an SpTRSV loop (2*nSweeps fused loops total).
+func BuildGS(a *sparse.CSR, nSweeps int) (*Instance, error) {
+	if nSweeps < 1 {
+		return nil, fmt.Errorf("combos: need at least one sweep")
+	}
+	n := a.Rows
+	l := a.Lower()
+	u := a.StrictUpper()
+	negU := u.Clone()
+	for i := range negU.X {
+		negU.X[i] = -negU.X[i]
+	}
+	b := sparse.RandomVec(n, 3)
+	in := &Instance{ID: 0, Name: fmt.Sprintf("GS-%dsweeps", nSweeps)}
+	in.Loops = &core.Loops{}
+	x := make([]float64, n) // x_0 = 0
+	in.GSX0 = x
+	for s := 0; s < nSweeps; s++ {
+		t := make([]float64, n)
+		xNext := make([]float64, n)
+		kmv := kernels.NewSpMVPlusCSR(negU, x, b, t) // t = b - U*x
+		ktr := kernels.NewSpTRSVCSR(l, t, xNext)     // xNext = L \ t
+		in.Kernels = append(in.Kernels, kmv, ktr)
+		in.Loops.G = append(in.Loops.G, kmv.DAG(), ktr.DAG())
+		if s > 0 {
+			// The SpMV of sweep s reads x produced by the previous TRSV:
+			// row i needs x[j] for every nonzero U[i][j].
+			in.Loops.F = append(in.Loops.F, core.FPattern(u))
+		}
+		in.Loops.F = append(in.Loops.F, core.FDiagonal(n)) // TRSV reads t[i]
+		in.mklSeq = append(in.mklSeq, false, false)
+		x = xNext
+	}
+	final := x
+	in.Snapshot = snap(final)
+	in.Input, in.Output = b, final
+	in.Reuse = core.ReuseRatioChain(in.Kernels)
+	return in, nil
+}
+
+func snap(v []float64) func() []float64 {
+	return func() []float64 { return append([]float64(nil), v...) }
+}
+
+// RunSequential executes the kernels back to back, single-threaded, and
+// returns the elapsed time. This is the baseline of the paper's NER metric.
+func (in *Instance) RunSequential() time.Duration {
+	t0 := time.Now()
+	for _, k := range in.Kernels {
+		kernels.RunSeq(k)
+	}
+	return time.Since(t0)
+}
+
+// Impl is one schedulable implementation of an instance. Inspect must be
+// called once before Execute; Execute may be repeated.
+type Impl struct {
+	Name        string
+	InspectTime time.Duration
+	inspect     func() error
+	execute     func() exec.Stats
+	inspected   bool
+}
+
+// Inspect runs (and times) the implementation's inspector.
+func (im *Impl) Inspect() error {
+	t0 := time.Now()
+	err := im.inspect()
+	im.InspectTime = time.Since(t0)
+	im.inspected = err == nil
+	return err
+}
+
+// Execute runs the executor; Inspect must have succeeded.
+func (im *Impl) Execute() (exec.Stats, error) {
+	if !im.inspected {
+		if err := im.Inspect(); err != nil {
+			return exec.Stats{}, err
+		}
+	}
+	return im.execute(), nil
+}
+
+// SparseFusion is the paper's contribution: ICO over the instance's DAGs.
+func (in *Instance) SparseFusion(threads int, lp lbc.Params) *Impl {
+	var sched *core.Schedule
+	return &Impl{
+		Name: "sparse-fusion",
+		inspect: func() error {
+			var err error
+			sched, err = core.ICO(in.Loops, core.Params{Threads: threads, ReuseRatio: in.Reuse, LBC: lp})
+			return err
+		},
+		execute: func() exec.Stats { return exec.RunFused(in.Kernels, sched, threads) },
+	}
+}
+
+// UnfusedParSy schedules every kernel's own DAG with LBC (wavefront
+// parallelism for edge-free loops) and runs the kernels back to back.
+func (in *Instance) UnfusedParSy(threads int, lp lbc.Params) *Impl {
+	var ps []*partition.Partitioning
+	return &Impl{
+		Name: "unfused-parsy",
+		inspect: func() error {
+			ps = nil
+			for _, k := range in.Kernels {
+				p, err := lbc.Schedule(k.DAG(), threads, lp)
+				if err != nil {
+					return err
+				}
+				ps = append(ps, p)
+			}
+			return nil
+		},
+		execute: func() exec.Stats { return exec.RunChain(in.Kernels, ps, threads) },
+	}
+}
+
+// UnfusedMKL mimics MKL's inspector-executor routines: level-set TRSV,
+// single-barrier chunked parallel loops, and sequential factorizations.
+func (in *Instance) UnfusedMKL(threads int) *Impl {
+	var ps []*partition.Partitioning
+	return &Impl{
+		Name: "unfused-mkl",
+		inspect: func() error {
+			ps = nil
+			for i, k := range in.Kernels {
+				if in.mklSeq[i] {
+					ps = append(ps, nil) // sequential (MKL's dcsrilu0)
+					continue
+				}
+				p, err := wavefront.Schedule(k.DAG(), threads)
+				if err != nil {
+					return err
+				}
+				ps = append(ps, p)
+			}
+			return nil
+		},
+		execute: func() exec.Stats { return exec.RunChain(in.Kernels, ps, threads) },
+	}
+}
+
+// JointGraph builds the joint DAG of a two-kernel instance (the baselines'
+// input; exported for the figure and benchmark harnesses).
+func (in *Instance) JointGraph() (*dag.Graph, error) { return in.joint() }
+
+// joint builds the joint DAG of a two-kernel instance.
+func (in *Instance) joint() (*dag.Graph, error) {
+	if len(in.Kernels) != 2 {
+		return nil, fmt.Errorf("combos: joint-DAG baselines support exactly 2 kernels, got %d", len(in.Kernels))
+	}
+	return dag.Joint(in.Loops.G[0], in.Loops.G[1], in.Loops.F[0])
+}
+
+// JointWavefront is the fused-wavefront baseline: topological wavefronts of
+// the joint DAG.
+func (in *Instance) JointWavefront(threads int) *Impl {
+	var p *partition.Partitioning
+	return &Impl{
+		Name: "fused-wavefront",
+		inspect: func() error {
+			j, err := in.joint()
+			if err != nil {
+				return err
+			}
+			p, err = wavefront.Schedule(j, threads)
+			return err
+		},
+		execute: func() exec.Stats { return exec.RunJoint(in.Kernels[0], in.Kernels[1], p, threads) },
+	}
+}
+
+// JointLBC is the fused-LBC baseline: the joint DAG is made chordal (as
+// ParSy's LBC expects L-factor DAGs; the dominant inspection cost the paper
+// reports) and then LBC-partitioned.
+func (in *Instance) JointLBC(threads int, lp lbc.Params) *Impl {
+	var p *partition.Partitioning
+	return &Impl{
+		Name: "fused-lbc",
+		inspect: func() error {
+			j, err := in.joint()
+			if err != nil {
+				return err
+			}
+			p, err = lbc.ScheduleChordal(j, threads, lp)
+			return err
+		},
+		execute: func() exec.Stats { return exec.RunJoint(in.Kernels[0], in.Kernels[1], p, threads) },
+	}
+}
+
+// JointDAGP is the fused-DAGP baseline: multilevel acyclic partitioning of
+// the joint DAG.
+func (in *Instance) JointDAGP(threads int) *Impl {
+	var p *partition.Partitioning
+	return &Impl{
+		Name: "fused-dagp",
+		inspect: func() error {
+			j, err := in.joint()
+			if err != nil {
+				return err
+			}
+			p, err = dagp.Schedule(j, threads, dagp.Params{})
+			return err
+		},
+		execute: func() exec.Stats { return exec.RunJoint(in.Kernels[0], in.Kernels[1], p, threads) },
+	}
+}
+
+// UnfusedHDagg schedules every kernel's own DAG with the HDagg-style
+// aggregator — an extra baseline beyond the paper's comparators (HDagg is
+// cited as related work).
+func (in *Instance) UnfusedHDagg(threads int) *Impl {
+	var ps []*partition.Partitioning
+	return &Impl{
+		Name: "unfused-hdagg",
+		inspect: func() error {
+			ps = nil
+			for _, k := range in.Kernels {
+				p, err := hdagg.Schedule(k.DAG(), threads, hdagg.Params{})
+				if err != nil {
+					return err
+				}
+				ps = append(ps, p)
+			}
+			return nil
+		},
+		execute: func() exec.Stats { return exec.RunChain(in.Kernels, ps, threads) },
+	}
+}
+
+// JointHDagg applies the HDagg-style aggregator to the joint DAG.
+func (in *Instance) JointHDagg(threads int) *Impl {
+	var p *partition.Partitioning
+	return &Impl{
+		Name: "fused-hdagg",
+		inspect: func() error {
+			j, err := in.joint()
+			if err != nil {
+				return err
+			}
+			p, err = hdagg.Schedule(j, threads, hdagg.Params{})
+			return err
+		},
+		execute: func() exec.Stats { return exec.RunJoint(in.Kernels[0], in.Kernels[1], p, threads) },
+	}
+}

@@ -1,0 +1,220 @@
+package combos
+
+import (
+	"testing"
+
+	"sparsefusion/internal/lbc"
+	"sparsefusion/internal/sparse"
+)
+
+const threads = 4
+
+func lp() lbc.Params { return lbc.Params{InitialCut: 3, Agg: 10} }
+
+// allImpls returns every implementation of an instance (joint baselines only
+// for two-kernel instances).
+func allImpls(in *Instance) []*Impl {
+	impls := []*Impl{
+		in.SparseFusion(threads, lp()),
+		in.UnfusedParSy(threads, lp()),
+		in.UnfusedMKL(threads),
+	}
+	if len(in.Kernels) == 2 {
+		impls = append(impls,
+			in.JointWavefront(threads),
+			in.JointLBC(threads, lp()),
+			in.JointDAGP(threads),
+		)
+	}
+	return impls
+}
+
+func TestAllCombosAllImplsAgree(t *testing.T) {
+	for _, a := range []*sparse.CSR{
+		sparse.RandomSPD(250, 5, 1),
+		sparse.Laplacian2D(16),
+	} {
+		for _, id := range All {
+			in, err := Build(id, a)
+			if err != nil {
+				t.Fatalf("%s: %v", Names[id], err)
+			}
+			in.RunSequential()
+			want := in.Snapshot()
+			for _, im := range allImpls(in) {
+				if err := im.Inspect(); err != nil {
+					t.Fatalf("%s/%s: inspect: %v", in.Name, im.Name, err)
+				}
+				for rep := 0; rep < 2; rep++ {
+					if _, err := im.Execute(); err != nil {
+						t.Fatalf("%s/%s: %v", in.Name, im.Name, err)
+					}
+					if got := in.Snapshot(); sparse.RelErr(got, want) > 1e-9 {
+						t.Fatalf("%s/%s rep %d: diverges by %v", in.Name, im.Name, rep, sparse.RelErr(got, want))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMvMvImplsAgree(t *testing.T) {
+	a := sparse.RandomSPD(300, 5, 2)
+	in, err := Build(MvMv, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.RunSequential()
+	want := in.Snapshot()
+	for _, im := range allImpls(in) {
+		if _, err := im.Execute(); err != nil {
+			t.Fatalf("%s: %v", im.Name, err)
+		}
+		if got := in.Snapshot(); sparse.RelErr(got, want) > 1e-9 {
+			t.Fatalf("%s: diverges", im.Name)
+		}
+	}
+}
+
+func TestGSChainAgrees(t *testing.T) {
+	a := sparse.RandomSPD(200, 5, 3)
+	for _, sweeps := range []int{1, 2, 3} {
+		in, err := BuildGS(a, sweeps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(in.Kernels) != 2*sweeps {
+			t.Fatalf("GS %d sweeps built %d kernels", sweeps, len(in.Kernels))
+		}
+		in.RunSequential()
+		want := in.Snapshot()
+		for _, im := range []*Impl{
+			in.SparseFusion(threads, lp()),
+			in.UnfusedParSy(threads, lp()),
+			in.UnfusedMKL(threads),
+		} {
+			if _, err := im.Execute(); err != nil {
+				t.Fatalf("GS/%s: %v", im.Name, err)
+			}
+			if got := in.Snapshot(); sparse.RelErr(got, want) > 1e-9 {
+				t.Fatalf("GS %d sweeps/%s: diverges by %v", sweeps, im.Name, sparse.RelErr(in.Snapshot(), want))
+			}
+		}
+	}
+}
+
+func TestGSConverges(t *testing.T) {
+	// Gauss-Seidel on a diagonally dominant SPD system must reduce the
+	// residual monotonically; 8 fused sweeps should shrink it well below
+	// the initial norm.
+	a := sparse.RandomSPD(150, 4, 4)
+	in, err := BuildGS(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := in.SparseFusion(threads, lp())
+	if _, err := im.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	x := in.Snapshot()
+	b := sparse.RandomVec(a.Rows, 3) // same seed BuildGS uses
+	ax := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for p := a.P[i]; p < a.P[i+1]; p++ {
+			ax[i] += a.X[p] * x[a.I[p]]
+		}
+	}
+	res := sparse.Norm2(sparse.Sub(ax, b))
+	if res > 0.2*sparse.Norm2(b) {
+		t.Fatalf("GS residual %v vs ||b|| %v: not converging", res, sparse.Norm2(b))
+	}
+}
+
+func TestReuseClassificationMatchesTable1(t *testing.T) {
+	a := sparse.RandomSPD(300, 5, 5)
+	wantGE1 := map[ID]bool{TrsvTrsv: true, DscalIlu0: true, TrsvMv: false, Ic0Trsv: true, Ilu0Trsv: true, DscalIc0: true}
+	for id, ge1 := range wantGE1 {
+		in, err := Build(id, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ge1 && in.Reuse < 1 {
+			t.Fatalf("%s: reuse %v, Table 1 says >= 1", in.Name, in.Reuse)
+		}
+		if !ge1 && in.Reuse >= 1 {
+			t.Fatalf("%s: reuse %v, Table 1 says < 1", in.Name, in.Reuse)
+		}
+	}
+}
+
+func TestFlopCountsPositive(t *testing.T) {
+	a := sparse.RandomSPD(100, 4, 6)
+	for _, id := range append(append([]ID{}, All...), MvMv) {
+		in, err := Build(id, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.FlopCount() <= 0 {
+			t.Fatalf("%s: flops = %d", in.Name, in.FlopCount())
+		}
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	rect, _ := sparse.FromTriplets(3, 4, nil)
+	if _, err := Build(TrsvTrsv, rect); err == nil {
+		t.Fatal("rectangular matrix accepted")
+	}
+	if _, err := Build(ID(99), sparse.Laplacian2D(3)); err == nil {
+		t.Fatal("unknown combo accepted")
+	}
+	if _, err := BuildGS(sparse.Laplacian2D(3), 0); err == nil {
+		t.Fatal("zero sweeps accepted")
+	}
+}
+
+func TestInspectTimesRecorded(t *testing.T) {
+	a := sparse.RandomSPD(200, 5, 7)
+	in, err := Build(TrsvMv, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := in.SparseFusion(threads, lp())
+	if err := im.Inspect(); err != nil {
+		t.Fatal(err)
+	}
+	if im.InspectTime <= 0 {
+		t.Fatal("inspect time not recorded")
+	}
+}
+
+func TestJointRejectsMultiLoop(t *testing.T) {
+	a := sparse.RandomSPD(100, 4, 8)
+	in, err := BuildGS(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.JointWavefront(threads).Inspect(); err == nil {
+		t.Fatal("joint baseline accepted a 4-loop instance")
+	}
+}
+
+func TestHDaggImplsAgree(t *testing.T) {
+	a := sparse.RandomSPD(250, 5, 44)
+	for _, id := range []ID{TrsvTrsv, Ic0Trsv, TrsvMv} {
+		in, err := Build(id, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.RunSequential()
+		want := in.Snapshot()
+		for _, im := range []*Impl{in.UnfusedHDagg(threads), in.JointHDagg(threads)} {
+			if _, err := im.Execute(); err != nil {
+				t.Fatalf("%s/%s: %v", in.Name, im.Name, err)
+			}
+			if got := in.Snapshot(); sparse.RelErr(got, want) > 1e-9 {
+				t.Fatalf("%s/%s: diverges", in.Name, im.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"testing"
+
+	"sparsefusion/internal/dag"
+	"sparsefusion/internal/sparse"
+	"sparsefusion/internal/suite"
+)
+
+func BenchmarkICOTrsvTrsvND(b *testing.B) {
+	a, err := suite.Parse("lap2d:300", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := dag.FromLowerCSR(a.Lower())
+	loops := &Loops{G: []*dag.Graph{g, g}, F: []*sparse.CSR{FDiagonal(a.Rows)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ICO(loops, Params{Threads: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,625 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparsefusion/internal/dag"
+	"sparsefusion/internal/kernels"
+	"sparsefusion/internal/lbc"
+	"sparsefusion/internal/sparse"
+)
+
+func testParams(r int) Params {
+	return Params{Threads: r, LBC: lbc.Params{InitialCut: 3, Agg: 8}}
+}
+
+func trsvDAG(a *sparse.CSR) *dag.Graph { return dag.FromLowerCSR(a.Lower()) }
+
+func parallelDAG(a *sparse.CSR) *dag.Graph {
+	w := make([]int, a.Rows)
+	for r := 0; r < a.Rows; r++ {
+		w[r] = a.P[r+1] - a.P[r]
+	}
+	return dag.Parallel(a.Rows, w)
+}
+
+// --- combination-shaped inputs -------------------------------------------
+
+// comboCDPar: loop 1 carried-dependence (TRSV), loop 2 parallel (SpMV),
+// diagonal F. Table 1 row 3. Head must be G1 (G2 edge-free).
+func comboCDPar(seed int64, n int) *Loops {
+	a := sparse.RandomSPD(n, 5, seed)
+	return &Loops{
+		G: []*dag.Graph{trsvDAG(a), parallelDAG(a)},
+		F: []*sparse.CSR{FTrsvToMVCSC(a.ToCSC())},
+	}
+}
+
+// comboCDCD: both loops carried-dependence (TRSV-TRSV), diagonal F.
+// Table 1 rows 1, 4, 5. Head is G2.
+func comboCDCD(seed int64, n int) *Loops {
+	a := sparse.RandomSPD(n, 5, seed)
+	return &Loops{
+		G: []*dag.Graph{trsvDAG(a), trsvDAG(a)},
+		F: []*sparse.CSR{FDiagonal(n)},
+	}
+}
+
+// comboParCD: loop 1 parallel (DSCAL), loop 2 carried-dependence (ILU0),
+// diagonal F. Table 1 rows 2, 6. Head is G2.
+func comboParCD(seed int64, n int) *Loops {
+	a := sparse.RandomSPD(n, 5, seed)
+	return &Loops{
+		G: []*dag.Graph{parallelDAG(a), trsvDAG(a)},
+		F: []*sparse.CSR{FDiagonal(n)},
+	}
+}
+
+// comboRandomF: two random triangular DAGs coupled by a random sparse F,
+// stressing non-diagonal cross dependencies.
+func comboRandomF(seed int64, n int) *Loops {
+	rng := rand.New(rand.NewSource(seed))
+	a := sparse.RandomSPD(n, 4, seed)
+	b := sparse.RandomSPD(n, 4, seed+1000)
+	var ts []sparse.Triplet
+	for i := 0; i < n; i++ {
+		for d := 0; d < 1+rng.Intn(3); d++ {
+			ts = append(ts, sparse.Triplet{Row: i, Col: rng.Intn(n), Val: 1})
+		}
+	}
+	f, _ := sparse.FromTriplets(n, n, ts)
+	return &Loops{
+		G: []*dag.Graph{trsvDAG(a), trsvDAG(b)},
+		F: []*sparse.CSR{f},
+	}
+}
+
+// comboGS6: six loops alternating parallel SpMV and CD TRSV, F alternating
+// pattern/diagonal — the Gauss-Seidel multi-loop shape (paper section 4.3).
+func comboGS6(seed int64, n int) *Loops {
+	a := sparse.RandomSPD(n, 4, seed)
+	gT, gM := trsvDAG(a), parallelDAG(a)
+	fDiag, fPat := FDiagonal(n), FPattern(a.StrictUpper())
+	return &Loops{
+		G: []*dag.Graph{gM, gT, gM, gT, gM, gT},
+		F: []*sparse.CSR{fDiag, fPat, fDiag, fPat, fDiag},
+	}
+}
+
+// --- validity ---------------------------------------------------------------
+
+func TestICOValidAllCombinations(t *testing.T) {
+	combos := map[string]func(int64, int) *Loops{
+		"cd-par":   comboCDPar,
+		"cd-cd":    comboCDCD,
+		"par-cd":   comboParCD,
+		"random-f": comboRandomF,
+		"gs-6":     comboGS6,
+	}
+	for name, mk := range combos {
+		for _, seed := range []int64{1, 2, 3} {
+			for _, reuse := range []float64{0.5, 1.5} {
+				loops := mk(seed, 120)
+				p := testParams(4)
+				p.ReuseRatio = reuse
+				sched, err := ICO(loops, p)
+				if err != nil {
+					t.Fatalf("%s seed %d: %v", name, seed, err)
+				}
+				if err := loops.Validate(sched); err != nil {
+					t.Fatalf("%s seed %d reuse %v: %v", name, seed, reuse, err)
+				}
+				if sched.NumIterations() != loops.TotalIterations() {
+					t.Fatalf("%s: scheduled %d of %d", name, sched.NumIterations(), loops.TotalIterations())
+				}
+				if sched.MaxWidth() > 4 {
+					t.Fatalf("%s: width %d exceeds threads", name, sched.MaxWidth())
+				}
+			}
+		}
+	}
+}
+
+func TestICOValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		loops := comboRandomF(seed, 90)
+		sched, err := ICO(loops, testParams(3))
+		if err != nil {
+			return false
+		}
+		return loops.Validate(sched) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestICOHeadSelection(t *testing.T) {
+	// With an edge-free G2 the head is G1 (forward); with edges in G2 the
+	// head is G2 (reversed). Both must produce valid schedules; this pins
+	// the dispatch rule itself.
+	n := 80
+	a := sparse.RandomSPD(n, 5, 7)
+	forward := &Loops{G: []*dag.Graph{trsvDAG(a), parallelDAG(a)}, F: []*sparse.CSR{FDiagonal(n)}}
+	reversed := &Loops{G: []*dag.Graph{parallelDAG(a), trsvDAG(a)}, F: []*sparse.CSR{FDiagonal(n)}}
+	for name, loops := range map[string]*Loops{"forward": forward, "reversed": reversed} {
+		sched, err := ICO(loops, testParams(4))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := loops.Validate(sched); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestICOSingleThread(t *testing.T) {
+	loops := comboCDCD(5, 60)
+	sched, err := ICO(loops, testParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loops.Validate(sched); err != nil {
+		t.Fatal(err)
+	}
+	if sched.MaxWidth() != 1 {
+		t.Fatalf("r=1 produced width %d", sched.MaxWidth())
+	}
+}
+
+func TestICOFewerSyncsThanJointWavefront(t *testing.T) {
+	// The motivating claim (figure 1): the fused schedule has far fewer
+	// barriers than wavefront scheduling of the joint DAG.
+	loops := comboCDCD(11, 300)
+	joint, err := dag.Joint(loops.G[0], loops.G[1], loops.F[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, _ := joint.CriticalPath()
+	sched, err := ICO(loops, Params{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loops.Validate(sched); err != nil {
+		t.Fatal(err)
+	}
+	if sched.NumSPartitions() >= (pg+1)/2 {
+		t.Fatalf("ICO used %d barriers vs %d joint wavefronts", sched.NumSPartitions(), pg+1)
+	}
+}
+
+func TestICORejectsBadShapes(t *testing.T) {
+	a := sparse.RandomSPD(20, 3, 1)
+	g := trsvDAG(a)
+	if _, err := ICO(&Loops{G: []*dag.Graph{g, g}, F: nil}, testParams(2)); err == nil {
+		t.Fatal("missing F accepted")
+	}
+	badF, _ := sparse.FromTriplets(5, 5, nil)
+	if _, err := ICO(&Loops{G: []*dag.Graph{g, g}, F: []*sparse.CSR{badF}}, testParams(2)); err == nil {
+		t.Fatal("mis-shaped F accepted")
+	}
+	if _, err := ICO(&Loops{}, testParams(2)); err == nil {
+		t.Fatal("empty loops accepted")
+	}
+}
+
+// --- running example (paper figures 2 and 4) --------------------------------
+
+// paperLoops builds the 11-iteration running example: G1 is the SpTRSV DAG
+// of figure 2b, G2 the edge-free SpMV DAG, F diagonal.
+func paperLoops(t *testing.T) *Loops {
+	t.Helper()
+	g1, err := dag.FromEdges(11, []dag.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3},
+		{Src: 4, Dst: 5},
+		{Src: 6, Dst: 7}, {Src: 7, Dst: 8},
+		{Src: 5, Dst: 9}, {Src: 8, Dst: 9},
+		{Src: 9, Dst: 10}, {Src: 3, Dst: 10},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Loops{
+		G: []*dag.Graph{g1, dag.Parallel(11, nil)},
+		F: []*sparse.CSR{FDiagonal(11)},
+	}
+}
+
+func TestPaperRunningExampleValid(t *testing.T) {
+	loops := paperLoops(t)
+	p := Params{Threads: 3, ReuseRatio: 0.5, LBC: lbc.Params{InitialCut: 2, Agg: 3}}
+	sched, err := ICO(loops, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loops.Validate(sched); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's fused schedule uses 2 s-partitions for r=3 (figure 2e);
+	// ICO must stay in that ballpark, far below the 5 joint wavefronts.
+	if sched.NumSPartitions() > 3 {
+		t.Fatalf("running example used %d s-partitions", sched.NumSPartitions())
+	}
+}
+
+func TestPaperRunningExamplePairing(t *testing.T) {
+	// With diagonal F and separated packing, each SpMV iteration must run
+	// in the same w-partition as (or later than) its TRSV producer - pairing
+	// keeps pairs together unless slack moved them for balance. Validity
+	// plus full coverage is the contract; here we additionally check that
+	// at least half the pairs stayed co-located, the pairing signature.
+	loops := paperLoops(t)
+	p := Params{Threads: 3, ReuseRatio: 0.5, LBC: lbc.Params{InitialCut: 2, Agg: 3}}
+	sched, err := ICO(loops, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type sw struct{ s, w int }
+	pos := make(map[Iter]sw)
+	for si, sp := range sched.S {
+		for wi, w := range sp {
+			for _, it := range w {
+				pos[it] = sw{si, wi}
+			}
+		}
+	}
+	co := 0
+	for i := 0; i < 11; i++ {
+		if pos[Iter{0, i}] == pos[Iter{1, i}] {
+			co++
+		}
+	}
+	// The paper's own figure 2e keeps 5 of 11 pairs co-located (the rest are
+	// dispersed by slack assignment); require at least a comparable share.
+	if co < 4 {
+		t.Fatalf("only %d of 11 pairs co-located", co)
+	}
+}
+
+// --- packing -----------------------------------------------------------------
+
+func TestSeparatedPackingBlocksLoops(t *testing.T) {
+	loops := comboCDPar(3, 100)
+	p := testParams(4)
+	p.ReuseRatio = 0.3
+	sched, err := ICO(loops, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Interleaved {
+		t.Fatal("reuse < 1 must select separated packing")
+	}
+	for _, sp := range sched.S {
+		for _, w := range sp {
+			// Loop ids must be non-decreasing inside a w-partition.
+			for i := 1; i < len(w); i++ {
+				if w[i].Loop < w[i-1].Loop {
+					t.Fatal("separated packing interleaved loops")
+				}
+			}
+		}
+	}
+}
+
+func TestInterleavedPackingInterleaves(t *testing.T) {
+	loops := comboCDPar(3, 100)
+	p := testParams(4)
+	p.ReuseRatio = 1.5
+	sched, err := ICO(loops, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.Interleaved {
+		t.Fatal("reuse >= 1 must select interleaved packing")
+	}
+	if err := loops.Validate(sched); err != nil {
+		t.Fatal(err)
+	}
+	// At least one w-partition should alternate loops (consumer right after
+	// producer); count adjacent loop changes.
+	switches := 0
+	for _, sp := range sched.S {
+		for _, w := range sp {
+			for i := 1; i < len(w); i++ {
+				if w[i].Loop != w[i-1].Loop {
+					switches++
+				}
+			}
+		}
+	}
+	if switches < 10 {
+		t.Fatalf("interleaved packing produced only %d loop switches", switches)
+	}
+}
+
+func TestInterleavedConsumerFollowsProducer(t *testing.T) {
+	// With diagonal F, interleaved packing should place most consumers
+	// immediately after their producer.
+	loops := comboCDPar(9, 150)
+	p := testParams(4)
+	p.ReuseRatio = 2
+	sched, err := ICO(loops, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjacent, total := 0, 0
+	for _, sp := range sched.S {
+		for _, w := range sp {
+			for i := 1; i < len(w); i++ {
+				if w[i].Loop == 1 {
+					total++
+					if w[i-1].Loop == 0 && w[i-1].Idx == w[i].Idx {
+						adjacent++
+					}
+				}
+			}
+		}
+	}
+	if total == 0 || float64(adjacent) < 0.5*float64(total) {
+		t.Fatalf("only %d of %d consumers adjacent to producers", adjacent, total)
+	}
+}
+
+// --- balance & merging -------------------------------------------------------
+
+func TestICOBalanceBeatsUnbalancedPlacement(t *testing.T) {
+	// ICO's slack dispersal must keep per-s-partition imbalance moderate on
+	// a combination with a large parallel tail loop.
+	loops := comboCDPar(21, 400)
+	sched, err := ICO(loops, Params{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loops.Validate(sched); err != nil {
+		t.Fatal(err)
+	}
+	// Total imbalance: sum over s-partitions of max-mean, in weight units.
+	totalMax, totalSum := 0, 0
+	for _, sp := range sched.S {
+		maxC, sum := 0, 0
+		for _, w := range sp {
+			c := 0
+			for _, it := range w {
+				c += loops.G[it.Loop].Weight(it.Idx)
+			}
+			sum += c
+			if c > maxC {
+				maxC = c
+			}
+		}
+		totalMax += maxC
+		totalSum += sum
+	}
+	// Perfect balance on 4 threads: totalMax == totalSum/4. Allow 2x.
+	if float64(totalMax) > 2*float64(totalSum)/4 {
+		t.Fatalf("critical cost %d vs ideal %d: badly balanced", totalMax, totalSum/4)
+	}
+}
+
+func TestMergeReducesBarriers(t *testing.T) {
+	// Disable merging indirectly by comparing s-partition counts against
+	// raw placement: run the pipeline pieces by hand.
+	loops := comboCDCD(31, 200)
+	rev := &Loops{
+		G: []*dag.Graph{loops.G[1].Transpose(), loops.G[0].Transpose()},
+		F: []*sparse.CSR{loops.F[0].Transpose()},
+	}
+	st, err := place(rev, testParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.numS()
+	st.merge()
+	after := 0
+	for s := range st.cost {
+		total := 0
+		for _, c := range st.cost[s] {
+			total += c
+		}
+		if total > 0 {
+			after++
+		}
+	}
+	if after > before {
+		t.Fatalf("merging increased s-partitions: %d -> %d", before, after)
+	}
+}
+
+// --- reuse ratio --------------------------------------------------------------
+
+func TestReuseRatioTable1(t *testing.T) {
+	n := 64
+	a := sparse.RandomSPD(n, 4, 77)
+	l := a.Lower()
+	lc := l.ToCSC()
+	x, y, z, b := make([]float64, n), make([]float64, n), make([]float64, n), sparse.RandomVec(n, 1)
+	d := kernels.JacobiScaling(a)
+
+	// Row 1: TRSV-TRSV sharing L and x: reuse >= 1.
+	k1 := kernels.NewSpTRSVCSR(l, b, x)
+	k2 := kernels.NewSpTRSVCSR(l, x, z)
+	if r := ReuseRatio(k1, k2); r < 1 {
+		t.Fatalf("TRSV-TRSV reuse = %v, want >= 1", r)
+	}
+	// Row 3: TRSV then SpMV on a different matrix, sharing only a vector:
+	// reuse < 1.
+	k3 := kernels.NewSpMVCSC(a.ToCSC(), x, y)
+	if r := ReuseRatio(k1, k3); r >= 1 {
+		t.Fatalf("TRSV-MV reuse = %v, want < 1", r)
+	}
+	// Row 4: IC0 then TRSV sharing the factor: reuse >= 1.
+	k4 := kernels.NewSpIC0CSC(lc)
+	k5 := kernels.NewSpTRSVCSC(lc, b, y)
+	if r := ReuseRatio(k4, k5); r < 1 {
+		t.Fatalf("IC0-TRSV reuse = %v, want >= 1", r)
+	}
+	// Row 2: DSCAL (in place, as the paper's LU ~= DAD' scales A itself)
+	// then ILU0 on the same storage: reuse >= 1.
+	work := a.Clone()
+	k6 := kernels.NewDScalCSR(work, d, work)
+	k7 := kernels.NewSpILU0CSR(work)
+	if r := ReuseRatio(k6, k7); r < 1 {
+		t.Fatalf("DSCAL-ILU0 reuse = %v, want >= 1", r)
+	}
+}
+
+func TestReuseRatioChain(t *testing.T) {
+	n := 32
+	a := sparse.RandomSPD(n, 4, 78)
+	l := a.Lower()
+	b, x, z := sparse.RandomVec(n, 2), make([]float64, n), make([]float64, n)
+	k1 := kernels.NewSpTRSVCSR(l, b, x)
+	k2 := kernels.NewSpTRSVCSR(l, x, z)
+	k3 := kernels.NewSpMVCSC(a.ToCSC(), z, b)
+	chain := ReuseRatioChain([]kernels.Kernel{k1, k2, k3})
+	if chain >= 1 {
+		t.Fatalf("chain reuse = %v, want < 1 (weakest pair dominates)", chain)
+	}
+	if ReuseRatioChain([]kernels.Kernel{k1}) != 0 {
+		t.Fatal("single-kernel chain should be 0")
+	}
+}
+
+// --- F generators --------------------------------------------------------------
+
+func TestFDiagonal(t *testing.T) {
+	f := FDiagonal(5)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if f.At(i, i) != 1 || f.P[i+1]-f.P[i] != 1 {
+			t.Fatal("FDiagonal malformed")
+		}
+	}
+}
+
+func TestFTrsvToMVCSCSkipsEmptyColumns(t *testing.T) {
+	// Column 1 empty.
+	a, _ := sparse.FromTriplets(3, 3, []sparse.Triplet{{Row: 0, Col: 0, Val: 1}, {Row: 2, Col: 2, Val: 1}})
+	f := FTrsvToMVCSC(a.ToCSC())
+	if f.NNZ() != 2 {
+		t.Fatalf("F nnz = %d, want 2 (empty column skipped, paper Listing 2)", f.NNZ())
+	}
+	if f.At(1, 1) != 0 {
+		t.Fatal("empty column must have no dependency")
+	}
+}
+
+func TestFPattern(t *testing.T) {
+	a := sparse.RandomSPD(20, 3, 79).StrictUpper()
+	f := FPattern(a)
+	if f.NNZ() != a.NNZ() {
+		t.Fatal("FPattern changed nnz")
+	}
+	for _, v := range f.X {
+		if v != 1 {
+			t.Fatal("FPattern values must be 1")
+		}
+	}
+}
+
+// --- multi-loop --------------------------------------------------------------
+
+func TestICOMultiLoopCounts(t *testing.T) {
+	for _, nLoops := range []int{3, 4, 5, 6} {
+		n := 80
+		a := sparse.RandomSPD(n, 4, int64(nLoops))
+		gT, gM := trsvDAG(a), parallelDAG(a)
+		loops := &Loops{}
+		for k := 0; k < nLoops; k++ {
+			if k%2 == 0 {
+				loops.G = append(loops.G, gM)
+			} else {
+				loops.G = append(loops.G, gT)
+			}
+			if k > 0 {
+				if k%2 == 1 {
+					loops.F = append(loops.F, FDiagonal(n))
+				} else {
+					loops.F = append(loops.F, FPattern(a.StrictUpper()))
+				}
+			}
+		}
+		sched, err := ICO(loops, testParams(4))
+		if err != nil {
+			t.Fatalf("%d loops: %v", nLoops, err)
+		}
+		if err := loops.Validate(sched); err != nil {
+			t.Fatalf("%d loops: %v", nLoops, err)
+		}
+		if sched.NumIterations() != nLoops*n {
+			t.Fatalf("%d loops: scheduled %d", nLoops, sched.NumIterations())
+		}
+	}
+}
+
+func TestValidateCatchesBrokenSchedules(t *testing.T) {
+	loops := paperLoops(t)
+	// Dependency 0->1 in G1 placed in parallel w-partitions.
+	bad := &Schedule{S: [][][]Iter{{{{Loop: 0, Idx: 0}}, {{Loop: 0, Idx: 1}}}}}
+	for i := 2; i < 11; i++ {
+		bad.S[0][0] = append(bad.S[0][0], Iter{0, i})
+	}
+	for i := 0; i < 11; i++ {
+		bad.S[0][0] = append(bad.S[0][0], Iter{1, i})
+	}
+	if err := loops.Validate(bad); err == nil {
+		t.Fatal("cross-w dependence not caught")
+	}
+	// Missing iterations.
+	if err := loops.Validate(&Schedule{}); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+}
+
+func TestScheduleSerializationRoundTrip(t *testing.T) {
+	loops := comboCDCD(77, 100)
+	sched, err := ICO(loops, testParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := sched.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Interleaved != sched.Interleaved || got.ReuseRatio != sched.ReuseRatio {
+		t.Fatal("metadata changed in round trip")
+	}
+	if err := loops.Validate(got); err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSPartitions() != sched.NumSPartitions() || got.NumIterations() != sched.NumIterations() {
+		t.Fatal("shape changed in round trip")
+	}
+	for si := range sched.S {
+		for wi := range sched.S[si] {
+			for ki, it := range sched.S[si][wi] {
+				if got.S[si][wi][ki] != it {
+					t.Fatal("iteration order changed in round trip")
+				}
+			}
+		}
+	}
+}
+
+func TestReadScheduleRejectsCorrupt(t *testing.T) {
+	if _, err := ReadSchedule(bytes.NewBufferString("short")); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	bad := make([]byte, 32) // wrong magic
+	if _, err := ReadSchedule(bytes.NewBuffer(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"sparsefusion/internal/kernels"
+	"sparsefusion/internal/sparse"
+)
+
+// This file holds the remaining inspector components of sparse fusion
+// (paper section 2.2): the reuse-ratio metric and the domain-specific
+// inter-DAG (dependency matrix F) generators for the kernel combinations of
+// Table 1. Each generator mirrors the code sparse fusion would emit from
+// analyzing the loop bodies, like the paper's Listing 2.
+
+// ReuseRatio computes the paper's locality metric from two kernels' access
+// footprints: 2 * common / max(total1, total2), where arrays are matched by
+// storage identity. A ratio >= 1 means the kernels share more data than the
+// larger of them touches privately, so interleaved packing pays off.
+func ReuseRatio(k1, k2 kernels.Kernel) float64 {
+	f1, f2 := k1.Footprint(), k2.Footprint()
+	common, t1, t2 := 0, 0, 0
+	for _, v := range f1 {
+		t1 += v.Size
+	}
+	for _, v := range f2 {
+		t2 += v.Size
+		for _, u := range f1 {
+			if u.Key != 0 && u.Key == v.Key {
+				common += v.Size
+				break
+			}
+		}
+	}
+	den := max(t1, t2)
+	if den == 0 {
+		return 0
+	}
+	return 2 * float64(common) / float64(den)
+}
+
+// ReuseRatioChain extends the metric to more than two loops: the minimum
+// pairwise ratio over consecutive kernels, since separated packing is chosen
+// as soon as any adjacent pair stops sharing data.
+func ReuseRatioChain(ks []kernels.Kernel) float64 {
+	if len(ks) < 2 {
+		return 0
+	}
+	r := ReuseRatio(ks[0], ks[1])
+	for i := 2; i < len(ks); i++ {
+		if rr := ReuseRatio(ks[i-1], ks[i]); rr < r {
+			r = rr
+		}
+	}
+	return r
+}
+
+// FDiagonal returns the n-by-n identity-pattern dependency matrix: iteration
+// i of the second loop depends on iteration i of the first. This is the F of
+// the producer/consumer combinations that hand over per-row or per-column
+// results: TRSV-TRSV, DSCAL-ILU0, IC0-TRSV, ILU0-TRSV and DSCAL-IC0
+// (Table 1).
+func FDiagonal(n int) *sparse.CSR {
+	f := &sparse.CSR{Rows: n, Cols: n, P: make([]int, n+1), I: make([]int, n), X: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		f.P[i+1] = i + 1
+		f.I[i] = i
+		f.X[i] = 1
+	}
+	return f
+}
+
+// FTrsvToMVCSC is the paper's Listing 2: for SpTRSV (producing x) feeding
+// SpMV CSC (column j1 reads x[j1]), iteration j1 of SpMV depends on
+// iteration j1 of SpTRSV — but only when column j1 of A is nonempty.
+func FTrsvToMVCSC(a *sparse.CSC) *sparse.CSR {
+	n := a.Cols
+	f := &sparse.CSR{Rows: n, Cols: n, P: make([]int, n+1)}
+	for j := 0; j < n; j++ {
+		if a.P[j] < a.P[j+1] {
+			f.I = append(f.I, j)
+			f.X = append(f.X, 1)
+		}
+		f.P[j+1] = len(f.I)
+	}
+	return f
+}
+
+// FPattern builds F from the access pattern of a CSR matrix: iteration i of
+// the second loop reads the vector entries indexed by row i of A, each
+// produced by the matching iteration of the first loop. This is the
+// TRSV -> SpMV dependency inside a Gauss-Seidel sweep (the SpMV's row i
+// reads x[j] for every nonzero A[i][j], paper section 4.3).
+func FPattern(a *sparse.CSR) *sparse.CSR {
+	f := a.Clone()
+	for i := range f.X {
+		f.X[i] = 1
+	}
+	return f
+}

@@ -1,0 +1,169 @@
+package core
+
+// merge implements ICO step (ii)'s merging phase (paper section 3.2.2,
+// Algorithm 1 lines 9-11): zero-slack w-partitions — those pinned by a
+// dependent in the next s-partition, which slack assignment can never
+// disperse — are folded into the earliest s-partition their dependencies
+// allow, removing synchronizations without raising the schedule's critical
+// cost. Pair partitions deferred by partition pairing (the example's
+// V_s2,w1 / V_s3,w1 merge, figure 4c) are exactly this shape, and long
+// dependence chains collapse into a single w-partition.
+func (st *state) merge() {
+	// Ascending passes let a fold cascade (a unit merged into s-partition k
+	// immediately becomes a merge target for units that depended on it), so
+	// one pass captures chains; a second pass picks up stragglers.
+	for pass := 0; pass < 2 && st.mergePass(); pass++ {
+	}
+	st.compactS()
+}
+
+// mergePass visits every w-partition in ascending s order and moves it to
+// the earliest legal position; returns whether anything moved.
+func (st *state) mergePass() bool {
+	members := st.members()
+	merged := false
+	for s := 1; s < len(members); s++ {
+		maxCur := maxIntSlice(st.cost[s])
+		for w, unit := range members[s] {
+			if len(unit) == 0 {
+				continue
+			}
+			target, targetW, ok := st.mergeTarget(unit, s)
+			if !ok || target >= s {
+				continue
+			}
+			c := 0
+			for _, it := range unit {
+				c += st.loops.G[it.Loop].Weight(it.Idx)
+			}
+			st.ensureS(target)
+			if targetW < 0 {
+				targetW = st.lightestW(target)
+			}
+			for len(st.cost[target]) <= targetW {
+				st.cost[target] = append(st.cost[target], 0)
+			}
+			// Cost gate: the receiving slot must not exceed the combined
+			// critical cost of source and destination s-partitions.
+			if st.cost[target][targetW]+c > maxIntSlice(st.cost[target])+maxCur {
+				continue
+			}
+			for _, it := range unit {
+				st.posS[it.Loop][it.Idx] = target
+				st.posW[it.Loop][it.Idx] = targetW
+			}
+			st.cost[target][targetW] += c
+			st.cost[s][w] -= c
+			members[s][w] = nil
+			merged = true
+		}
+	}
+	return merged
+}
+
+// mergeTarget computes the earliest s-partition the unit can move to:
+// one past its latest predecessor, or the predecessor's own (s, w) when all
+// latest predecessors share a single w-partition. The unit must have zero
+// slack — a dependent in s+1 or nothing after it to postpone toward —
+// because positive-slack units belong to slack assignment instead.
+// Returns (targetS, targetW, ok); targetW < 0 means any slot.
+func (st *state) mergeTarget(unit []Iter, s int) (int, int, bool) {
+	maxPredS, wAtMax := -1, -1
+	multi := false
+	zeroSlack := s == len(st.cost)-1
+	for _, it := range unit {
+		st.loops.forEachPred(st.tg, it, func(pr Iter) {
+			ps := st.posS[pr.Loop][pr.Idx]
+			if ps == s {
+				return // intra-unit dependency
+			}
+			pw := st.posW[pr.Loop][pr.Idx]
+			switch {
+			case ps > maxPredS:
+				maxPredS, wAtMax, multi = ps, pw, false
+			case ps == maxPredS && pw != wAtMax:
+				multi = true
+			}
+		})
+		if !zeroSlack {
+			st.loops.forEachSucc(st.fcsc, it, func(su Iter) {
+				if st.posS[su.Loop][su.Idx] == s+1 {
+					zeroSlack = true
+				}
+			})
+		}
+	}
+	if !zeroSlack {
+		return 0, 0, false
+	}
+	if maxPredS < 0 {
+		// No external predecessors: the earliest slot of s-partition 0.
+		return 0, -1, true
+	}
+	if multi {
+		// Latest predecessors span w-partitions: the unit can only sit
+		// after their barrier.
+		return maxPredS + 1, -1, true
+	}
+	return maxPredS, wAtMax, true
+}
+
+// members groups every iteration by its (s, w) placement.
+func (st *state) members() [][][]Iter {
+	m := make([][][]Iter, len(st.cost))
+	for s := range m {
+		m[s] = make([][]Iter, len(st.cost[s]))
+	}
+	for k, g := range st.loops.G {
+		for i := 0; i < g.N; i++ {
+			s, w := st.posS[k][i], st.posW[k][i]
+			m[s][w] = append(m[s][w], Iter{k, i})
+		}
+	}
+	return m
+}
+
+// compactS drops s-partitions that became empty and renumbers positions.
+func (st *state) compactS() {
+	counts := make([]int, len(st.cost))
+	for k, g := range st.loops.G {
+		for i := 0; i < g.N; i++ {
+			counts[st.posS[k][i]]++
+		}
+	}
+	remap := make([]int, len(st.cost))
+	next := 0
+	for s := range st.cost {
+		if counts[s] > 0 {
+			remap[s] = next
+			next++
+		} else {
+			remap[s] = -1
+		}
+	}
+	if next == len(st.cost) {
+		return
+	}
+	newCost := make([][]int, next)
+	for s, ns := range remap {
+		if ns >= 0 {
+			newCost[ns] = st.cost[s]
+		}
+	}
+	st.cost = newCost
+	for k, g := range st.loops.G {
+		for i := 0; i < g.N; i++ {
+			st.posS[k][i] = remap[st.posS[k][i]]
+		}
+	}
+}
+
+func maxIntSlice(s []int) int {
+	m := 0
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// pack implements ICO step (iii) (paper section 3.2.3): it fixes the
+// execution order inside every w-partition. Separated packing runs each
+// loop's iterations as one consecutive block (spatial locality within a
+// kernel); interleaved packing runs consumer iterations as soon as their
+// producers complete (temporal locality between kernels). Both orders
+// respect every dependency among the partition's members; cross-partition
+// dependencies were discharged by placement, merging and slack assignment.
+func (st *state) pack(reuse float64) (*Schedule, error) {
+	members := st.members()
+	sched := &Schedule{ReuseRatio: reuse, Interleaved: reuse >= 1}
+	lvl := make([][]int, len(st.loops.G))
+	for k, g := range st.loops.G {
+		l, err := g.Levels()
+		if err != nil {
+			return nil, err
+		}
+		lvl[k] = l
+	}
+	for _, sp := range members {
+		var out [][]Iter
+		for _, unit := range sp {
+			if len(unit) == 0 {
+				continue
+			}
+			if sched.Interleaved {
+				out = append(out, st.interleavedPack(unit, lvl))
+			} else {
+				out = append(out, separatedPack(unit, lvl))
+			}
+		}
+		if len(out) > 0 {
+			sched.S = append(sched.S, out)
+		}
+	}
+	return sched, nil
+}
+
+// separatedPack orders a w-partition loop by loop, each loop's iterations by
+// (wavefront level, index). Intra-loop dependencies are satisfied because a
+// predecessor always has a smaller level; cross-loop dependencies only flow
+// from loop k to loop k+1 and the loop-k block comes first.
+func separatedPack(unit []Iter, lvl [][]int) []Iter {
+	out := append([]Iter(nil), unit...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Loop != b.Loop {
+			return a.Loop < b.Loop
+		}
+		if lvl[a.Loop][a.Idx] != lvl[b.Loop][b.Idx] {
+			return lvl[a.Loop][a.Idx] < lvl[b.Loop][b.Idx]
+		}
+		return a.Idx < b.Idx
+	})
+	return out
+}
+
+// interleavedPack emits a topological order of the partition's members that
+// greedily prefers later-loop iterations: the moment a consumer's
+// dependencies are complete it runs, placing it right after its producers
+// (the paper's interleaved_pack driven by F).
+func (st *state) interleavedPack(unit []Iter, lvl [][]int) []Iter {
+	local := make(map[Iter]int, len(unit))
+	for li, it := range unit {
+		local[it] = li
+	}
+	indeg := make([]int, len(unit))
+	succ := make([][]int, len(unit))
+	for li, it := range unit {
+		st.loops.forEachPred(st.tg, it, func(pr Iter) {
+			if pi, ok := local[pr]; ok {
+				indeg[li]++
+				succ[pi] = append(succ[pi], li)
+			}
+		})
+	}
+	// Ready lists per loop; producers drain in (level, index) order, and any
+	// ready iteration of a later loop preempts them.
+	nLoops := len(st.loops.G)
+	ready := make([][]int, nLoops)
+	for li, d := range indeg {
+		if d == 0 {
+			ready[unit[li].Loop] = append(ready[unit[li].Loop], li)
+		}
+	}
+	for k := range ready {
+		sortReady(ready[k], unit, lvl)
+	}
+	out := make([]Iter, 0, len(unit))
+	for len(out) < len(unit) {
+		picked := -1
+		for k := nLoops - 1; k >= 0; k-- {
+			if n := len(ready[k]); n > 0 {
+				picked = ready[k][n-1]
+				ready[k] = ready[k][:n-1]
+				break
+			}
+		}
+		if picked < 0 {
+			// Cannot happen for an acyclic dependence structure.
+			panic(fmt.Sprintf("core: interleaved packing wedged with %d of %d placed", len(out), len(unit)))
+		}
+		out = append(out, unit[picked])
+		for _, si := range succ[picked] {
+			indeg[si]--
+			if indeg[si] == 0 {
+				k := unit[si].Loop
+				ready[k] = append(ready[k], si)
+				// Keep the invariant that the slice tail is the next pick:
+				// sort whenever we appended a same-loop producer out of
+				// order. Consumers (later loops) run LIFO, which places them
+				// immediately after the producer that released them.
+				if k == 0 {
+					sortReady(ready[k], unit, lvl)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sortReady orders a ready list so the slice tail (the next pick) is the
+// iteration with the smallest (level, index).
+func sortReady(r []int, unit []Iter, lvl [][]int) {
+	sort.Slice(r, func(i, j int) bool {
+		a, b := unit[r[i]], unit[r[j]]
+		la, lb := lvl[a.Loop][a.Idx], lvl[b.Loop][b.Idx]
+		if la != lb {
+			return la > lb
+		}
+		return a.Idx > b.Idx
+	})
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Schedule serialization lets the inspector's work survive the process: a
+// solver that factors the same sparsity pattern every run (the paper's
+// "the fused schedule can be reused as long as the sparsity patterns do not
+// change", section 2.1) can inspect once, persist, and skip ICO afterwards.
+// The format is a little-endian binary stream with a magic header; loaders
+// must re-validate against their Loops before trusting a file (the facade
+// does).
+
+const scheduleMagic = 0x53504653 // "SPFS"
+
+// WriteTo serializes the schedule.
+func (s *Schedule) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	write := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, err := cw.Write(buf[:])
+		return err
+	}
+	if err := write(scheduleMagic); err != nil {
+		return cw.n, err
+	}
+	flags := uint64(0)
+	if s.Interleaved {
+		flags = 1
+	}
+	if err := write(flags); err != nil {
+		return cw.n, err
+	}
+	if err := write(math.Float64bits(s.ReuseRatio)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint64(len(s.S))); err != nil {
+		return cw.n, err
+	}
+	for _, sp := range s.S {
+		if err := write(uint64(len(sp))); err != nil {
+			return cw.n, err
+		}
+		for _, wp := range sp {
+			if err := write(uint64(len(wp))); err != nil {
+				return cw.n, err
+			}
+			for _, it := range wp {
+				if err := write(uint64(it.Loop)); err != nil {
+					return cw.n, err
+				}
+				if err := write(uint64(it.Idx)); err != nil {
+					return cw.n, err
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadSchedule deserializes a schedule written by WriteTo. Callers must
+// validate it against their loops (Loops.Validate) before executing it.
+func ReadSchedule(r io.Reader) (*Schedule, error) {
+	br := bufio.NewReader(r)
+	read := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	magic, err := read()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading schedule header: %w", err)
+	}
+	if magic != scheduleMagic {
+		return nil, fmt.Errorf("core: not a schedule file (magic %#x)", magic)
+	}
+	flags, err := read()
+	if err != nil {
+		return nil, err
+	}
+	reuseBits, err := read()
+	if err != nil {
+		return nil, err
+	}
+	nS, err := read()
+	if err != nil {
+		return nil, err
+	}
+	const maxLen = 1 << 32 // sanity bound against corrupt files
+	if nS > maxLen {
+		return nil, fmt.Errorf("core: corrupt schedule: %d s-partitions", nS)
+	}
+	s := &Schedule{
+		Interleaved: flags&1 != 0,
+		ReuseRatio:  math.Float64frombits(reuseBits),
+		S:           make([][][]Iter, nS),
+	}
+	for si := range s.S {
+		nW, err := read()
+		if err != nil {
+			return nil, err
+		}
+		if nW > maxLen {
+			return nil, fmt.Errorf("core: corrupt schedule: %d w-partitions", nW)
+		}
+		s.S[si] = make([][]Iter, nW)
+		for wi := range s.S[si] {
+			nI, err := read()
+			if err != nil {
+				return nil, err
+			}
+			if nI > maxLen {
+				return nil, fmt.Errorf("core: corrupt schedule: %d iterations", nI)
+			}
+			wp := make([]Iter, nI)
+			for k := range wp {
+				loop, err := read()
+				if err != nil {
+					return nil, err
+				}
+				idx, err := read()
+				if err != nil {
+					return nil, err
+				}
+				wp[k] = Iter{Loop: int(loop), Idx: int(idx)}
+			}
+			s.S[si][wi] = wp
+		}
+	}
+	return s, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,264 @@
+package core
+
+import "sort"
+
+// slackBalance implements ICO step (ii)'s slack vertex assignment (paper
+// section 3.2.2, Algorithm 1 lines 12-16): iterations that can be postponed
+// without delaying any dependent — positive slack — are removed from the
+// fused partitioning and re-dispersed into underloaded w-partitions of later
+// s-partitions, balancing every s-partition to within the threshold
+// epsilon = 0.1% of the total weight (Algorithm 1 line 12).
+//
+// Safety argument: latest(v) is computed against current successor
+// placements and vertices only ever move forward, so for an edge u -> v,
+// latest(u) <= s(v)-1 guarantees u lands strictly before v wherever v goes.
+func (st *state) slackBalance() {
+	b := st.numS()
+	if b <= 1 {
+		return
+	}
+	total := 0
+	for _, g := range st.loops.G {
+		total += g.TotalWeight()
+	}
+	eps := total / 1000
+	if eps < 1 {
+		eps = 1
+	}
+
+	type slackIter struct {
+		it             Iter
+		origS, origW   int
+		latest, weight int
+	}
+	var pool []slackIter
+	placed := make([][]bool, len(st.loops.G)) // removed & already re-placed
+	removed := make([][]bool, len(st.loops.G))
+	for k, g := range st.loops.G {
+		placed[k] = make([]bool, g.N)
+		removed[k] = make([]bool, g.N)
+	}
+	for k, g := range st.loops.G {
+		for i := 0; i < g.N; i++ {
+			it := Iter{k, i}
+			latest := b - 1
+			st.loops.forEachSucc(st.fcsc, it, func(su Iter) {
+				if s := st.posS[su.Loop][su.Idx] - 1; s < latest {
+					latest = s
+				}
+			})
+			if s := st.posS[k][i]; latest > s {
+				pool = append(pool, slackIter{it, s, st.posW[k][i], latest, g.Weight(i)})
+				removed[k][i] = true
+				st.cost[s][st.posW[k][i]] -= g.Weight(i)
+			}
+		}
+	}
+	if len(pool) == 0 {
+		return
+	}
+	// slotAt decides whether it can be placed into s-partition s and which
+	// w-partition it may use: every predecessor must be placed already and
+	// sit before s, except predecessors inside s itself, which must share a
+	// single w-partition — then that slot is forced (pairing co-location).
+	// Returns (-1, true) for a free slot choice, (w, true) for a forced
+	// slot, or (_, false) when placement at s is impossible.
+	slotAt := func(it Iter, s int) (int, bool) {
+		forced, ok := -1, true
+		st.loops.forEachPred(st.tg, it, func(pr Iter) {
+			if removed[pr.Loop][pr.Idx] && !placed[pr.Loop][pr.Idx] {
+				ok = false
+				return
+			}
+			ps := st.posS[pr.Loop][pr.Idx]
+			switch {
+			case ps > s:
+				ok = false
+			case ps == s:
+				w := st.posW[pr.Loop][pr.Idx]
+				if forced == -1 {
+					forced = w
+				} else if forced != w {
+					ok = false
+				}
+			}
+		})
+		return forced, ok
+	}
+	put := func(si slackIter, s, w int) {
+		st.assign(si.it, s, w)
+		placed[si.it.Loop][si.it.Idx] = true
+	}
+	putFree := func(si slackIter, s int) {
+		st.assignFree(si.it, s)
+		placed[si.it.Loop][si.it.Idx] = true
+	}
+	// byDeadline[s] lists pool indices that MUST be placed at s.
+	byDeadline := make([][]int, b)
+	// byAvailable[s] lists pool indices that become candidates at s. An
+	// iteration may return to its original s-partition (in any slot, if its
+	// predecessors allow — predsPlaced checks) or postpone up to latest.
+	byAvailable := make([][]int, b)
+	for idx, si := range pool {
+		byDeadline[si.latest] = append(byDeadline[si.latest], idx)
+		byAvailable[si.origS] = append(byAvailable[si.origS], idx)
+	}
+	// Static idle capacity of every s-partition after removal: how much
+	// slack weight it can absorb without raising its critical (max-slot)
+	// cost. Postponement is budgeted against the future capacity so later
+	// narrow s-partitions (figure 1's tail wavefronts) receive filler while
+	// everything else disperses near its origin (the paper's assign_even).
+	deficit := make([]int, b)
+	slackAt := make([]int, b)
+	for _, si := range pool {
+		slackAt[si.origS] += si.weight
+	}
+	for s := 0; s < b; s++ {
+		maxC := maxIntSlice(st.cost[s])
+		for _, c := range st.cost[s] {
+			deficit[s] += maxC - c
+		}
+		if extra := st.p.Threads - len(st.cost[s]); extra > 0 {
+			deficit[s] += extra * maxC
+		}
+		// A partition's own slack fills its idle capacity first; only the
+		// uncovered remainder can absorb postponed work from earlier.
+		deficit[s] -= slackAt[s]
+		if deficit[s] < 0 {
+			deficit[s] = 0
+		}
+	}
+	suffix := make([]int, b+1)
+	for s := b - 1; s >= 0; s-- {
+		suffix[s] = suffix[s+1] + deficit[s]
+	}
+	booked := 0
+
+	var candidates []int
+	for s := 0; s < b; s++ {
+		// Mandatory placements first: deadline reached.
+		for _, idx := range byDeadline[s] {
+			si := pool[idx]
+			if placed[si.it.Loop][si.it.Idx] {
+				continue
+			}
+			if s == si.origS {
+				// Never eligible to move (latest == origS should not be in
+				// the pool); defensive.
+				put(si, s, si.origW)
+				continue
+			}
+			putFree(si, s)
+			booked -= si.weight
+		}
+		// Refill the candidate list and order it by (loop, index) so that
+		// consecutive placements cover contiguous index ranges — spatial
+		// locality matters more here than the marginal balance gain of
+		// heaviest-first packing, which the sticky-granule re-evaluation of
+		// the lightest slot recovers anyway.
+		candidates = append(candidates, byAvailable[s]...)
+		sortByIndex := func(c []int) {
+			sort.SliceStable(c, func(i, j int) bool {
+				a, b := pool[c[i]].it, pool[c[j]].it
+				if a.Loop != b.Loop {
+					return a.Loop < b.Loop
+				}
+				return a.Idx < b.Idx
+			})
+		}
+		sortByIndex(candidates)
+		// Fill idle capacity: place candidates into slots that sit below the
+		// partition's critical cost, never raising the max by more than eps.
+		// One index-ordered pass over the candidates keeps the whole phase
+		// linear in the pool size.
+		maxC := maxIntSlice(st.cost[s])
+		for ci, idx := range candidates {
+			if idx < 0 {
+				continue
+			}
+			si := pool[idx]
+			if placed[si.it.Loop][si.it.Idx] || si.latest < s {
+				candidates[ci] = -1
+				continue
+			}
+			w, ok := slotAt(si.it, s)
+			if !ok {
+				continue
+			}
+			if w < 0 {
+				// Free slot choice: sticky filling for contiguity, bounded
+				// by the partition's critical cost.
+				if st.stickS != s || st.stickLeft <= 0 ||
+					st.cost[s][st.stickW]+si.weight > maxC+eps {
+					st.stickS, st.stickW, st.stickLeft = s, st.lightestW(s), stickyGranule
+				}
+				if st.cost[s][st.stickW]+si.weight > maxC+eps {
+					continue
+				}
+				w = st.stickW
+				st.stickLeft--
+			} else {
+				st.ensureS(s)
+				for len(st.cost[s]) <= w {
+					st.cost[s] = append(st.cost[s], 0)
+				}
+				if st.cost[s][w]+si.weight > maxC+eps {
+					continue
+				}
+			}
+			if fromLater := si.origS < s; fromLater {
+				booked -= si.weight
+			}
+			put(si, s, w)
+			if c := st.cost[s][w]; c > maxC {
+				maxC = c
+			}
+			candidates[ci] = -1
+		}
+		// Leftovers that originated here either postpone (if future
+		// partitions have unbooked capacity) or spread evenly now.
+		compacted := candidates[:0]
+		for _, idx := range candidates {
+			if idx >= 0 {
+				compacted = append(compacted, idx)
+			}
+		}
+		candidates = compacted
+		sortByIndex(candidates)
+		for ci, idx := range candidates {
+			if idx < 0 {
+				continue
+			}
+			si := pool[idx]
+			if placed[si.it.Loop][si.it.Idx] || si.origS != s {
+				continue
+			}
+			if si.latest > s && booked+si.weight <= suffix[s+1] {
+				booked += si.weight
+				continue
+			}
+			w, ok := slotAt(si.it, s)
+			if !ok {
+				continue // deadline placement will catch it
+			}
+			if w < 0 {
+				putFree(si, s)
+			} else {
+				for len(st.cost[s]) <= w {
+					st.cost[s] = append(st.cost[s], 0)
+				}
+				put(si, s, w)
+			}
+			candidates[ci] = -1
+		}
+		// Drop spent entries to keep the scan linear overall.
+		live := candidates[:0]
+		for _, idx := range candidates {
+			if idx >= 0 && !placed[pool[idx].it.Loop][pool[idx].it.Idx] && pool[idx].latest > s {
+				live = append(live, idx)
+			}
+		}
+		candidates = live
+	}
+	st.compactS()
+}

@@ -1,0 +1,350 @@
+// Package dag implements the dependency-DAG machinery the sparse-fusion
+// inspector is built on: construction of iteration DAGs from sparse factors,
+// wavefront (level-set) computation, vertex heights, critical paths, slack
+// numbers (paper section 3.2.2) and joint-DAG construction for the fused
+// baselines.
+//
+// A Graph stores the out-edges (successor lists) of every vertex in CSR-style
+// adjacency arrays, plus a non-negative integer weight per vertex: the paper's
+// c(v), the number of nonzeros an iteration touches.
+package dag
+
+import (
+	"fmt"
+	"sort"
+
+	"sparsefusion/internal/sparse"
+)
+
+// Graph is a directed acyclic graph over loop iterations.
+type Graph struct {
+	N int   // number of vertices (loop iterations)
+	P []int // out-edge pointers, len N+1
+	I []int // successor vertex ids, len NumEdges
+	W []int // vertex weights c(v), len N
+}
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.I) }
+
+// Succ returns the successors of v as a shared sub-slice.
+func (g *Graph) Succ(v int) []int { return g.I[g.P[v]:g.P[v+1]] }
+
+// Weight returns c(v), defaulting to 1 when no weights were provided.
+func (g *Graph) Weight(v int) int {
+	if g.W == nil {
+		return 1
+	}
+	return g.W[v]
+}
+
+// TotalWeight returns the sum of all vertex weights.
+func (g *Graph) TotalWeight() int {
+	if g.W == nil {
+		return g.N
+	}
+	t := 0
+	for _, w := range g.W {
+		t += w
+	}
+	return t
+}
+
+// Edge is a single dependency from Src to Dst (Src must run before Dst).
+type Edge struct{ Src, Dst int }
+
+// FromEdges builds a graph with n vertices from an edge list. Duplicate edges
+// are removed and successor lists are sorted. w may be nil (unit weights).
+func FromEdges(n int, edges []Edge, w []int) (*Graph, error) {
+	for _, e := range edges {
+		if e.Src < 0 || e.Src >= n || e.Dst < 0 || e.Dst >= n {
+			return nil, fmt.Errorf("dag: edge (%d,%d) out of bounds for n=%d", e.Src, e.Dst, n)
+		}
+		if e.Src == e.Dst {
+			return nil, fmt.Errorf("dag: self-loop at %d", e.Src)
+		}
+	}
+	sorted := make([]Edge, len(edges))
+	copy(sorted, edges)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Src != sorted[j].Src {
+			return sorted[i].Src < sorted[j].Src
+		}
+		return sorted[i].Dst < sorted[j].Dst
+	})
+	g := &Graph{N: n, P: make([]int, n+1), W: w}
+	for k := 0; k < len(sorted); k++ {
+		if k > 0 && sorted[k] == sorted[k-1] {
+			continue
+		}
+		g.I = append(g.I, sorted[k].Dst)
+		g.P[sorted[k].Src+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.P[v+1] += g.P[v]
+	}
+	return g, nil
+}
+
+// FromLowerCSR builds the iteration DAG of a kernel whose dependence pattern
+// is a lower-triangular factor L in CSR form (SpTRSV, SpIC0, SpILU0 in the
+// paper): each strictly-lower nonzero L[i][j] is a dependency from iteration
+// j to iteration i. The vertex weight is the number of nonzeros in row i.
+func FromLowerCSR(l *sparse.CSR) *Graph {
+	n := l.Rows
+	g := &Graph{N: n, P: make([]int, n+1), W: make([]int, n)}
+	// Count in-CSC order: edge j -> i for every strictly-lower (i, j).
+	for r := 0; r < n; r++ {
+		g.W[r] = l.P[r+1] - l.P[r]
+		for k := l.P[r]; k < l.P[r+1]; k++ {
+			if c := l.I[k]; c < r {
+				g.P[c+1]++
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		g.P[v+1] += g.P[v]
+	}
+	g.I = make([]int, g.P[n])
+	next := make([]int, n)
+	copy(next, g.P[:n])
+	for r := 0; r < n; r++ {
+		for k := l.P[r]; k < l.P[r+1]; k++ {
+			if c := l.I[k]; c < r {
+				g.I[next[c]] = r
+				next[c]++
+			}
+		}
+	}
+	return g
+}
+
+// Parallel builds an edge-free DAG of n vertices with the given weights:
+// the DAG of a fully parallel loop such as SpMV or DSCAL.
+func Parallel(n int, w []int) *Graph {
+	return &Graph{N: n, P: make([]int, n+1), W: w}
+}
+
+// Transpose returns the graph with all edges reversed (predecessor lists).
+func (g *Graph) Transpose() *Graph {
+	t := &Graph{N: g.N, P: make([]int, g.N+1), I: make([]int, len(g.I)), W: g.W}
+	for _, dst := range g.I {
+		t.P[dst+1]++
+	}
+	for v := 0; v < g.N; v++ {
+		t.P[v+1] += t.P[v]
+	}
+	next := make([]int, g.N)
+	copy(next, t.P[:g.N])
+	for src := 0; src < g.N; src++ {
+		for k := g.P[src]; k < g.P[src+1]; k++ {
+			dst := g.I[k]
+			t.I[next[dst]] = src
+			next[dst]++
+		}
+	}
+	return t
+}
+
+// InDegrees returns the in-degree of every vertex.
+func (g *Graph) InDegrees() []int {
+	deg := make([]int, g.N)
+	for _, dst := range g.I {
+		deg[dst]++
+	}
+	return deg
+}
+
+// TopoOrder returns a topological ordering, or an error when the graph has a
+// cycle. Kahn's algorithm with a FIFO queue, so independent vertices appear
+// in index order.
+func (g *Graph) TopoOrder() ([]int, error) {
+	deg := g.InDegrees()
+	order := make([]int, 0, g.N)
+	queue := make([]int, 0, g.N)
+	for v := 0; v < g.N; v++ {
+		if deg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, s := range g.Succ(v) {
+			deg[s]--
+			if deg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != g.N {
+		return nil, fmt.Errorf("dag: graph has a cycle (%d of %d vertices ordered)", len(order), g.N)
+	}
+	return order, nil
+}
+
+// IsAcyclic reports whether the graph has no directed cycle.
+func (g *Graph) IsAcyclic() bool {
+	_, err := g.TopoOrder()
+	return err == nil
+}
+
+// Levels returns the wavefront number l(v) of every vertex: sources are
+// level 0 and l(v) = 1 + max over predecessors. Returns an error on cycles.
+func (g *Graph) Levels() ([]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	lvl := make([]int, g.N)
+	for _, v := range order {
+		for _, s := range g.Succ(v) {
+			if lvl[v]+1 > lvl[s] {
+				lvl[s] = lvl[v] + 1
+			}
+		}
+	}
+	return lvl, nil
+}
+
+// LevelSets groups vertices by wavefront number; LevelSets()[l] lists the
+// vertices of wavefront l in ascending index order.
+func (g *Graph) LevelSets() ([][]int, error) {
+	lvl, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	maxL := -1
+	for _, l := range lvl {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	sets := make([][]int, maxL+1)
+	for v, l := range lvl {
+		sets[l] = append(sets[l], v)
+	}
+	return sets, nil
+}
+
+// Heights returns height(v), the longest path (in edges) from v to any sink.
+func (g *Graph) Heights() ([]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	h := make([]int, g.N)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, s := range g.Succ(v) {
+			if h[s]+1 > h[v] {
+				h[v] = h[s] + 1
+			}
+		}
+	}
+	return h, nil
+}
+
+// CriticalPath returns the length (in wavefronts, i.e. vertices on the
+// longest chain minus one) of the critical path PG.
+func (g *Graph) CriticalPath() (int, error) {
+	lvl, err := g.Levels()
+	if err != nil {
+		return 0, err
+	}
+	maxL := 0
+	for _, l := range lvl {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	return maxL, nil
+}
+
+// SlackNumbers returns SN(v) = PG - l(v) - height(v) for every vertex
+// (paper section 3.2.2). A vertex with positive slack can be postponed that
+// many wavefronts without delaying its dependents.
+func (g *Graph) SlackNumbers() ([]int, error) {
+	lvl, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	h, err := g.Heights()
+	if err != nil {
+		return nil, err
+	}
+	pg := 0
+	for _, l := range lvl {
+		if l > pg {
+			pg = l
+		}
+	}
+	sn := make([]int, g.N)
+	for v := range sn {
+		sn[v] = pg - lvl[v] - h[v]
+	}
+	return sn, nil
+}
+
+// Joint builds the joint DAG of two kernels (paper section 1): vertices
+// 0..g1.N-1 are loop-1 iterations, g1.N..g1.N+g2.N-1 are loop-2 iterations,
+// and f contributes an edge j -> g1.N+i for every nonzero f[i][j]. This is
+// the input of the fused wavefront/LBC/DAGP baselines; sparse fusion itself
+// never materializes it.
+func Joint(g1, g2 *Graph, f *sparse.CSR) (*Graph, error) {
+	if f.Rows != g2.N || f.Cols != g1.N {
+		return nil, fmt.Errorf("dag: F is %dx%d, want %dx%d", f.Rows, f.Cols, g2.N, g1.N)
+	}
+	n := g1.N + g2.N
+	edges := make([]Edge, 0, g1.NumEdges()+g2.NumEdges()+f.NNZ())
+	for v := 0; v < g1.N; v++ {
+		for _, s := range g1.Succ(v) {
+			edges = append(edges, Edge{v, s})
+		}
+	}
+	for v := 0; v < g2.N; v++ {
+		for _, s := range g2.Succ(v) {
+			edges = append(edges, Edge{g1.N + v, g1.N + s})
+		}
+	}
+	for i := 0; i < f.Rows; i++ {
+		for k := f.P[i]; k < f.P[i+1]; k++ {
+			edges = append(edges, Edge{f.I[k], g1.N + i})
+		}
+	}
+	w := make([]int, n)
+	for v := 0; v < g1.N; v++ {
+		w[v] = g1.Weight(v)
+	}
+	for v := 0; v < g2.N; v++ {
+		w[g1.N+v] = g2.Weight(v)
+	}
+	return FromEdges(n, edges, w)
+}
+
+// Reach returns the set of vertices reachable from the seeds (inclusive),
+// as a sorted slice, via a breadth-first search over successor edges.
+func (g *Graph) Reach(seeds []int) []int {
+	visited := make(map[int]bool, len(seeds))
+	queue := append([]int(nil), seeds...)
+	for _, s := range seeds {
+		visited[s] = true
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, s := range g.Succ(v) {
+			if !visited[s] {
+				visited[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	out := make([]int, 0, len(visited))
+	for v := range visited {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

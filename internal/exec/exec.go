@@ -1,0 +1,188 @@
+// Package exec is the executor half of the inspector-executor pair: it runs
+// fused schedules (core.Schedule) and baseline partitionings
+// (partition.Partitioning) on goroutines, one per w-partition, with a
+// barrier after every s-partition — the Go equivalent of the paper's
+// "#pragma omp parallel for" per s-partition (figure 3).
+//
+// The executor instruments every barrier with per-w-partition run times and
+// reports the OpenMP-potential-gain analogue: thread time lost to load
+// imbalance and synchronization, divided by the thread count (paper
+// figure 6, bottom).
+package exec
+
+import (
+	"time"
+
+	"sparsefusion/internal/core"
+	"sparsefusion/internal/kernels"
+	"sparsefusion/internal/partition"
+)
+
+// Stats reports one execution.
+type Stats struct {
+	// Elapsed is the wall-clock executor time.
+	Elapsed time.Duration
+	// Barriers counts synchronizations (one per s-partition).
+	Barriers int
+	// PotentialGain is sum over barriers of (max - mean) w-partition run
+	// time: the wait time threads spend at barriers, averaged per thread.
+	PotentialGain time.Duration
+}
+
+// AtomicSetter is implemented by kernels whose Run scatters into shared
+// vectors and therefore needs atomic accumulation under concurrency
+// (SpMV-CSC and SpTRSV-CSC).
+type AtomicSetter interface {
+	SetAtomic(bool)
+}
+
+// setAtomics switches scatter kernels into (or out of) atomic mode.
+func setAtomics(ks []kernels.Kernel, on bool) {
+	for _, k := range ks {
+		if a, ok := k.(AtomicSetter); ok {
+			a.SetAtomic(on)
+		}
+	}
+}
+
+func accumulate(st *Stats, durs []time.Duration, threads int) {
+	st.Barriers++
+	var maxD, sum time.Duration
+	for _, d := range durs {
+		sum += d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	width := threads
+	if width < len(durs) {
+		width = len(durs)
+	}
+	mean := sum / time.Duration(width)
+	if maxD > mean {
+		st.PotentialGain += maxD - mean
+	}
+}
+
+// RunFused executes the fused loops under a core.Schedule produced by ICO.
+// ks[l] is the kernel of loop l; each kernel's Prepare runs first, in loop
+// order. threads only affects the potential-gain normalization and atomic
+// mode — the schedule's own w-partition structure decides actual
+// parallelism.
+func RunFused(ks []kernels.Kernel, sched *core.Schedule, threads int) Stats {
+	parallel := threads > 1 && sched.MaxWidth() > 1
+	setAtomics(ks, parallel)
+	defer setAtomics(ks, false)
+	var st Stats
+	t0 := time.Now()
+	for _, k := range ks {
+		k.Prepare()
+	}
+	pl := newPool(sched.MaxWidth())
+	defer pl.close()
+	durs := make([]time.Duration, sched.MaxWidth())
+	for _, sp := range sched.S {
+		pl.run(len(sp), func(w int) {
+			for _, it := range sp[w] {
+				ks[it.Loop].Run(it.Idx)
+			}
+		}, durs[:len(sp)])
+		accumulate(&st, durs[:len(sp)], threads)
+	}
+	st.Elapsed = time.Since(t0)
+	return st
+}
+
+// RunPartitioned executes one kernel under a baseline partitioning
+// (wavefront, LBC or DAGP schedule of the kernel's own DAG).
+func RunPartitioned(k kernels.Kernel, p *partition.Partitioning, threads int) Stats {
+	parallel := threads > 1 && anyWide(p)
+	setAtomics([]kernels.Kernel{k}, parallel)
+	defer setAtomics([]kernels.Kernel{k}, false)
+	var st Stats
+	t0 := time.Now()
+	k.Prepare()
+	pl := newPool(maxWidth(p))
+	defer pl.close()
+	durs := make([]time.Duration, maxWidth(p))
+	for _, sp := range p.S {
+		pl.run(len(sp), func(w int) {
+			for _, v := range sp[w] {
+				k.Run(v)
+			}
+		}, durs[:len(sp)])
+		accumulate(&st, durs[:len(sp)], threads)
+	}
+	st.Elapsed = time.Since(t0)
+	return st
+}
+
+// RunChain executes kernels one after another (unfused), each under its own
+// partitioning. Entries with a nil partitioning run sequentially.
+func RunChain(ks []kernels.Kernel, ps []*partition.Partitioning, threads int) Stats {
+	var st Stats
+	t0 := time.Now()
+	for i, k := range ks {
+		var s Stats
+		if ps[i] == nil {
+			s = RunSequentialKernel(k)
+		} else {
+			s = RunPartitioned(k, ps[i], threads)
+		}
+		st.Barriers += s.Barriers
+		st.PotentialGain += s.PotentialGain
+	}
+	st.Elapsed = time.Since(t0)
+	return st
+}
+
+// RunJoint executes two kernels under a partitioning of their joint DAG
+// (vertices 0..n1-1 are loop-1 iterations, n1.. are loop-2 iterations):
+// the fused-wavefront / fused-LBC / fused-DAGP baselines.
+func RunJoint(k1, k2 kernels.Kernel, p *partition.Partitioning, threads int) Stats {
+	n1 := k1.Iterations()
+	parallel := threads > 1 && anyWide(p)
+	setAtomics([]kernels.Kernel{k1, k2}, parallel)
+	defer setAtomics([]kernels.Kernel{k1, k2}, false)
+	var st Stats
+	t0 := time.Now()
+	k1.Prepare()
+	k2.Prepare()
+	pl := newPool(maxWidth(p))
+	defer pl.close()
+	durs := make([]time.Duration, maxWidth(p))
+	for _, sp := range p.S {
+		pl.run(len(sp), func(w int) {
+			for _, v := range sp[w] {
+				if v < n1 {
+					k1.Run(v)
+				} else {
+					k2.Run(v - n1)
+				}
+			}
+		}, durs[:len(sp)])
+		accumulate(&st, durs[:len(sp)], threads)
+	}
+	st.Elapsed = time.Since(t0)
+	return st
+}
+
+// RunSequentialKernel runs a kernel in plain iteration order, the baseline
+// the paper's amortization metric divides by (figure 7).
+func RunSequentialKernel(k kernels.Kernel) Stats {
+	t0 := time.Now()
+	kernels.RunSeq(k)
+	return Stats{Elapsed: time.Since(t0)}
+}
+
+func maxWidth(p *partition.Partitioning) int {
+	m := 1
+	for _, sp := range p.S {
+		if len(sp) > m {
+			m = len(sp)
+		}
+	}
+	return m
+}
+
+func anyWide(p *partition.Partitioning) bool { return maxWidth(p) > 1 }

@@ -1,0 +1,66 @@
+package exec
+
+import (
+	"sync"
+	"time"
+)
+
+// pool is a reusable set of worker goroutines for barrier-synchronized
+// execution. Spawning goroutines per s-partition costs a few microseconds
+// each; with hundreds of barriers per executor run that overhead rivals the
+// kernel work itself, so the executors start one pool per run and reuse it
+// across every barrier.
+type pool struct {
+	workers int
+	work    []chan func()
+	wg      sync.WaitGroup
+}
+
+// newPool starts workers-1 goroutines (the caller's goroutine acts as
+// worker 0, saving one handoff per barrier).
+func newPool(workers int) *pool {
+	p := &pool{workers: workers}
+	p.work = make([]chan func(), workers)
+	for w := 1; w < workers; w++ {
+		ch := make(chan func(), 1)
+		p.work[w] = ch
+		go func() {
+			for fn := range ch {
+				fn()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes body(0..parts-1) in parallel and returns per-part durations
+// in durs. parts must not exceed the pool's worker count.
+func (p *pool) run(parts int, body func(w int), durs []time.Duration) {
+	if parts == 1 {
+		t0 := time.Now()
+		body(0)
+		durs[0] = time.Since(t0)
+		return
+	}
+	p.wg.Add(parts - 1)
+	for w := 1; w < parts; w++ {
+		w := w
+		p.work[w] <- func() {
+			t0 := time.Now()
+			body(w)
+			durs[w] = time.Since(t0)
+		}
+	}
+	t0 := time.Now()
+	body(0)
+	durs[0] = time.Since(t0)
+	p.wg.Wait()
+}
+
+// close stops the workers.
+func (p *pool) close() {
+	for w := 1; w < p.workers; w++ {
+		close(p.work[w])
+	}
+}

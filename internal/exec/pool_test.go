@@ -1,0 +1,76 @@
+package exec
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsAllParts(t *testing.T) {
+	pl := newPool(4)
+	defer pl.close()
+	var count int64
+	durs := make([]time.Duration, 4)
+	for round := 0; round < 100; round++ {
+		pl.run(4, func(w int) { atomic.AddInt64(&count, 1) }, durs)
+	}
+	if count != 400 {
+		t.Fatalf("ran %d of 400 parts", count)
+	}
+	for w, d := range durs {
+		if d < 0 {
+			t.Fatalf("negative duration for part %d", w)
+		}
+	}
+}
+
+func TestPoolPartialWidth(t *testing.T) {
+	pl := newPool(8)
+	defer pl.close()
+	durs := make([]time.Duration, 8)
+	seen := make([]int64, 8)
+	for _, parts := range []int{1, 3, 8, 2} {
+		pl.run(parts, func(w int) { atomic.AddInt64(&seen[w], 1) }, durs[:parts])
+	}
+	if seen[0] != 4 || seen[2] != 2 || seen[7] != 1 {
+		t.Fatalf("distribution wrong: %v", seen)
+	}
+}
+
+func TestPoolDistinctWorkersConcurrent(t *testing.T) {
+	// All parts of one barrier must be able to execute concurrently: if the
+	// pool serialized them, a rendezvous via channels would deadlock.
+	pl := newPool(2)
+	defer pl.close()
+	a, b := make(chan struct{}), make(chan struct{})
+	durs := make([]time.Duration, 2)
+	done := make(chan struct{})
+	go func() {
+		pl.run(2, func(w int) {
+			if w == 0 {
+				a <- struct{}{}
+				<-b
+			} else {
+				<-a
+				b <- struct{}{}
+			}
+		}, durs)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool serialized parts: rendezvous deadlocked")
+	}
+}
+
+func TestPoolSingleWorker(t *testing.T) {
+	pl := newPool(1)
+	defer pl.close()
+	ran := false
+	durs := make([]time.Duration, 1)
+	pl.run(1, func(w int) { ran = w == 0 }, durs)
+	if !ran {
+		t.Fatal("single-worker pool did not run on caller goroutine")
+	}
+}

@@ -1,0 +1,275 @@
+// Package hdagg implements an HDagg-style scheduler (Zarebavani et al.,
+// "HDagg: hybrid aggregation of loop-carried dependence iterations in sparse
+// matrix computations", IPDPS 2022) — the successor of LBC the paper cites
+// as related work. This repository includes it as an extra baseline beyond
+// the paper's three fused comparators.
+//
+// HDagg aggregates the DAG bottom-up instead of cutting wavefront windows:
+//
+//  1. vertices are grouped with their unique parent when they have one
+//     (cheap subtree detection via union-find over single-parent edges);
+//  2. groups are laid out level by level; consecutive levels merge into the
+//     current s-partition while the merged groups still bin-pack into r
+//     balanced, mutually independent w-partitions;
+//  3. when a level cannot join (its groups entangle the bins beyond the
+//     balance threshold), the s-partition is flushed and a new one starts.
+//
+// The result is the same s-partition/w-partition shape every scheduler in
+// this repository produces, validated by partition.Partitioning.Validate.
+package hdagg
+
+import (
+	"sort"
+
+	"sparsefusion/internal/dag"
+	"sparsefusion/internal/partition"
+)
+
+// Params tunes the scheduler.
+type Params struct {
+	// Balance is the tolerated ratio of heaviest group to the per-thread
+	// share before a level is refused (default 1.2).
+	Balance float64
+	// MaxLevels caps how many wavefronts one s-partition may aggregate
+	// (default 512).
+	MaxLevels int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Balance <= 1 {
+		p.Balance = 1.2
+	}
+	if p.MaxLevels <= 0 {
+		p.MaxLevels = 512
+	}
+	return p
+}
+
+// Schedule partitions g for r threads.
+func Schedule(g *dag.Graph, r int, params Params) (*partition.Partitioning, error) {
+	params = params.withDefaults()
+	if r < 1 {
+		r = 1
+	}
+	lvl, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	maxL := 0
+	for _, l := range lvl {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	sets := make([][]int, maxL+1)
+	for v := 0; v < g.N; v++ {
+		sets[lvl[v]] = append(sets[lvl[v]], v)
+	}
+	tg := g.Transpose()
+
+	// Union-find over the "aggregation forest": a vertex joins its parent's
+	// group when the parent is its only predecessor AND the parent is in the
+	// same open s-partition; otherwise it roots a new group.
+	parent := make([]int, g.N)
+	weight := make([]int, g.N)
+	find := func(v int) int {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	// open tracks which s-partition id each vertex's group belongs to; -1
+	// means not yet placed.
+	groupS := make([]int, g.N)
+	for i := range groupS {
+		parent[i] = i
+		groupS[i] = -1
+	}
+
+	p := &partition.Partitioning{}
+	curS := 0
+	var curVertices []int
+	levelsInCur := 0
+	curMax, curTotal := 0, 0 // heaviest group and total weight of the open s-partition
+
+	flush := func() {
+		if len(curVertices) == 0 {
+			return
+		}
+		p.S = append(p.S, binGroups(g, lvl, curVertices, find, r))
+		curVertices = nil
+		levelsInCur = 0
+		curMax, curTotal = 0, 0
+		curS++
+	}
+
+	for l := 0; l <= maxL; l++ {
+		level := sets[l]
+		// Tentatively attach each vertex to its unique predecessor's group
+		// when that group lives in the open s-partition, tracking the
+		// resulting group weights incrementally (touched roots only).
+		delta := make(map[int]int, len(level))
+		levelWeight := 0
+		tentMax := curMax
+		for _, v := range level {
+			levelWeight += g.Weight(v)
+			preds := tg.Succ(v)
+			if len(preds) >= 1 {
+				root := find(preds[0])
+				same := groupS[root] == curS
+				for _, u := range preds[1:] {
+					if find(u) != root {
+						same = false
+						break
+					}
+				}
+				if same {
+					delta[root] += g.Weight(v)
+					if w := weight[root] + delta[root]; w > tentMax {
+						tentMax = w
+					}
+					continue
+				}
+			}
+			if w := g.Weight(v); w > tentMax {
+				tentMax = w
+			}
+		}
+		total := curTotal + levelWeight
+		share := float64(total) / float64(r)
+		fits := levelsInCur < params.MaxLevels &&
+			(levelsInCur == 0 || float64(tentMax) <= params.Balance*share || tentMax == 0)
+		if !fits {
+			flush()
+		}
+		// Commit the level into the (possibly fresh) s-partition.
+		for _, v := range level {
+			preds := tg.Succ(v)
+			attached := false
+			if len(preds) >= 1 {
+				root := find(preds[0])
+				if groupS[root] == curS {
+					same := true
+					for _, u := range preds[1:] {
+						if find(u) != root {
+							same = false
+							break
+						}
+					}
+					if same {
+						parent[v] = root
+						weight[root] += g.Weight(v)
+						if weight[root] > curMax {
+							curMax = weight[root]
+						}
+						attached = true
+					}
+				}
+			}
+			if !attached {
+				parent[v] = v
+				weight[v] = g.Weight(v)
+				groupS[v] = curS
+				if weight[v] > curMax {
+					curMax = weight[v]
+				}
+			}
+			curTotal += g.Weight(v)
+			curVertices = append(curVertices, v)
+		}
+		// Re-root group membership for this s-partition.
+		for _, v := range level {
+			groupS[find(v)] = curS
+		}
+		levelsInCur++
+	}
+	flush()
+	return p.Compact(), nil
+}
+
+// binGroups splits the s-partition's vertices into at most r w-partitions:
+// whole groups (connected through the aggregation forest AND through any
+// remaining cross-group edges inside the s-partition) bin-packed by weight.
+// Cross-group edges within the s-partition would break w-partition
+// independence, so groups connected by them are first unioned.
+func binGroups(g *dag.Graph, lvl []int, vs []int, find func(int) int, r int) [][]int {
+	// Union groups that share an edge inside this s-partition.
+	in := make(map[int]bool, len(vs))
+	for _, v := range vs {
+		in[v] = true
+	}
+	rep := make(map[int]int)
+	var root func(int) int
+	root = func(x int) int {
+		r, ok := rep[x]
+		if !ok || r == x {
+			rep[x] = x
+			return x
+		}
+		rr := root(r)
+		rep[x] = rr
+		return rr
+	}
+	union := func(a, b int) {
+		ra, rb := root(a), root(b)
+		if ra != rb {
+			rep[ra] = rb
+		}
+	}
+	for _, v := range vs {
+		for _, s := range g.Succ(v) {
+			if in[s] {
+				union(find(v), find(s))
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for _, v := range vs {
+		r := root(find(v))
+		groups[r] = append(groups[r], v)
+	}
+	type item struct {
+		vs   []int
+		cost int
+	}
+	items := make([]item, 0, len(groups))
+	for _, members := range groups {
+		c := 0
+		for _, v := range members {
+			c += g.Weight(v)
+		}
+		items = append(items, item{members, c})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].cost != items[j].cost {
+			return items[i].cost > items[j].cost
+		}
+		return items[i].vs[0] < items[j].vs[0]
+	})
+	k := r
+	if len(items) < k {
+		k = len(items)
+	}
+	bins := make([][]int, k)
+	costs := make([]int, k)
+	for _, it := range items {
+		best := 0
+		for b := 1; b < k; b++ {
+			if costs[b] < costs[best] {
+				best = b
+			}
+		}
+		bins[best] = append(bins[best], it.vs...)
+		costs[best] += it.cost
+	}
+	for _, b := range bins {
+		sort.Slice(b, func(i, j int) bool {
+			if lvl[b[i]] != lvl[b[j]] {
+				return lvl[b[i]] < lvl[b[j]]
+			}
+			return b[i] < b[j]
+		})
+	}
+	return bins
+}

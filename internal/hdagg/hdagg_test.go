@@ -1,0 +1,124 @@
+package hdagg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sparsefusion/internal/dag"
+	"sparsefusion/internal/sparse"
+	"sparsefusion/internal/wavefront"
+)
+
+func triangularDAG(seed int64, n, deg int) *dag.Graph {
+	a := sparse.RandomSPD(n, deg, seed)
+	return dag.FromLowerCSR(a.Lower())
+}
+
+func TestScheduleValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := triangularDAG(seed, 150, 5)
+		p, err := Schedule(g, 4, Params{})
+		if err != nil {
+			return false
+		}
+		return p.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleCoversAndBounds(t *testing.T) {
+	for _, mk := range []func() *dag.Graph{
+		func() *dag.Graph { return triangularDAG(1, 400, 6) },
+		func() *dag.Graph { return dag.FromLowerCSR(sparse.Laplacian2D(25).Lower()) },
+		func() *dag.Graph { return dag.Parallel(200, nil) },
+	} {
+		g := mk()
+		for _, r := range []int{1, 2, 4, 8} {
+			p, err := Schedule(g, r, Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(g); err != nil {
+				t.Fatalf("r=%d: %v", r, err)
+			}
+			if p.NumVertices() != g.N {
+				t.Fatalf("r=%d: scheduled %d of %d", r, p.NumVertices(), g.N)
+			}
+			if p.MaxWidth() > r {
+				t.Fatalf("r=%d: width %d", r, p.MaxWidth())
+			}
+		}
+	}
+}
+
+func TestAggregationReducesBarriers(t *testing.T) {
+	// HDagg's aggregation must use far fewer barriers than plain wavefront
+	// scheduling on a DAG with real depth.
+	g := triangularDAG(7, 600, 5)
+	wf, err := wavefront.Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := Schedule(g, 4, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hd.NumSPartitions() >= wf.NumSPartitions() {
+		t.Fatalf("hdagg %d barriers vs wavefront %d", hd.NumSPartitions(), wf.NumSPartitions())
+	}
+}
+
+func TestChainsCollapse(t *testing.T) {
+	// Independent chains have single-parent attachments everywhere: the
+	// whole forest should aggregate into very few s-partitions.
+	var edges []dag.Edge
+	n := 0
+	for c := 0; c < 8; c++ {
+		for i := 0; i < 19; i++ {
+			edges = append(edges, dag.Edge{Src: n + i, Dst: n + i + 1})
+		}
+		n += 20
+	}
+	g, err := dag.FromEdges(n, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Schedule(g, 4, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSPartitions() > 3 {
+		t.Fatalf("chains spread over %d s-partitions", p.NumSPartitions())
+	}
+}
+
+func TestMaxLevelsFlush(t *testing.T) {
+	g := triangularDAG(9, 300, 4)
+	p, err := Schedule(g, 4, Params{MaxLevels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// MaxLevels=1 degenerates to wavefront-per-level.
+	wf, err := wavefront.Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSPartitions() != wf.NumSPartitions() {
+		t.Fatalf("MaxLevels=1: %d vs wavefront %d", p.NumSPartitions(), wf.NumSPartitions())
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	d := Params{}.withDefaults()
+	if d.Balance <= 1 || d.MaxLevels <= 0 {
+		t.Fatalf("defaults %+v", d)
+	}
+}

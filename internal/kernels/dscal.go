@@ -1,0 +1,117 @@
+package kernels
+
+import (
+	"math"
+
+	"sparsefusion/internal/dag"
+	"sparsefusion/internal/sparse"
+)
+
+// DScalCSR computes the symmetric diagonal scaling Out = D*A*D one row per
+// iteration, where D = diag(d). With d[i] = 1/sqrt(A[i][i]) this is the
+// equilibration step of the paper's DAD combinations (Table 1, rows 2 and 6).
+// Fully parallel: iteration i owns row i of Out.
+type DScalCSR struct {
+	A *sparse.CSR
+	D []float64
+	// Out receives the scaled values; it shares A's pattern. It may be A
+	// itself for in-place scaling (Prepare then restores on replay).
+	Out *sparse.CSR
+
+	a0 []float64
+	g  *dag.Graph
+}
+
+// NewDScalCSR builds the kernel. Out must share A's pattern (same P and I).
+func NewDScalCSR(a *sparse.CSR, d []float64, out *sparse.CSR) *DScalCSR {
+	w := make([]int, a.Rows)
+	for r := 0; r < a.Rows; r++ {
+		w[r] = a.P[r+1] - a.P[r]
+	}
+	return &DScalCSR{A: a, D: d, Out: out, a0: append([]float64(nil), a.X...), g: dag.Parallel(a.Rows, w)}
+}
+
+// JacobiScaling returns d with d[i] = 1/sqrt(A[i][i]).
+func JacobiScaling(a *sparse.CSR) []float64 {
+	d := a.Diag()
+	for i := range d {
+		if d[i] > 0 {
+			d[i] = 1 / math.Sqrt(d[i])
+		} else {
+			d[i] = 1
+		}
+	}
+	return d
+}
+
+func (k *DScalCSR) Name() string    { return "DSCAL-CSR" }
+func (k *DScalCSR) Iterations() int { return k.A.Rows }
+func (k *DScalCSR) DAG() *dag.Graph { return k.g }
+
+// Prepare restores A's original values (relevant when scaling in place).
+func (k *DScalCSR) Prepare() { copy(k.A.X, k.a0) }
+
+// Run scales row i: Out[i][j] = D[i]*A[i][j]*D[j].
+func (k *DScalCSR) Run(i int) {
+	a := k.A
+	di := k.D[i]
+	for p := a.P[i]; p < a.P[i+1]; p++ {
+		k.Out.X[p] = di * a.X[p] * k.D[a.I[p]]
+	}
+}
+
+func (k *DScalCSR) Footprint() []Var {
+	fp := []Var{matVar(k.A.X, k.A.Size()), VecVar(k.D)}
+	if &k.Out.X[0] != &k.A.X[0] {
+		fp = append(fp, matVar(k.Out.X, k.Out.Size()))
+	}
+	return fp
+}
+
+func (k *DScalCSR) Flops() int64 { return 2 * int64(k.A.NNZ()) }
+
+// DScalCSC is the column-variant of DScalCSR (Table 1 row 6 pairs it with
+// SpIC0 in CSC). Iteration j owns column j of Out.
+type DScalCSC struct {
+	A   *sparse.CSC
+	D   []float64
+	Out *sparse.CSC
+
+	a0 []float64
+	g  *dag.Graph
+}
+
+// NewDScalCSC builds the kernel. Out must share A's pattern.
+func NewDScalCSC(a *sparse.CSC, d []float64, out *sparse.CSC) *DScalCSC {
+	w := make([]int, a.Cols)
+	for c := 0; c < a.Cols; c++ {
+		w[c] = a.P[c+1] - a.P[c]
+	}
+	return &DScalCSC{A: a, D: d, Out: out, a0: append([]float64(nil), a.X...), g: dag.Parallel(a.Cols, w)}
+}
+
+func (k *DScalCSC) Name() string    { return "DSCAL-CSC" }
+func (k *DScalCSC) Iterations() int { return k.A.Cols }
+func (k *DScalCSC) DAG() *dag.Graph { return k.g }
+
+// Prepare restores A's original values.
+func (k *DScalCSC) Prepare() { copy(k.A.X, k.a0) }
+
+// Run scales column j: Out[i][j] = D[i]*A[i][j]*D[j].
+func (k *DScalCSC) Run(j int) {
+	a := k.A
+	dj := k.D[j]
+	for p := a.P[j]; p < a.P[j+1]; p++ {
+		k.Out.X[p] = k.D[a.I[p]] * a.X[p] * dj
+	}
+}
+
+func (k *DScalCSC) Footprint() []Var {
+	fp := []Var{matVar(k.A.X, k.A.Size()), VecVar(k.D)}
+	if &k.Out.X[0] != &k.A.X[0] {
+		fp = append(fp, matVar(k.Out.X, k.Out.Size()))
+	}
+	return fp
+}
+
+func (k *DScalCSC) Flops() int64 { return 2 * int64(k.A.NNZ()) }

@@ -1,0 +1,279 @@
+package kernels
+
+import (
+	"math"
+
+	"sparsefusion/internal/dag"
+	"sparsefusion/internal/sparse"
+)
+
+// SpIC0CSC computes the incomplete Cholesky factor with zero fill-in
+// (L*L' ~= A on the pattern of tril(A)), one column per iteration,
+// left-looking. Iteration j reads already-factored columns k < j with
+// L[j][k] != 0 and writes only column j, so a DAG-respecting schedule is
+// race-free without atomics.
+type SpIC0CSC struct {
+	// L holds tril(A) values on entry to Prepare and the factor after the
+	// last Run. Row indices ascend within a column, so the diagonal comes
+	// first.
+	L *sparse.CSC
+	// A0 keeps the original tril(A) values so the kernel can be replayed.
+	A0 []float64
+	// noRestore disables Prepare's value restore (DisableRestore).
+	noRestore bool
+
+	g *dag.Graph
+	// rowEntries[j] lists (column k < j, value index p) of every entry
+	// L[j][k]: the columns iteration j must read.
+	rowEntries [][]rowRef
+	flops      int64
+}
+
+type rowRef struct{ col, idx int }
+
+// NewSpIC0CSC builds the kernel from the lower-triangular CSC pattern l
+// (typically tril(A) of an SPD matrix). The values of l are copied as the
+// replayable input.
+func NewSpIC0CSC(l *sparse.CSC) *SpIC0CSC {
+	n := l.Cols
+	k := &SpIC0CSC{L: l, A0: append([]float64(nil), l.X...)}
+	k.rowEntries = make([][]rowRef, n)
+	var edges []dag.Edge
+	w := make([]int, n)
+	for j := 0; j < n; j++ {
+		w[j] = l.P[j+1] - l.P[j]
+		for p := l.P[j]; p < l.P[j+1]; p++ {
+			if i := l.I[p]; i > j {
+				k.rowEntries[i] = append(k.rowEntries[i], rowRef{j, p})
+				edges = append(edges, dag.Edge{Src: j, Dst: i})
+			}
+		}
+	}
+	// Weight grows with the update work: column length plus the lengths of
+	// the columns it reads.
+	for j := 0; j < n; j++ {
+		for _, ref := range k.rowEntries[j] {
+			w[j] += l.P[ref.col+1] - l.P[ref.col]
+		}
+	}
+	g, err := dag.FromEdges(n, edges, w)
+	if err != nil {
+		panic(err) // indices come from a validated matrix
+	}
+	k.g = g
+	k.flops = k.countFlops()
+	return k
+}
+
+func (k *SpIC0CSC) Name() string    { return "SpIC0-CSC" }
+func (k *SpIC0CSC) Iterations() int { return k.L.Cols }
+func (k *SpIC0CSC) DAG() *dag.Graph { return k.g }
+
+// Prepare restores the original tril(A) values into L, unless an upstream
+// kernel owns the replay (DisableRestore).
+func (k *SpIC0CSC) Prepare() {
+	if !k.noRestore {
+		copy(k.L.X, k.A0)
+	}
+}
+
+// DisableRestore makes Prepare a no-op: used when a fused upstream kernel
+// (e.g. DSCAL writing in place) fully rewrites this kernel's input on every
+// run, so restoring here would clobber the chain.
+func (k *SpIC0CSC) DisableRestore() { k.noRestore = true }
+
+// Run factors column j:
+//
+//	for every k < j with L[j][k] != 0:  L[i][j] -= L[i][k]*L[j][k]  (i >= j)
+//	L[j][j] = sqrt(L[j][j]); L[i][j] /= L[j][j] for i > j
+func (k *SpIC0CSC) Run(j int) {
+	l := k.L
+	jStart, jEnd := l.P[j], l.P[j+1]
+	for _, ref := range k.rowEntries[j] {
+		ljk := l.X[ref.idx]
+		if ljk == 0 {
+			continue
+		}
+		// Merge column k (rows >= j) into column j on the shared pattern.
+		kp := ref.idx // l.I[ref.idx] == j, start of the overlap
+		jp := jStart
+		kEnd := l.P[ref.col+1]
+		for kp < kEnd && jp < jEnd {
+			ri, rj := l.I[kp], l.I[jp]
+			switch {
+			case ri == rj:
+				l.X[jp] -= l.X[kp] * ljk
+				kp++
+				jp++
+			case ri < rj:
+				kp++
+			default:
+				jp++
+			}
+		}
+	}
+	d := math.Sqrt(l.X[jStart])
+	l.X[jStart] = d
+	for p := jStart + 1; p < jEnd; p++ {
+		l.X[p] /= d
+	}
+}
+
+func (k *SpIC0CSC) countFlops() int64 {
+	var f int64
+	for j := 0; j < k.L.Cols; j++ {
+		for _, ref := range k.rowEntries[j] {
+			f += 2 * int64(k.L.P[ref.col+1]-ref.idx)
+		}
+		f += int64(k.L.P[j+1]-k.L.P[j]) + 1 // sqrt + scale
+	}
+	return f
+}
+
+func (k *SpIC0CSC) Footprint() []Var {
+	return []Var{matVar(k.L.X, k.L.Size())}
+}
+
+func (k *SpIC0CSC) Flops() int64 { return k.flops }
+
+// SpILU0CSR computes the incomplete LU factorization with zero fill-in
+// (L*U ~= A on the pattern of A), one row per iteration, using the standard
+// IKJ formulation. Iteration i reads already-factored rows k < i with
+// A[i][k] != 0 and writes only row i.
+type SpILU0CSR struct {
+	// A holds the input values on entry to Prepare and the combined LU
+	// factor (unit-diagonal L strictly below, U on and above) after the
+	// last Run.
+	A  *sparse.CSR
+	A0 []float64
+	// noRestore disables Prepare's value restore (DisableRestore).
+	noRestore bool
+
+	g     *dag.Graph
+	diag  []int // index of the diagonal entry in each row
+	flops int64
+}
+
+// NewSpILU0CSR builds the kernel from a square matrix with a full diagonal.
+func NewSpILU0CSR(a *sparse.CSR) *SpILU0CSR {
+	n := a.Rows
+	k := &SpILU0CSR{A: a, A0: append([]float64(nil), a.X...), diag: make([]int, n)}
+	var edges []dag.Edge
+	w := make([]int, n)
+	for i := 0; i < n; i++ {
+		k.diag[i] = -1
+		w[i] = a.P[i+1] - a.P[i]
+		for p := a.P[i]; p < a.P[i+1]; p++ {
+			j := a.I[p]
+			if j == i {
+				k.diag[i] = p
+			}
+			if j < i {
+				edges = append(edges, dag.Edge{Src: j, Dst: i})
+				w[i] += a.P[j+1] - a.P[j]
+			}
+		}
+		if k.diag[i] < 0 {
+			panic("kernels: SpILU0 requires a full diagonal")
+		}
+	}
+	g, err := dag.FromEdges(n, edges, w)
+	if err != nil {
+		panic(err)
+	}
+	k.g = g
+	k.flops = k.countFlops()
+	return k
+}
+
+func (k *SpILU0CSR) Name() string    { return "SpILU0-CSR" }
+func (k *SpILU0CSR) Iterations() int { return k.A.Rows }
+func (k *SpILU0CSR) DAG() *dag.Graph { return k.g }
+
+// Prepare restores the original matrix values, unless an upstream kernel
+// owns the replay (DisableRestore).
+func (k *SpILU0CSR) Prepare() {
+	if !k.noRestore {
+		copy(k.A.X, k.A0)
+	}
+}
+
+// DisableRestore makes Prepare a no-op: used when a fused upstream kernel
+// fully rewrites this kernel's input on every run.
+func (k *SpILU0CSR) DisableRestore() { k.noRestore = true }
+
+// Run factors row i (IKJ): for each k < i in row i's pattern (ascending),
+// A[i][k] /= A[k][k], then A[i][j] -= A[i][k]*A[k][j] for every j > k
+// present in both row k and row i.
+func (k *SpILU0CSR) Run(i int) {
+	a := k.A
+	iEnd := a.P[i+1]
+	for p := a.P[i]; p < iEnd && a.I[p] < i; p++ {
+		kk := a.I[p]
+		pivot := a.X[k.diag[kk]]
+		lik := a.X[p] / pivot
+		a.X[p] = lik
+		if lik == 0 {
+			continue
+		}
+		// Merge row k entries right of the diagonal with row i entries
+		// right of column kk.
+		kp := k.diag[kk] + 1
+		ip := p + 1
+		kEnd := a.P[kk+1]
+		for kp < kEnd && ip < iEnd {
+			ck, ci := a.I[kp], a.I[ip]
+			switch {
+			case ck == ci:
+				a.X[ip] -= lik * a.X[kp]
+				kp++
+				ip++
+			case ck < ci:
+				kp++
+			default:
+				ip++
+			}
+		}
+	}
+}
+
+func (k *SpILU0CSR) countFlops() int64 {
+	var f int64
+	for i := 0; i < k.A.Rows; i++ {
+		for p := k.A.P[i]; p < k.A.P[i+1] && k.A.I[p] < i; p++ {
+			kk := k.A.I[p]
+			f += 1 + 2*int64(k.A.P[kk+1]-k.diag[kk]-1)
+		}
+	}
+	return f
+}
+
+func (k *SpILU0CSR) Footprint() []Var {
+	return []Var{matVar(k.A.X, k.A.Size())}
+}
+
+func (k *SpILU0CSR) Flops() int64 { return k.flops }
+
+// SplitILU extracts the unit-diagonal L and the U factors from a completed
+// SpILU0CSR, for use by downstream triangular solves.
+func (k *SpILU0CSR) SplitILU() (l, u *sparse.CSR) {
+	a := k.A
+	l = &sparse.CSR{Rows: a.Rows, Cols: a.Cols, P: make([]int, a.Rows+1)}
+	u = &sparse.CSR{Rows: a.Rows, Cols: a.Cols, P: make([]int, a.Rows+1)}
+	for i := 0; i < a.Rows; i++ {
+		for p := a.P[i]; p < a.P[i+1]; p++ {
+			if a.I[p] < i {
+				l.I = append(l.I, a.I[p])
+				l.X = append(l.X, a.X[p])
+			} else {
+				u.I = append(u.I, a.I[p])
+				u.X = append(u.X, a.X[p])
+			}
+		}
+		l.I = append(l.I, i)
+		l.X = append(l.X, 1)
+		l.P[i+1] = len(l.I)
+		u.P[i+1] = len(u.I)
+	}
+	return l, u
+}

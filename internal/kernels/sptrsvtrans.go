@@ -1,0 +1,85 @@
+package kernels
+
+import (
+	"sparsefusion/internal/dag"
+	"sparsefusion/internal/sparse"
+)
+
+// SpTRSVTransCSC solves L'*X = B for a lower-triangular CSC matrix L — the
+// backward substitution that applies the second half of an incomplete
+// Cholesky preconditioner (z = L' \ (L \ r)). Columns are processed from
+// last to first; to keep the Kernel contract that dependencies flow from
+// lower to higher iteration indices, iteration it processes column
+// j = n-1-it. Iteration it gathers from column j of L, reading X at the
+// sub-diagonal rows (all finalized by earlier iterations) and writing only
+// X[j], so DAG-respecting schedules need no atomics.
+type SpTRSVTransCSC struct {
+	L *sparse.CSC
+	B []float64
+	X []float64
+
+	g *dag.Graph
+}
+
+// NewSpTRSVTransCSC builds the kernel. L must be lower triangular with the
+// diagonal first in every column; B and X have length L.Cols and must not
+// alias.
+func NewSpTRSVTransCSC(l *sparse.CSC, b, x []float64) *SpTRSVTransCSC {
+	n := l.Cols
+	// Column j depends on every column i > j with L[i][j] != 0 (the solve
+	// reads X[i]); in iteration space: edge (n-1-i) -> (n-1-j).
+	var edges []dag.Edge
+	w := make([]int, n)
+	for j := 0; j < n; j++ {
+		w[n-1-j] = l.P[j+1] - l.P[j]
+		for p := l.P[j]; p < l.P[j+1]; p++ {
+			if i := l.I[p]; i > j {
+				edges = append(edges, dag.Edge{Src: n - 1 - i, Dst: n - 1 - j})
+			}
+		}
+	}
+	g, err := dag.FromEdges(n, edges, w)
+	if err != nil {
+		panic(err) // indices come from a validated matrix
+	}
+	return &SpTRSVTransCSC{L: l, B: b, X: x, g: g}
+}
+
+func (k *SpTRSVTransCSC) Name() string    { return "SpTRSV-trans-CSC" }
+func (k *SpTRSVTransCSC) Iterations() int { return k.L.Cols }
+func (k *SpTRSVTransCSC) DAG() *dag.Graph { return k.g }
+func (k *SpTRSVTransCSC) Prepare()        {}
+
+// Run processes iteration it (column j = n-1-it):
+// X[j] = (B[j] - sum_{i>j} L[i][j]*X[i]) / L[j][j].
+func (k *SpTRSVTransCSC) Run(it int) {
+	l := k.L
+	j := l.Cols - 1 - it
+	p := l.P[j]
+	diag := l.X[p]
+	xj := k.B[j]
+	for p++; p < l.P[j+1]; p++ {
+		xj -= l.X[p] * k.X[l.I[p]]
+	}
+	k.X[j] = xj / diag
+}
+
+func (k *SpTRSVTransCSC) Footprint() []Var {
+	return []Var{matVar(k.L.X, k.L.Size()), VecVar(k.B), VecVar(k.X)}
+}
+
+func (k *SpTRSVTransCSC) Flops() int64 { return 2 * int64(k.L.NNZ()) }
+
+// Trace replays the memory accesses of iteration it for the cache simulator.
+func (k *SpTRSVTransCSC) Trace(it int, emit func(uintptr)) {
+	l := k.L
+	j := l.Cols - 1 - it
+	bx, bi := base(l.X), baseInt(l.I)
+	vx := base(k.X)
+	emit(base(k.B) + uintptr(j)*wordSize)
+	for p := l.P[j]; p < l.P[j+1]; p++ {
+		emit(bi + uintptr(p)*wordSize)
+		emit(bx + uintptr(p)*wordSize)
+		emit(vx + uintptr(l.I[p])*wordSize)
+	}
+}

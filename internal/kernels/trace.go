@@ -1,0 +1,173 @@
+package kernels
+
+import "reflect"
+
+// Tracer is implemented by kernels that can replay the memory-access stream
+// of one iteration without executing it, for the cache simulator behind the
+// paper's figure 6 (average memory access latency). Addresses are the real
+// virtual addresses of the backing arrays, so layout effects (stride within
+// a row, reuse across kernels sharing an array) are captured faithfully.
+type Tracer interface {
+	Trace(i int, emit func(addr uintptr))
+}
+
+func base(x []float64) uintptr {
+	if len(x) == 0 {
+		return 0
+	}
+	return reflect.ValueOf(x).Pointer()
+}
+
+func baseInt(x []int) uintptr {
+	if len(x) == 0 {
+		return 0
+	}
+	return reflect.ValueOf(x).Pointer()
+}
+
+const wordSize = 8
+
+// Trace replays SpMV-CSR row i: row values+indices, gathered X, stored Y.
+func (k *SpMVCSR) Trace(i int, emit func(uintptr)) {
+	a := k.A
+	bx, bi := base(a.X), baseInt(a.I)
+	vx := base(k.X)
+	for p := a.P[i]; p < a.P[i+1]; p++ {
+		emit(bi + uintptr(p)*wordSize)
+		emit(bx + uintptr(p)*wordSize)
+		emit(vx + uintptr(a.I[p])*wordSize)
+	}
+	emit(base(k.Y) + uintptr(i)*wordSize)
+}
+
+// Trace replays SpMV-CSC column j: column values+indices, X[j], scattered Y.
+func (k *SpMVCSC) Trace(j int, emit func(uintptr)) {
+	a := k.A
+	bx, bi := base(a.X), baseInt(a.I)
+	by := base(k.Y)
+	emit(base(k.X) + uintptr(j)*wordSize)
+	for p := a.P[j]; p < a.P[j+1]; p++ {
+		emit(bi + uintptr(p)*wordSize)
+		emit(bx + uintptr(p)*wordSize)
+		emit(by + uintptr(a.I[p])*wordSize)
+	}
+}
+
+// Trace replays SpMV+b row i.
+func (k *SpMVPlusCSR) Trace(i int, emit func(uintptr)) {
+	a := k.A
+	bx, bi := base(a.X), baseInt(a.I)
+	vx := base(k.X)
+	emit(base(k.B) + uintptr(i)*wordSize)
+	for p := a.P[i]; p < a.P[i+1]; p++ {
+		emit(bi + uintptr(p)*wordSize)
+		emit(bx + uintptr(p)*wordSize)
+		emit(vx + uintptr(a.I[p])*wordSize)
+	}
+	emit(base(k.Y) + uintptr(i)*wordSize)
+}
+
+// Trace replays SpTRSV-CSR row i.
+func (k *SpTRSVCSR) Trace(i int, emit func(uintptr)) {
+	l := k.L
+	bx, bi := base(l.X), baseInt(l.I)
+	vx := base(k.X)
+	emit(base(k.B) + uintptr(i)*wordSize)
+	for p := l.P[i]; p < l.P[i+1]-1; p++ {
+		emit(bi + uintptr(p)*wordSize)
+		emit(bx + uintptr(p)*wordSize)
+		emit(vx + uintptr(l.I[p])*wordSize)
+	}
+	emit(bx + uintptr(l.P[i+1]-1)*wordSize)
+	emit(vx + uintptr(i)*wordSize)
+}
+
+// Trace replays SpTRSV-CSC column j.
+func (k *SpTRSVCSC) Trace(j int, emit func(uintptr)) {
+	l := k.L
+	bx, bi := base(l.X), baseInt(l.I)
+	vx := base(k.X)
+	emit(base(k.B) + uintptr(j)*wordSize)
+	for p := l.P[j]; p < l.P[j+1]; p++ {
+		emit(bi + uintptr(p)*wordSize)
+		emit(bx + uintptr(p)*wordSize)
+		emit(vx + uintptr(l.I[p])*wordSize)
+	}
+}
+
+// Trace replays SpIC0-CSC column j: the columns it merges plus itself.
+func (k *SpIC0CSC) Trace(j int, emit func(uintptr)) {
+	l := k.L
+	bx, bi := base(l.X), baseInt(l.I)
+	for _, ref := range k.rowEntries[j] {
+		for p := ref.idx; p < l.P[ref.col+1]; p++ {
+			emit(bi + uintptr(p)*wordSize)
+			emit(bx + uintptr(p)*wordSize)
+		}
+	}
+	for p := l.P[j]; p < l.P[j+1]; p++ {
+		emit(bi + uintptr(p)*wordSize)
+		emit(bx + uintptr(p)*wordSize)
+	}
+}
+
+// Trace replays SpILU0-CSR row i: the pivot rows it merges plus itself.
+func (k *SpILU0CSR) Trace(i int, emit func(uintptr)) {
+	a := k.A
+	bx, bi := base(a.X), baseInt(a.I)
+	for p := a.P[i]; p < a.P[i+1] && a.I[p] < i; p++ {
+		kk := a.I[p]
+		for q := k.diag[kk]; q < a.P[kk+1]; q++ {
+			emit(bi + uintptr(q)*wordSize)
+			emit(bx + uintptr(q)*wordSize)
+		}
+	}
+	for p := a.P[i]; p < a.P[i+1]; p++ {
+		emit(bi + uintptr(p)*wordSize)
+		emit(bx + uintptr(p)*wordSize)
+	}
+}
+
+// Trace replays DSCAL-CSR row i.
+func (k *DScalCSR) Trace(i int, emit func(uintptr)) {
+	a := k.A
+	bx, bi := base(a.X), baseInt(a.I)
+	bd := base(k.D)
+	bo := base(k.Out.X)
+	emit(bd + uintptr(i)*wordSize)
+	for p := a.P[i]; p < a.P[i+1]; p++ {
+		emit(bi + uintptr(p)*wordSize)
+		emit(bx + uintptr(p)*wordSize)
+		emit(bd + uintptr(a.I[p])*wordSize)
+		emit(bo + uintptr(p)*wordSize)
+	}
+}
+
+// Trace replays DSCAL-CSC column j.
+func (k *DScalCSC) Trace(j int, emit func(uintptr)) {
+	a := k.A
+	bx, bi := base(a.X), baseInt(a.I)
+	bd := base(k.D)
+	bo := base(k.Out.X)
+	emit(bd + uintptr(j)*wordSize)
+	for p := a.P[j]; p < a.P[j+1]; p++ {
+		emit(bi + uintptr(p)*wordSize)
+		emit(bx + uintptr(p)*wordSize)
+		emit(bd + uintptr(a.I[p])*wordSize)
+		emit(bo + uintptr(p)*wordSize)
+	}
+}
+
+// Trace replays the unit-lower TRSV row i.
+func (k *SpTRSVUnitLowerCSR) Trace(i int, emit func(uintptr)) {
+	lu := k.LU
+	bx, bi := base(lu.X), baseInt(lu.I)
+	vx := base(k.X)
+	emit(base(k.B) + uintptr(i)*wordSize)
+	for p := lu.P[i]; p < lu.P[i+1] && lu.I[p] < i; p++ {
+		emit(bi + uintptr(p)*wordSize)
+		emit(bx + uintptr(p)*wordSize)
+		emit(vx + uintptr(lu.I[p])*wordSize)
+	}
+	emit(vx + uintptr(i)*wordSize)
+}

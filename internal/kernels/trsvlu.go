@@ -1,0 +1,72 @@
+package kernels
+
+import (
+	"sparsefusion/internal/dag"
+	"sparsefusion/internal/sparse"
+)
+
+// SpTRSVUnitLowerCSR solves L*X = B where L is the unit-diagonal lower
+// factor stored inside a combined LU matrix (the in-place output of
+// SpILU0CSR): row i's strictly-lower entries are L[i][:] and the diagonal is
+// implicitly 1. This is the solve kernel of the SpILU0-SpTRSV combination
+// (Table 1 row 5), reading the factor directly from the fused ILU0 output.
+type SpTRSVUnitLowerCSR struct {
+	LU *sparse.CSR
+	B  []float64
+	X  []float64
+
+	g *dag.Graph
+}
+
+// NewSpTRSVUnitLowerCSR builds the kernel over the combined factor pattern.
+func NewSpTRSVUnitLowerCSR(lu *sparse.CSR, b, x []float64) *SpTRSVUnitLowerCSR {
+	n := lu.Rows
+	var edges []dag.Edge
+	w := make([]int, n)
+	for i := 0; i < n; i++ {
+		w[i] = 1
+		for p := lu.P[i]; p < lu.P[i+1] && lu.I[p] < i; p++ {
+			edges = append(edges, dag.Edge{Src: lu.I[p], Dst: i})
+			w[i]++
+		}
+	}
+	g, err := dag.FromEdges(n, edges, w)
+	if err != nil {
+		panic(err) // indices come from a validated matrix
+	}
+	return &SpTRSVUnitLowerCSR{LU: lu, B: b, X: x, g: g}
+}
+
+func (k *SpTRSVUnitLowerCSR) Name() string    { return "SpTRSV-unitL-CSR" }
+func (k *SpTRSVUnitLowerCSR) Iterations() int { return k.LU.Rows }
+func (k *SpTRSVUnitLowerCSR) DAG() *dag.Graph { return k.g }
+func (k *SpTRSVUnitLowerCSR) Prepare()        {}
+
+// Run solves row i with the implicit unit diagonal:
+// X[i] = B[i] - sum_{j<i} LU[i][j]*X[j].
+func (k *SpTRSVUnitLowerCSR) Run(i int) {
+	lu := k.LU
+	xi := k.B[i]
+	for p := lu.P[i]; p < lu.P[i+1]; p++ {
+		j := lu.I[p]
+		if j >= i {
+			break
+		}
+		xi -= lu.X[p] * k.X[j]
+	}
+	k.X[i] = xi
+}
+
+func (k *SpTRSVUnitLowerCSR) Footprint() []Var {
+	return []Var{matVar(k.LU.X, k.LU.Size()), VecVar(k.B), VecVar(k.X)}
+}
+
+func (k *SpTRSVUnitLowerCSR) Flops() int64 {
+	var f int64
+	for i := 0; i < k.LU.Rows; i++ {
+		for p := k.LU.P[i]; p < k.LU.P[i+1] && k.LU.I[p] < i; p++ {
+			f += 2
+		}
+	}
+	return f
+}

@@ -1,0 +1,419 @@
+// Package lbc implements Load-Balanced Level Coarsening (Cheshmi et al.,
+// "ParSy", SC'18), the DAG partitioner sparse fusion builds on and the
+// "fused LBC" baseline of the paper. LBC aggregates consecutive wavefronts of
+// a DAG into s-partitions; inside each s-partition it finds weakly-connected
+// components of the induced subgraph (which are mutually independent by
+// construction) and packs them into at most r weight-balanced w-partitions.
+//
+// Two tuning parameters follow the paper (section 4.1): InitialCut, the
+// number of wavefronts in the first s-partition, and Agg, the coarsening
+// factor, i.e. the number of wavefronts aggregated into each subsequent
+// s-partition.
+package lbc
+
+import (
+	"sort"
+
+	"sparsefusion/internal/dag"
+	"sparsefusion/internal/partition"
+)
+
+// Params configures LBC. The zero value selects the paper's tuning.
+type Params struct {
+	InitialCut int // wavefronts in the first s-partition (paper: 4)
+	Agg        int // wavefronts per subsequent s-partition (paper: 400)
+}
+
+// DefaultParams returns the tuning used throughout the paper's evaluation.
+func DefaultParams() Params { return Params{InitialCut: 4, Agg: 400} }
+
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.InitialCut <= 0 {
+		p.InitialCut = d.InitialCut
+	}
+	if p.Agg <= 0 {
+		p.Agg = d.Agg
+	}
+	return p
+}
+
+// Schedule partitions g for r threads. The result always validates against g.
+//
+// Windows over the wavefront axis are chosen adaptively, as in ParSy's LBC:
+// a window grows level by level (up to Agg levels; InitialCut for the first
+// window) and is cut at the largest extent that still leaves at least r
+// weakly-connected components in the induced subgraph — the independent
+// workloads the threads need. When no extent reaches r components the full
+// window is taken, trading unavailable parallelism for fewer barriers.
+func Schedule(g *dag.Graph, r int, params Params) (*partition.Partitioning, error) {
+	params = params.withDefaults()
+	if r < 1 {
+		r = 1
+	}
+	lvl, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	maxL := 0
+	for _, l := range lvl {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	sets := make([][]int, maxL+1)
+	for v := 0; v < g.N; v++ {
+		sets[lvl[v]] = append(sets[lvl[v]], v)
+	}
+	maxVertexW := 1
+	for v := 0; v < g.N; v++ {
+		if w := g.Weight(v); w > maxVertexW {
+			maxVertexW = w
+		}
+	}
+	tg := g.Transpose()
+	uf := newUnionFind(g.N)
+	p := &partition.Partitioning{}
+	lo := 0
+	for lo <= maxL {
+		span := params.Agg
+		if lo == 0 {
+			span = params.InitialCut
+		}
+		end := lo + span
+		if end > maxL+1 {
+			end = maxL + 1
+		}
+		// Tentative pass: extend the window level by level. An extent is
+		// acceptable when its heaviest weakly-connected component stays
+		// below the per-thread share of the window weight (LBC's balance
+		// criterion) — a single oversized vertex is never held against it.
+		uf.reset()
+		bestHi := -1
+		totalW := 0
+		count := 0
+		lastH := lo
+		for h := lo; h < end; h++ {
+			totalW += uf.addLevel(g, tg, sets[h])
+			count += len(sets[h])
+			lastH = h
+			limit := (totalW*11 + 10*r - 1) / (10 * r) // ceil(1.1 * totalW / r)
+			if limit < maxVertexW {
+				limit = maxVertexW
+			}
+			if uf.maxComp <= limit {
+				bestHi = h
+			}
+			// Patience cut: once the balance criterion has failed for
+			// several consecutive levels it will not recover on blob-shaped
+			// DAGs, and scanning the full Agg lookahead per window would turn
+			// the pass quadratic. Chain-like windows — levels of at most r
+			// vertices, where no cut can create parallelism anyway — are
+			// exempt: they want the longest window to minimize barriers.
+			chainLike := count <= (h-lo+1)*r
+			last := bestHi
+			if last < 0 {
+				last = lo
+			}
+			if !chainLike && h-last >= 8 {
+				break
+			}
+		}
+		if bestHi < 0 {
+			// No extent is balanced. A chain-like window gains nothing from
+			// cutting — take the full scanned extent to save barriers;
+			// otherwise fall back to a single wavefront, whose vertices are
+			// mutually independent.
+			if count <= (lastH-lo+1)*r {
+				bestHi = lastH
+			} else {
+				bestHi = lo
+			}
+		}
+		// Final pass on the chosen extent only (the tentative pass may have
+		// merged components through discarded levels).
+		uf.reset()
+		var vs []int
+		for h := lo; h <= bestHi; h++ {
+			uf.addLevel(g, tg, sets[h])
+			vs = append(vs, sets[h]...)
+		}
+		comps2 := uf.groups(vs)
+		p.S = append(p.S, packLPT(g, lvl, comps2, r))
+		lo = bestHi + 1
+	}
+	return p.Compact(), nil
+}
+
+// unionFind is a weighted union-find over vertex ids with O(1) amortized
+// reset: only vertices touched since the last reset are reinitialized. It
+// tracks the heaviest component, the quantity LBC's balance criterion needs.
+type unionFind struct {
+	parent  []int
+	compW   []int
+	in      []bool
+	touched []int
+	maxComp int
+}
+
+func newUnionFind(n int) *unionFind {
+	return &unionFind{parent: make([]int, n), compW: make([]int, n), in: make([]bool, n)}
+}
+
+func (u *unionFind) reset() {
+	for _, v := range u.touched {
+		u.in[v] = false
+	}
+	u.touched = u.touched[:0]
+	u.maxComp = 0
+}
+
+func (u *unionFind) add(v, w int) {
+	u.parent[v] = v
+	u.compW[v] = w
+	u.in[v] = true
+	u.touched = append(u.touched, v)
+	if w > u.maxComp {
+		u.maxComp = w
+	}
+}
+
+func (u *unionFind) find(v int) int {
+	for u.parent[v] != v {
+		u.parent[v] = u.parent[u.parent[v]]
+		v = u.parent[v]
+	}
+	return v
+}
+
+// addLevel inserts a wavefront's vertices, unioning them with in-window
+// neighbors, and returns the total vertex weight added.
+func (u *unionFind) addLevel(g, tg *dag.Graph, level []int) int {
+	added := 0
+	for _, v := range level {
+		w := g.Weight(v)
+		u.add(v, w)
+		added += w
+	}
+	for _, v := range level {
+		for _, s := range g.Succ(v) {
+			if u.in[s] {
+				u.union(v, s)
+			}
+		}
+		for _, s := range tg.Succ(v) {
+			if u.in[s] {
+				u.union(v, s)
+			}
+		}
+	}
+	return added
+}
+
+// union merges the sets of a and b, reporting whether they were distinct.
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	u.parent[ra] = rb
+	u.compW[rb] += u.compW[ra]
+	if u.compW[rb] > u.maxComp {
+		u.maxComp = u.compW[rb]
+	}
+	return true
+}
+
+// groups materializes the components of the inserted vertices.
+func (u *unionFind) groups(vs []int) [][]int {
+	byRoot := make(map[int][]int)
+	for _, v := range vs {
+		r := u.find(v)
+		byRoot[r] = append(byRoot[r], v)
+	}
+	out := make([][]int, 0, len(byRoot))
+	// Deterministic order: by smallest member (vs is level-ordered, so the
+	// first member encountered is stable).
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return byRoot[roots[i]][0] < byRoot[roots[j]][0] })
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// packLPT packs components into at most r bins, then orders each bin's
+// vertices by (level, id) so intra-component dependencies are satisfied by
+// sequential execution. Two regimes:
+//
+//   - many small components (4r or more, the parallel-loop shape): greedy
+//     chunking in index order, preserving the contiguous row ranges spatial
+//     locality depends on;
+//   - few, heterogeneous components: longest-processing-time bin packing,
+//     which balances better when component weights vary.
+func packLPT(g *dag.Graph, lvl []int, comps [][]int, r int) [][]int {
+	type wc struct {
+		vs   []int
+		cost int
+	}
+	items := make([]wc, len(comps))
+	total := 0
+	for i, c := range comps {
+		cost := 0
+		for _, v := range c {
+			cost += g.Weight(v)
+		}
+		items[i] = wc{c, cost}
+		total += cost
+	}
+	k := r
+	if len(items) < k {
+		k = len(items)
+	}
+	var bins [][]int
+	if len(items) >= 4*r {
+		// Ordered greedy chunking: components come in ascending-min-vertex
+		// order from the union-find grouping, so consecutive components
+		// cover adjacent index ranges.
+		bins = make([][]int, 0, k)
+		target := (total + k - 1) / k
+		var cur []int
+		acc, remaining := 0, total
+		for i, it := range items {
+			cur = append(cur, it.vs...)
+			acc += it.cost
+			slotsLeft := k - len(bins) - 1
+			if acc >= target && slotsLeft > 0 && len(items)-i-1 >= slotsLeft {
+				bins = append(bins, cur)
+				remaining -= acc
+				cur, acc = nil, 0
+				target = (remaining + slotsLeft - 1) / slotsLeft
+				if target < 1 {
+					target = 1
+				}
+			}
+		}
+		if len(cur) > 0 {
+			bins = append(bins, cur)
+		}
+	} else {
+		sort.Slice(items, func(i, j int) bool { return items[i].cost > items[j].cost })
+		bins = make([][]int, k)
+		binCost := make([]int, k)
+		for _, it := range items {
+			best := 0
+			for b := 1; b < k; b++ {
+				if binCost[b] < binCost[best] {
+					best = b
+				}
+			}
+			bins[best] = append(bins[best], it.vs...)
+			binCost[best] += it.cost
+		}
+	}
+	for _, b := range bins {
+		sort.Slice(b, func(i, j int) bool {
+			if lvl[b[i]] != lvl[b[j]] {
+				return lvl[b[i]] < lvl[b[j]]
+			}
+			return b[i] < b[j]
+		})
+	}
+	return bins
+}
+
+// Chordalize returns a supergraph of g whose pattern is chordal, computed as
+// the symbolic-factorization fill-in of g's pattern in topological order.
+// This mirrors ParSy's requirement that LBC runs on chordal DAGs (L-factors);
+// the paper reports that converting the joint DAG to a chordal DAG consumes
+// about 64% of the fused-LBC inspection time, which this reproduces. maxFill
+// bounds the number of fill edges (<=0 means 16x the input edges) to mirror
+// the memory blow-ups the paper reports for joint-DAG tools; when the bound
+// is hit, the input graph is returned with ok=false.
+func Chordalize(g *dag.Graph, maxFill int) (res *dag.Graph, ok bool) {
+	if maxFill <= 0 {
+		maxFill = 16 * (g.NumEdges() + 1)
+		// Absolute ceiling: past ~20M fill edges the working set enters the
+		// gigabytes, the regime where the paper's joint-DAG tools die of
+		// memory exhaustion. Callers fall back to the unfilled graph.
+		if maxFill > 20_000_000 {
+			maxFill = 20_000_000
+		}
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return g, false
+	}
+	pos := make([]int, g.N)
+	for i, v := range order {
+		pos[v] = i
+	}
+	// Work in elimination order: vertex i's "higher" neighbors are its
+	// successors. Classic fill rule: when eliminating i, its higher
+	// neighbors become a clique; we use the elimination-tree shortcut
+	// (connect i's lowest higher neighbor to the rest), which produces the
+	// same chordal filled graph as symbolic factorization.
+	adj := make([][]int, g.N) // higher neighbors by elimination position
+	for v := 0; v < g.N; v++ {
+		for _, s := range g.Succ(v) {
+			adj[pos[v]] = append(adj[pos[v]], pos[s])
+		}
+	}
+	fill := 0
+	for i := 0; i < g.N; i++ {
+		hi := adj[i]
+		if len(hi) < 2 {
+			continue
+		}
+		sort.Ints(hi)
+		hi = dedupSorted(hi)
+		adj[i] = hi
+		parent := hi[0]
+		for _, nb := range hi[1:] {
+			adj[parent] = append(adj[parent], nb)
+			fill++
+			if fill > maxFill {
+				return g, false
+			}
+		}
+	}
+	var edges []dag.Edge
+	for i, hi := range adj {
+		sort.Ints(hi)
+		hi = dedupSorted(hi)
+		for _, j := range hi {
+			edges = append(edges, dag.Edge{Src: order[i], Dst: order[j]})
+		}
+	}
+	w := make([]int, g.N)
+	for v := range w {
+		w[v] = g.Weight(v)
+	}
+	filled, err := dag.FromEdges(g.N, edges, w)
+	if err != nil {
+		return g, false
+	}
+	return filled, true
+}
+
+func dedupSorted(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ScheduleChordal is the fused-LBC pipeline of the paper: make the DAG
+// chordal first (as ParSy's LBC expects L-factor DAGs), then run LBC on the
+// filled graph, and report the schedule against the original graph. Because
+// the filled graph only adds edges, any valid schedule of it is valid for g.
+func ScheduleChordal(g *dag.Graph, r int, params Params) (*partition.Partitioning, error) {
+	filled, _ := Chordalize(g, 0)
+	return Schedule(filled, r, params)
+}

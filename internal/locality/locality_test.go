@@ -1,0 +1,135 @@
+package locality
+
+import (
+	"testing"
+
+	"sparsefusion/internal/combos"
+	"sparsefusion/internal/core"
+	"sparsefusion/internal/kernels"
+	"sparsefusion/internal/lbc"
+	"sparsefusion/internal/sparse"
+)
+
+func TestAnalyzerExactDistances(t *testing.T) {
+	a := NewAnalyzer(64)
+	// Lines A B C A: A's reuse sees 2 distinct lines (B, C) in between.
+	addrs := []uintptr{0, 64, 128, 0}
+	for _, ad := range addrs {
+		a.Access(ad)
+	}
+	p := a.Profile()
+	if p.Cold != 3 {
+		t.Fatalf("cold = %d, want 3", p.Cold)
+	}
+	if p.Accesses != 4 {
+		t.Fatalf("accesses = %d", p.Accesses)
+	}
+	// Distance 2 lands in bucket [2,4) = bucket 1.
+	if p.Buckets[1] != 1 {
+		t.Fatalf("histogram %v, want distance-2 in bucket 1", p.Buckets)
+	}
+}
+
+func TestAnalyzerSameLineDistanceZero(t *testing.T) {
+	a := NewAnalyzer(64)
+	a.Access(0)
+	a.Access(8) // same 64-byte line
+	p := a.Profile()
+	if p.Buckets[0] != 1 || p.Cold != 1 {
+		t.Fatalf("profile %+v", p)
+	}
+}
+
+func TestAnalyzerStackSemantics(t *testing.T) {
+	// Sequence A B B A: B's reuse distance 0; A's reuse distance must be 1
+	// (only B distinct in between, counted once despite two accesses).
+	a := NewAnalyzer(64)
+	for _, ad := range []uintptr{0, 64, 64, 0} {
+		a.Access(ad)
+	}
+	p := a.Profile()
+	if p.Buckets[0] != 2 {
+		t.Fatalf("want two short-distance reuses, got %v", p.Buckets)
+	}
+}
+
+func TestHitRatioMonotoneInCapacity(t *testing.T) {
+	a := NewAnalyzer(64)
+	for pass := 0; pass < 3; pass++ {
+		for addr := uintptr(0); addr < 1<<14; addr += 64 {
+			a.Access(addr)
+		}
+	}
+	p := a.Profile()
+	prev := -1.0
+	for _, c := range []int{1, 8, 64, 512, 4096} {
+		h := p.HitRatio(c)
+		if h < prev {
+			t.Fatalf("hit ratio not monotone at capacity %d: %v < %v", c, h, prev)
+		}
+		prev = h
+	}
+	// A cache holding the full working set (256 lines) hits on every reuse.
+	if h := p.HitRatio(512); h < 0.6 {
+		t.Fatalf("full-capacity hit ratio %v too low", h)
+	}
+}
+
+func TestMeanDistanceOrdering(t *testing.T) {
+	// A tight loop over few lines must show a smaller mean distance than a
+	// scan over many lines.
+	tight, scan := NewAnalyzer(64), NewAnalyzer(64)
+	for pass := 0; pass < 8; pass++ {
+		for addr := uintptr(0); addr < 512; addr += 64 {
+			tight.Access(addr)
+		}
+		for addr := uintptr(0); addr < 1<<15; addr += 64 {
+			scan.Access(addr)
+		}
+	}
+	if tight.Profile().MeanDistance() >= scan.Profile().MeanDistance() {
+		t.Fatal("tight loop should have smaller mean reuse distance")
+	}
+}
+
+func TestInterleavedPackingImprovesReuseDistance(t *testing.T) {
+	// The locality claim behind figure 6, in machine-independent form: for
+	// TRSV-TRSV (reuse ratio >= 1, shared factor L), interleaved packing
+	// yields a smaller mean reuse distance than separated packing.
+	a := sparse.Laplacian2D(48)
+	in, err := combos.Build(combos.TrsvTrsv, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(reuse float64) Profile {
+		sched, err := core.ICO(in.Loops, core.Params{
+			Threads: 4, ReuseRatio: reuse, LBC: lbc.Params{InitialCut: 4, Agg: 400},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := MeasureFused(in.Kernels, sched, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	inter := mk(1.5)
+	sep := mk(0.5)
+	if inter.MeanDistance() >= sep.MeanDistance() {
+		t.Fatalf("interleaved mean distance %.0f not below separated %.0f",
+			inter.MeanDistance(), sep.MeanDistance())
+	}
+}
+
+// stubKernel satisfies kernels.Kernel without implementing Tracer.
+type stubKernel struct{ kernels.Kernel }
+
+func (stubKernel) Name() string { return "stub" }
+
+func TestMeasureFusedRejectsUntraceable(t *testing.T) {
+	sched := &core.Schedule{S: [][][]core.Iter{{{{Loop: 0, Idx: 0}}}}}
+	if _, err := MeasureFused([]kernels.Kernel{stubKernel{}}, sched, 64); err == nil {
+		t.Fatal("untraceable kernel accepted")
+	}
+}

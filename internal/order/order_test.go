@@ -1,0 +1,136 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparsefusion/internal/sparse"
+)
+
+func TestRCMIsPermutation(t *testing.T) {
+	for _, a := range []*sparse.CSR{
+		sparse.Laplacian2D(10),
+		sparse.RandomSPD(137, 5, 1),
+		sparse.PowerLawSPD(200, 3, 2),
+	} {
+		p, err := RCM(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sparse.ValidPerm(p) {
+			t.Fatal("RCM output is not a permutation")
+		}
+	}
+}
+
+func TestRCMReducesBandwidthOnShuffledLaplacian(t *testing.T) {
+	a := sparse.Laplacian2D(20)
+	rng := rand.New(rand.NewSource(5))
+	shuffled, err := sparse.PermuteSym(a, rng.Perm(a.Rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Bandwidth(shuffled)
+	p, err := RCM(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := sparse.PermuteSym(shuffled, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw := Bandwidth(after); bw >= before/2 {
+		t.Fatalf("RCM bandwidth %d, want < %d", bw, before/2)
+	}
+}
+
+func TestRCMHandlesDisconnected(t *testing.T) {
+	// Two disconnected 2x2 blocks plus an isolated vertex.
+	a, _ := sparse.FromTriplets(5, 5, []sparse.Triplet{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1},
+		{Row: 2, Col: 3, Val: 1}, {Row: 3, Col: 2, Val: 1},
+		{Row: 4, Col: 4, Val: 1},
+	})
+	p, err := RCM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.ValidPerm(p) {
+		t.Fatal("not a permutation on disconnected graph")
+	}
+}
+
+func TestRCMRejectsRectangular(t *testing.T) {
+	a, _ := sparse.FromTriplets(2, 3, nil)
+	if _, err := RCM(a); err == nil {
+		t.Fatal("expected error for rectangular matrix")
+	}
+}
+
+func TestNestedDissectionIsPermutation(t *testing.T) {
+	for _, a := range []*sparse.CSR{
+		sparse.Laplacian2D(17),
+		sparse.RandomSPD(211, 4, 3),
+		sparse.PowerLawSPD(300, 2, 4),
+	} {
+		p, err := NestedDissection(a, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sparse.ValidPerm(p) {
+			t.Fatal("nested dissection output is not a permutation")
+		}
+	}
+}
+
+func TestNestedDissectionSeparatorLast(t *testing.T) {
+	// On a path graph the separator is an interior vertex; it must be
+	// numbered after both halves.
+	n := 64
+	var ts []sparse.Triplet
+	for i := 0; i < n; i++ {
+		ts = append(ts, sparse.Triplet{Row: i, Col: i, Val: 2})
+		if i+1 < n {
+			ts = append(ts, sparse.Triplet{Row: i, Col: i + 1, Val: -1}, sparse.Triplet{Row: i + 1, Col: i, Val: -1})
+		}
+	}
+	a, _ := sparse.FromTriplets(n, n, ts)
+	p, err := NestedDissection(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.ValidPerm(p) {
+		t.Fatal("not a permutation")
+	}
+	// The last-numbered vertex must be an interior separator vertex, not an
+	// endpoint of the path.
+	last := p[len(p)-1]
+	if last == 0 || last == n-1 {
+		t.Fatalf("last vertex %d is a path endpoint, separator ordering broken", last)
+	}
+}
+
+func TestNestedDissectionSmallAndEdgeCases(t *testing.T) {
+	a := sparse.Laplacian2D(3)
+	p, err := NestedDissection(a, 64) // whole matrix fits in a leaf
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.ValidPerm(p) {
+		t.Fatal("leaf-only dissection broken")
+	}
+	if _, err := NestedDissection(&sparse.CSR{Rows: 2, Cols: 3, P: []int{0, 0, 0}}, 8); err == nil {
+		t.Fatal("expected error for rectangular matrix")
+	}
+	// leafSize < 1 must not loop forever.
+	if p, err = NestedDissection(a, 0); err != nil || !sparse.ValidPerm(p) {
+		t.Fatal("default leaf size broken")
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	a, _ := sparse.FromTriplets(4, 4, []sparse.Triplet{{Row: 0, Col: 3, Val: 1}, {Row: 2, Col: 2, Val: 1}})
+	if Bandwidth(a) != 3 {
+		t.Fatalf("bandwidth = %d, want 3", Bandwidth(a))
+	}
+}

@@ -1,0 +1,141 @@
+// Package refimpl is the stand-in for Intel MKL's inspector-executor
+// routines, the paper's library baseline (section 4.1): hand-tuned,
+// kernel-at-a-time implementations with no cross-kernel scheduling.
+//
+//   - SpMV runs row-parallel over contiguous chunks (mkl_sparse_d_mv).
+//   - SpTRSV inspects once to build level sets and executes them with one
+//     barrier per level (mkl_sparse_d_trsv after mkl_sparse_set_sv_hint +
+//     mkl_sparse_optimize).
+//   - SpILU0 and SpIC0 are sequential, as the paper notes for dcsrilu0
+//     ("ILU0 only has a sequential implementation in MKL").
+package refimpl
+
+import (
+	"sync"
+
+	"sparsefusion/internal/kernels"
+	"sparsefusion/internal/sparse"
+	"sparsefusion/internal/wavefront"
+)
+
+// ParallelSpMV computes y = A*x with rows split into one contiguous chunk
+// per thread, weighted by nonzeros.
+func ParallelSpMV(a *sparse.CSR, x, y []float64, threads int) {
+	if threads < 2 || a.Rows < 2*threads {
+		for i := 0; i < a.Rows; i++ {
+			s := 0.0
+			for p := a.P[i]; p < a.P[i+1]; p++ {
+				s += a.X[p] * x[a.I[p]]
+			}
+			y[i] = s
+		}
+		return
+	}
+	bounds := chunkRows(a, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < len(bounds)-1; t++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				s := 0.0
+				for p := a.P[i]; p < a.P[i+1]; p++ {
+					s += a.X[p] * x[a.I[p]]
+				}
+				y[i] = s
+			}
+		}(bounds[t], bounds[t+1])
+	}
+	wg.Wait()
+}
+
+// chunkRows splits row indices into at most `threads` contiguous ranges of
+// near-equal nonzero counts; returns range boundaries.
+func chunkRows(a *sparse.CSR, threads int) []int {
+	total := a.NNZ()
+	target := (total + threads - 1) / threads
+	bounds := []int{0}
+	acc := 0
+	for i := 0; i < a.Rows; i++ {
+		acc += a.P[i+1] - a.P[i]
+		if acc >= target && len(bounds) < threads {
+			bounds = append(bounds, i+1)
+			acc = 0
+		}
+	}
+	if bounds[len(bounds)-1] != a.Rows {
+		bounds = append(bounds, a.Rows)
+	}
+	return bounds
+}
+
+// Trsv is an inspected triangular solver: Inspect builds the level-set
+// schedule once; Solve replays it with one barrier per wavefront.
+type Trsv struct {
+	k      *kernels.SpTRSVCSR
+	levels [][]int
+}
+
+// NewTrsv inspects the lower-triangular matrix for level-set execution.
+// b and x have length l.Rows.
+func NewTrsv(l *sparse.CSR, b, x []float64, threads int) (*Trsv, error) {
+	k := kernels.NewSpTRSVCSR(l, b, x)
+	p, err := wavefront.Schedule(k.DAG(), threads)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trsv{k: k}
+	for _, sp := range p.S {
+		var lvl [][]int
+		lvl = append(lvl, sp...)
+		t.levels = append(t.levels, nil)
+		for _, w := range lvl {
+			t.levels[len(t.levels)-1] = append(t.levels[len(t.levels)-1], w...)
+		}
+	}
+	return t, nil
+}
+
+// Solve executes the solve; each wavefront's rows run on parallel chunks.
+func (t *Trsv) Solve(threads int) {
+	t.k.Prepare()
+	var wg sync.WaitGroup
+	for _, level := range t.levels {
+		if len(level) < 2*threads || threads < 2 {
+			for _, i := range level {
+				t.k.Run(i)
+			}
+			continue
+		}
+		chunk := (len(level) + threads - 1) / threads
+		for lo := 0; lo < len(level); lo += chunk {
+			hi := lo + chunk
+			if hi > len(level) {
+				hi = len(level)
+			}
+			wg.Add(1)
+			go func(rows []int) {
+				defer wg.Done()
+				for _, i := range rows {
+					t.k.Run(i)
+				}
+			}(level[lo:hi])
+		}
+		wg.Wait()
+	}
+}
+
+// Barriers returns the number of synchronizations one Solve performs.
+func (t *Trsv) Barriers() int { return len(t.levels) }
+
+// SequentialILU0 factors a in place (zero fill), the MKL dcsrilu0 analogue.
+func SequentialILU0(a *sparse.CSR) {
+	k := kernels.NewSpILU0CSR(a)
+	kernels.RunSeq(k)
+}
+
+// SequentialIC0 factors the lower-triangular CSC pattern in place.
+func SequentialIC0(l *sparse.CSC) {
+	k := kernels.NewSpIC0CSC(l)
+	kernels.RunSeq(k)
+}

@@ -1,0 +1,93 @@
+package refimpl
+
+import (
+	"math"
+	"testing"
+
+	"sparsefusion/internal/kernels"
+	"sparsefusion/internal/sparse"
+)
+
+func TestParallelSpMVMatchesSequential(t *testing.T) {
+	for _, n := range []int{10, 100, 5000} {
+		a := sparse.RandomSPD(n, 6, int64(n))
+		x := sparse.RandomVec(n, 1)
+		want := make([]float64, n)
+		kernels.RunSeq(kernels.NewSpMVCSR(a, x, want))
+		for _, threads := range []int{1, 2, 4, 9} {
+			y := make([]float64, n)
+			ParallelSpMV(a, x, y, threads)
+			if sparse.RelErr(y, want) > 1e-12 {
+				t.Fatalf("n=%d threads=%d: parallel SpMV diverges", n, threads)
+			}
+		}
+	}
+}
+
+func TestChunkRowsCoverAll(t *testing.T) {
+	a := sparse.PowerLawSPD(1000, 3, 7)
+	for _, threads := range []int{1, 2, 7, 16} {
+		bounds := chunkRows(a, threads)
+		if bounds[0] != 0 || bounds[len(bounds)-1] != a.Rows {
+			t.Fatalf("threads=%d: bounds %v do not cover all rows", threads, bounds)
+		}
+		if len(bounds)-1 > threads {
+			t.Fatalf("threads=%d: %d chunks", threads, len(bounds)-1)
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] < bounds[i-1] {
+				t.Fatalf("bounds not monotone: %v", bounds)
+			}
+		}
+	}
+}
+
+func TestTrsvSolves(t *testing.T) {
+	a := sparse.RandomSPD(800, 5, 3)
+	l := a.Lower()
+	n := a.Rows
+	xTrue := sparse.RandomVec(n, 4)
+	b := make([]float64, n)
+	kernels.RunSeq(kernels.NewSpMVCSR(l, xTrue, b))
+	x := make([]float64, n)
+	tr, err := NewTrsv(l, b, x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 4} {
+		for i := range x {
+			x[i] = math.NaN() // stale values must not leak into the solve
+		}
+		tr.Solve(threads)
+		if sparse.RelErr(x, xTrue) > 1e-9 {
+			t.Fatalf("threads=%d: level-set TRSV wrong by %v", threads, sparse.RelErr(x, xTrue))
+		}
+	}
+	if tr.Barriers() < 1 {
+		t.Fatal("no levels recorded")
+	}
+}
+
+func TestSequentialFactorizations(t *testing.T) {
+	a := sparse.RandomSPD(200, 4, 9)
+	// ILU0: factor then verify L*U reproduces A on the pattern via the
+	// kernel's own property checker path (SplitILU + spot product).
+	work := a.Clone()
+	SequentialILU0(work)
+	k := kernels.NewSpILU0CSR(a.Clone())
+	kernels.RunSeq(k)
+	for i := range work.X {
+		if math.Abs(work.X[i]-k.A.X[i]) > 1e-12 {
+			t.Fatal("SequentialILU0 differs from kernel execution")
+		}
+	}
+	lc := a.Lower().ToCSC()
+	ref := kernels.NewSpIC0CSC(a.Lower().ToCSC())
+	kernels.RunSeq(ref)
+	SequentialIC0(lc)
+	for i := range lc.X {
+		if math.Abs(lc.X[i]-ref.L.X[i]) > 1e-12 {
+			t.Fatal("SequentialIC0 differs from kernel execution")
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+)
+
+// The generators in this file stand in for the SuiteSparse SPD collection the
+// paper evaluates on. They produce symmetric positive definite matrices that
+// span the structural axes that matter to the schedulers: regular narrow-band
+// DAGs (Laplacians, banded), irregular DAGs (random SPD) and skewed-degree
+// DAGs with long critical paths (power law).
+
+// Laplacian2D returns the 5-point finite-difference Laplacian on a k-by-k
+// grid: an SPD matrix with n = k*k rows and at most five entries per row.
+func Laplacian2D(k int) *CSR {
+	n := k * k
+	var ts []Triplet
+	idx := func(i, j int) int { return i*k + j }
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			r := idx(i, j)
+			ts = append(ts, Triplet{r, r, 4})
+			if i > 0 {
+				ts = append(ts, Triplet{r, idx(i-1, j), -1})
+			}
+			if i < k-1 {
+				ts = append(ts, Triplet{r, idx(i+1, j), -1})
+			}
+			if j > 0 {
+				ts = append(ts, Triplet{r, idx(i, j-1), -1})
+			}
+			if j < k-1 {
+				ts = append(ts, Triplet{r, idx(i, j+1), -1})
+			}
+		}
+	}
+	a, err := FromTriplets(n, n, ts)
+	if err != nil {
+		panic(err) // indices are constructed in bounds
+	}
+	return a
+}
+
+// Laplacian3D returns the 7-point finite-difference Laplacian on a k^3 grid.
+func Laplacian3D(k int) *CSR {
+	n := k * k * k
+	var ts []Triplet
+	idx := func(i, j, l int) int { return (i*k+j)*k + l }
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			for l := 0; l < k; l++ {
+				r := idx(i, j, l)
+				ts = append(ts, Triplet{r, r, 6})
+				if i > 0 {
+					ts = append(ts, Triplet{r, idx(i-1, j, l), -1})
+				}
+				if i < k-1 {
+					ts = append(ts, Triplet{r, idx(i+1, j, l), -1})
+				}
+				if j > 0 {
+					ts = append(ts, Triplet{r, idx(i, j-1, l), -1})
+				}
+				if j < k-1 {
+					ts = append(ts, Triplet{r, idx(i, j+1, l), -1})
+				}
+				if l > 0 {
+					ts = append(ts, Triplet{r, idx(i, j, l-1), -1})
+				}
+				if l < k-1 {
+					ts = append(ts, Triplet{r, idx(i, j, l+1), -1})
+				}
+			}
+		}
+	}
+	a, err := FromTriplets(n, n, ts)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// RandomSPD returns an n-by-n SPD matrix with roughly deg off-diagonal
+// entries per row placed uniformly at random (symmetrized), made positive
+// definite by diagonal dominance. The same seed always yields the same
+// matrix.
+func RandomSPD(n, deg int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	return spdFromPattern(n, func(emit func(r, c int)) {
+		for r := 0; r < n; r++ {
+			for d := 0; d < deg/2+1; d++ {
+				c := rng.Intn(n)
+				if c != r {
+					emit(r, c)
+				}
+			}
+		}
+	}, rng)
+}
+
+// BandedSPD returns an n-by-n SPD matrix whose off-diagonal entries are
+// confined to a band of half-width band, with fill controlling the fraction
+// of in-band positions that are nonzero (0 < fill <= 1).
+func BandedSPD(n, band int, fill float64, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	return spdFromPattern(n, func(emit func(r, c int)) {
+		for r := 0; r < n; r++ {
+			for c := max(0, r-band); c < r; c++ {
+				if rng.Float64() < fill {
+					emit(r, c)
+				}
+			}
+		}
+	}, rng)
+}
+
+// PowerLawSPD returns an n-by-n SPD matrix whose off-diagonal pattern follows
+// a preferential-attachment (scale-free) degree distribution, producing the
+// skewed wavefront widths that stress load balancing. deg is the number of
+// attachments per new vertex.
+func PowerLawSPD(n, deg int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	// Repeated-vertex preferential attachment: targets are drawn from the
+	// endpoint list so far, so high-degree vertices keep attracting edges.
+	endpoints := []int{0}
+	return spdFromPattern(n, func(emit func(r, c int)) {
+		for r := 1; r < n; r++ {
+			for d := 0; d < deg; d++ {
+				c := endpoints[rng.Intn(len(endpoints))]
+				if c != r {
+					emit(r, c)
+					endpoints = append(endpoints, c)
+				}
+			}
+			endpoints = append(endpoints, r)
+		}
+	}, rng)
+}
+
+// spdFromPattern symmetrizes the emitted pattern, assigns random values in
+// [-1, 0) to off-diagonals and sets each diagonal to (row degree + 1) so the
+// matrix is strictly diagonally dominant, hence SPD.
+func spdFromPattern(n int, gen func(emit func(r, c int)), rng *rand.Rand) *CSR {
+	type key struct{ r, c int }
+	type entry struct {
+		key
+		v float64
+	}
+	seen := make(map[key]bool)
+	var entries []entry // kept in emission order so float sums are deterministic
+	gen(func(r, c int) {
+		if r == c {
+			return
+		}
+		k := key{min(r, c), max(r, c)}
+		if !seen[k] {
+			seen[k] = true
+			entries = append(entries, entry{k, -rng.Float64() - 0.1})
+		}
+	})
+	ts := make([]Triplet, 0, 2*len(entries)+n)
+	rowAbs := make([]float64, n)
+	for _, e := range entries {
+		ts = append(ts, Triplet{e.r, e.c, e.v}, Triplet{e.c, e.r, e.v})
+		rowAbs[e.r] += math.Abs(e.v)
+		rowAbs[e.c] += math.Abs(e.v)
+	}
+	for r := 0; r < n; r++ {
+		ts = append(ts, Triplet{r, r, rowAbs[r] + 1})
+	}
+	a, err := FromTriplets(n, n, ts)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -1,0 +1,65 @@
+package sparse
+
+import "fmt"
+
+// Permutations are stored as "new order" arrays: perm[newIndex] = oldIndex.
+// PermuteSym applies the symmetric permutation P*A*P' that the paper applies
+// (via METIS) to every matrix before scheduling.
+
+// InversePerm returns the inverse permutation of p.
+func InversePerm(p []int) []int {
+	inv := make([]int, len(p))
+	for newI, oldI := range p {
+		inv[oldI] = newI
+	}
+	return inv
+}
+
+// ValidPerm reports whether p is a permutation of 0..len(p)-1.
+func ValidPerm(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// PermuteSym returns P*A*P' for the permutation perm (perm[new] = old).
+// The matrix must be square.
+func PermuteSym(a *CSR, perm []int) (*CSR, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparse: symmetric permutation of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	if len(perm) != a.Rows || !ValidPerm(perm) {
+		return nil, fmt.Errorf("sparse: invalid permutation of length %d for n=%d", len(perm), a.Rows)
+	}
+	inv := InversePerm(perm)
+	ts := make([]Triplet, 0, a.NNZ())
+	for r := 0; r < a.Rows; r++ {
+		for k := a.P[r]; k < a.P[r+1]; k++ {
+			ts = append(ts, Triplet{inv[r], inv[a.I[k]], a.X[k]})
+		}
+	}
+	return FromTriplets(a.Rows, a.Cols, ts)
+}
+
+// PermuteVec returns x reordered so result[new] = x[perm[new]].
+func PermuteVec(x []float64, perm []int) []float64 {
+	y := make([]float64, len(x))
+	for newI, oldI := range perm {
+		y[newI] = x[oldI]
+	}
+	return y
+}
+
+// UnpermuteVec undoes PermuteVec: result[perm[new]] = x[new].
+func UnpermuteVec(x []float64, perm []int) []float64 {
+	y := make([]float64, len(x))
+	for newI, oldI := range perm {
+		y[oldI] = x[newI]
+	}
+	return y
+}

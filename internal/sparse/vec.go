@@ -1,0 +1,79 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dense-vector helpers shared by the kernels, solvers and tests.
+
+// Ones returns a length-n vector of ones.
+func Ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// RandomVec returns a deterministic pseudo-random vector with entries in
+// [-1, 1).
+func RandomVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 2*rng.Float64() - 1
+	}
+	return v
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Sub returns x - y as a new vector.
+func Sub(x, y []float64) []float64 {
+	z := make([]float64, len(x))
+	for i := range x {
+		z[i] = x[i] - y[i]
+	}
+	return z
+}
+
+// MaxAbsDiff returns the infinity norm of x - y.
+func MaxAbsDiff(x, y []float64) float64 {
+	m := 0.0
+	for i := range x {
+		if d := math.Abs(x[i] - y[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// RelErr returns ||x-y||_inf / max(1, ||y||_inf), a scale-aware comparison
+// used throughout the numeric tests.
+func RelErr(x, y []float64) float64 {
+	den := 1.0
+	for i := range y {
+		if a := math.Abs(y[i]); a > den {
+			den = a
+		}
+	}
+	return MaxAbsDiff(x, y) / den
+}

@@ -1,0 +1,155 @@
+// Package suite defines the matrix test suite the experiments run on — the
+// offline substitute for the paper's "all SPD SuiteSparse matrices with more
+// than 100K nonzeros" — plus a parser for matrix specifications used by the
+// command-line tools (generator specs or Matrix Market paths).
+package suite
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sparsefusion/internal/order"
+	"sparsefusion/internal/sparse"
+)
+
+// Entry is one suite matrix, generated lazily.
+type Entry struct {
+	Name string
+	Gen  func() *sparse.CSR
+}
+
+// nd wraps a generator with the suite's default preprocessing: a
+// pseudo-nested-dissection reordering, standing in for the METIS step the
+// paper applies to every matrix "to improve thread parallelism"
+// (section 4.1).
+func nd(gen func() *sparse.CSR) func() *sparse.CSR {
+	return func() *sparse.CSR {
+		a := gen()
+		p, err := order.NestedDissection(a, 64)
+		if err != nil {
+			return a
+		}
+		pa, err := sparse.PermuteSym(a, p)
+		if err != nil {
+			return a
+		}
+		return pa
+	}
+}
+
+// Small is a fast suite for tests and smoke runs (about 1e4-1e5 nonzeros).
+func Small() []Entry {
+	return []Entry{
+		{"lap2d-40", nd(func() *sparse.CSR { return sparse.Laplacian2D(40) })},
+		{"lap3d-12", nd(func() *sparse.CSR { return sparse.Laplacian3D(12) })},
+		{"rand-2k", nd(func() *sparse.CSR { return sparse.RandomSPD(2000, 8, 11) })},
+		{"band-3k", nd(func() *sparse.CSR { return sparse.BandedSPD(3000, 12, 0.5, 12) })},
+		{"pow-3k", nd(func() *sparse.CSR { return sparse.PowerLawSPD(3000, 3, 13) })},
+	}
+}
+
+// Standard spans nnz about 1e5 to 1e7 across the structural classes, the
+// range figure 5 sweeps.
+func Standard() []Entry {
+	return []Entry{
+		{"lap2d-150", nd(func() *sparse.CSR { return sparse.Laplacian2D(150) })},             // ~112K nnz
+		{"band-20k", nd(func() *sparse.CSR { return sparse.BandedSPD(20000, 14, 0.5, 21) })}, // ~300K
+		{"rand-30k", nd(func() *sparse.CSR { return sparse.RandomSPD(30000, 10, 22) })},      // ~330K
+		{"pow-40k", nd(func() *sparse.CSR { return sparse.PowerLawSPD(40000, 4, 23) })},      // ~360K
+		{"lap3d-40", nd(func() *sparse.CSR { return sparse.Laplacian3D(40) })},               // ~440K
+		{"lap2d-500", nd(func() *sparse.CSR { return sparse.Laplacian2D(500) })},             // ~1.25M
+		{"rand-150k", nd(func() *sparse.CSR { return sparse.RandomSPD(150000, 10, 24) })},    // ~1.65M
+		{"lap3d-80", nd(func() *sparse.CSR { return sparse.Laplacian3D(80) })},               // ~3.5M
+		{"lap2d-1200", nd(func() *sparse.CSR { return sparse.Laplacian2D(1200) })},           // ~7.2M
+	}
+}
+
+// Bone010Standin is the stand-in for bone010 (the figure 1 / figure 6
+// matrix): a 3D Laplacian whose factor working set exceeds L1 and stresses
+// the LLC, scaled to run on a laptop, reordered like the rest of the suite.
+func Bone010Standin() *sparse.CSR { return nd(func() *sparse.CSR { return sparse.Laplacian3D(48) })() }
+
+// Parse builds a matrix from a specification:
+//
+//	lap2d:K        5-point Laplacian on a KxK grid
+//	lap3d:K        7-point Laplacian on a K^3 grid
+//	rand:N:DEG     random SPD, about DEG entries/row
+//	band:N:W       banded SPD with half-bandwidth W
+//	pow:N:DEG      power-law SPD
+//	PATH.mtx       Matrix Market file
+//
+// With reorder set, the matrix is symmetrically permuted with pseudo-nested
+// dissection first, as the paper preprocesses with METIS.
+func Parse(spec string, reorder bool) (*sparse.CSR, error) {
+	a, err := parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	if reorder {
+		p, err := order.NestedDissection(a, 64)
+		if err != nil {
+			return nil, err
+		}
+		return sparse.PermuteSym(a, p)
+	}
+	return a, nil
+}
+
+func parse(spec string) (*sparse.CSR, error) {
+	if strings.HasSuffix(spec, ".mtx") {
+		return sparse.ReadMatrixMarketFile(spec)
+	}
+	parts := strings.Split(spec, ":")
+	arg := func(i int) (int, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("suite: spec %q missing argument %d", spec, i)
+		}
+		return strconv.Atoi(parts[i])
+	}
+	switch parts[0] {
+	case "lap2d":
+		k, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		return sparse.Laplacian2D(k), nil
+	case "lap3d":
+		k, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		return sparse.Laplacian3D(k), nil
+	case "rand":
+		n, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		d, err := arg(2)
+		if err != nil {
+			return nil, err
+		}
+		return sparse.RandomSPD(n, d, 1), nil
+	case "band":
+		n, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		w, err := arg(2)
+		if err != nil {
+			return nil, err
+		}
+		return sparse.BandedSPD(n, w, 0.5, 1), nil
+	case "pow":
+		n, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		d, err := arg(2)
+		if err != nil {
+			return nil, err
+		}
+		return sparse.PowerLawSPD(n, d, 1), nil
+	}
+	return nil, fmt.Errorf("suite: unknown matrix spec %q", spec)
+}

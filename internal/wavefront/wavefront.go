@@ -1,0 +1,75 @@
+// Package wavefront implements level-set (wavefront) scheduling, the classic
+// way to parallelize sparse kernels with loop-carried dependencies and the
+// "fused wavefront" baseline of the paper: every wavefront of the DAG becomes
+// one s-partition whose vertices are split into r balanced w-partitions, with
+// a synchronization barrier between consecutive wavefronts.
+package wavefront
+
+import (
+	"sparsefusion/internal/dag"
+	"sparsefusion/internal/partition"
+)
+
+// Schedule partitions g into one s-partition per wavefront, each split into
+// at most r weight-balanced w-partitions (contiguous chunks, preserving the
+// ascending vertex order within a wavefront for spatial locality).
+func Schedule(g *dag.Graph, r int) (*partition.Partitioning, error) {
+	sets, err := g.LevelSets()
+	if err != nil {
+		return nil, err
+	}
+	p := &partition.Partitioning{S: make([][][]int, 0, len(sets))}
+	for _, set := range sets {
+		p.S = append(p.S, SplitBalanced(g, set, r))
+	}
+	return p.Compact(), nil
+}
+
+// SplitBalanced splits the vertex list into at most r contiguous chunks with
+// near-equal total weight. Vertices keep their given order.
+func SplitBalanced(g *dag.Graph, vs []int, r int) [][]int {
+	if len(vs) == 0 {
+		return nil
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > len(vs) {
+		r = len(vs)
+	}
+	total := 0
+	for _, v := range vs {
+		total += g.Weight(v)
+	}
+	target := (total + r - 1) / r
+	if target < 1 {
+		target = 1
+	}
+	var out [][]int
+	var cur []int
+	acc := 0
+	remaining := total
+	for i, v := range vs {
+		cur = append(cur, v)
+		acc += g.Weight(v)
+		// Close the chunk when it reaches the target, unless the tail could
+		// not fill the remaining slots with at least one vertex each.
+		slotsLeft := r - len(out) - 1
+		if acc >= target && len(vs)-i-1 >= slotsLeft && slotsLeft > 0 {
+			out = append(out, cur)
+			remaining -= acc
+			cur, acc = nil, 0
+			// Rebalance the target over what is left.
+			if slotsLeft > 0 {
+				target = (remaining + slotsLeft - 1) / slotsLeft
+				if target < 1 {
+					target = 1
+				}
+			}
+		}
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}

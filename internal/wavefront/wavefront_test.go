@@ -1,0 +1,95 @@
+package wavefront
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sparsefusion/internal/dag"
+	"sparsefusion/internal/sparse"
+)
+
+func TestScheduleValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := sparse.RandomSPD(100, 4, seed)
+		g := dag.FromLowerCSR(a.Lower())
+		p, err := Schedule(g, 4)
+		if err != nil {
+			return false
+		}
+		return p.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleOneSPartitionPerWavefront(t *testing.T) {
+	a := sparse.RandomSPD(150, 5, 3)
+	g := dag.FromLowerCSR(a.Lower())
+	pg, _ := g.CriticalPath()
+	p, err := Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSPartitions() != pg+1 {
+		t.Fatalf("s-partitions = %d, want %d (one per wavefront)", p.NumSPartitions(), pg+1)
+	}
+}
+
+func TestSplitBalanced(t *testing.T) {
+	g := dag.Parallel(10, []int{5, 5, 5, 5, 1, 1, 1, 1, 1, 1})
+	chunks := SplitBalanced(g, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 2)
+	if len(chunks) != 2 {
+		t.Fatalf("chunks = %d, want 2", len(chunks))
+	}
+	c0 := 0
+	for _, v := range chunks[0] {
+		c0 += g.Weight(v)
+	}
+	c1 := 0
+	for _, v := range chunks[1] {
+		c1 += g.Weight(v)
+	}
+	if c0 < 10 || c0 > 16 {
+		t.Fatalf("first chunk weight %d badly balanced vs %d", c0, c1)
+	}
+}
+
+func TestSplitBalancedEdgeCases(t *testing.T) {
+	g := dag.Parallel(3, nil)
+	if got := SplitBalanced(g, nil, 4); got != nil {
+		t.Fatal("empty input should yield nil")
+	}
+	chunks := SplitBalanced(g, []int{0, 1, 2}, 10) // more threads than vertices
+	if len(chunks) > 3 {
+		t.Fatalf("chunks = %d, more than vertices", len(chunks))
+	}
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	if total != 3 {
+		t.Fatalf("split lost vertices: %d", total)
+	}
+	chunks = SplitBalanced(g, []int{0, 1, 2}, 0) // r < 1 clamps to 1
+	if len(chunks) != 1 || len(chunks[0]) != 3 {
+		t.Fatal("r=0 should produce a single chunk")
+	}
+}
+
+func TestSplitPreservesOrder(t *testing.T) {
+	g := dag.Parallel(20, nil)
+	vs := make([]int, 20)
+	for i := range vs {
+		vs[i] = i
+	}
+	prev := -1
+	for _, c := range SplitBalanced(g, vs, 3) {
+		for _, v := range c {
+			if v <= prev {
+				t.Fatal("split reordered vertices")
+			}
+			prev = v
+		}
+	}
+}
