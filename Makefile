@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/exec/... ./internal/core/...
+
+# bench regenerates BENCH_exec.json: compiled-vs-legacy executor timings and
+# spin-barrier throughput on fixed-seed synthetic fixtures.
+bench:
+	$(GO) run ./cmd/spbench -out BENCH_exec.json

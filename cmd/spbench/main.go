@@ -1,0 +1,205 @@
+// Command spbench benchmarks the compiled executor (flat program + batch
+// dispatch + spin-barrier pool) against the legacy slice-walking executor on
+// fixed-seed synthetic fixtures and writes the results as JSON
+// (BENCH_exec.json at the repository root). Fixtures are deterministic, so
+// reruns on one machine are comparable; the file records the machine shape
+// alongside the numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"sparsefusion/internal/core"
+	"sparsefusion/internal/dag"
+	"sparsefusion/internal/exec"
+	"sparsefusion/internal/kernels"
+	"sparsefusion/internal/lbc"
+	"sparsefusion/internal/sparse"
+)
+
+type executorResult struct {
+	Name           string  `json:"name"`
+	N              int     `json:"n"`
+	Iterations     int     `json:"iterations"`
+	SPartitions    int     `json:"s_partitions"`
+	MaxWidth       int     `json:"max_width"`
+	Interleaved    bool    `json:"interleaved"`
+	CompiledNs     int64   `json:"compiled_ns_per_run"`
+	LegacyNs       int64   `json:"legacy_ns_per_run"`
+	CompiledNsIter float64 `json:"compiled_ns_per_iter"`
+	LegacyNsIter   float64 `json:"legacy_ns_per_iter"`
+	Speedup        float64 `json:"speedup_vs_legacy"`
+}
+
+type barrierResult struct {
+	Workers        int     `json:"workers"`
+	NsPerBarrier   int64   `json:"ns_per_barrier"`
+	BarriersPerSec float64 `json:"barriers_per_sec"`
+}
+
+type report struct {
+	GoVersion string           `json:"go_version"`
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	NumCPU    int              `json:"num_cpu"`
+	Threads   int              `json:"threads"`
+	Generated string           `json:"generated"`
+	Executor  []executorResult `json:"executor"`
+	Barrier   []barrierResult  `json:"barrier"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_exec.json", "output file")
+	threads := flag.Int("threads", 8, "schedule width r")
+	n := flag.Int("n", 40000, "fixture size")
+	minTime := flag.Duration("mintime", time.Second, "minimum measuring time per executor")
+	flag.Parse()
+
+	rep := report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Threads:   *threads,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	for _, fx := range []struct {
+		name  string
+		reuse float64
+		mk    func(n int) ([]kernels.Kernel, *core.Loops)
+	}{
+		{"gs-pair/separated", 0.5, gsPair},
+		{"gs-pair/interleaved", 1.5, gsPair},
+		{"trsv-mv-csc/separated", 0.5, trsvMvCSC},
+	} {
+		ks, loops := fx.mk(*n)
+		sched, err := core.ICO(loops, core.Params{
+			Threads: *threads, ReuseRatio: fx.reuse,
+			LBC: lbc.Params{InitialCut: 3, Agg: 8},
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", fx.name, err)
+		}
+		runner, err := exec.CompileFused(ks, sched)
+		if err != nil {
+			log.Fatalf("%s: compile: %v", fx.name, err)
+		}
+		compiled := measure(*minTime, func() { runner.Run(*threads) })
+		legacy := measure(*minTime, func() { exec.RunFusedLegacy(ks, sched, *threads) })
+		iters := sched.NumIterations()
+		rep.Executor = append(rep.Executor, executorResult{
+			Name:           fx.name,
+			N:              *n,
+			Iterations:     iters,
+			SPartitions:    sched.NumSPartitions(),
+			MaxWidth:       sched.MaxWidth(),
+			Interleaved:    sched.Interleaved,
+			CompiledNs:     compiled.Nanoseconds(),
+			LegacyNs:       legacy.Nanoseconds(),
+			CompiledNsIter: float64(compiled.Nanoseconds()) / float64(iters),
+			LegacyNsIter:   float64(legacy.Nanoseconds()) / float64(iters),
+			Speedup:        float64(legacy.Nanoseconds()) / float64(compiled.Nanoseconds()),
+		})
+		fmt.Printf("%-22s compiled %10v  legacy %10v  speedup %.2fx\n",
+			fx.name, compiled, legacy, float64(legacy)/float64(compiled))
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		d := barrierCost(*minTime/2, workers)
+		rep.Barrier = append(rep.Barrier, barrierResult{
+			Workers:        workers,
+			NsPerBarrier:   d.Nanoseconds(),
+			BarriersPerSec: 1e9 / float64(d.Nanoseconds()),
+		})
+		fmt.Printf("barrier w=%d %v/barrier\n", workers, d)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// gsPair is the Gauss-Seidel/PCG pair — SpTRSV-CSR feeding SpMV+b CSR, both
+// gather kernels — on a sparse banded SPD matrix whose triangular DAG is
+// wide, so executor dispatch dominates over barriers.
+func gsPair(n int) ([]kernels.Kernel, *core.Loops) {
+	a := sparse.BandedSPD(n, 1, 0.4, 1)
+	l := a.Lower()
+	x := sparse.RandomVec(n, 2)
+	rhs := sparse.RandomVec(n, 3)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	k1 := kernels.NewSpTRSVCSR(l, x, y)
+	k2 := kernels.NewSpMVPlusCSR(a, y, rhs, z)
+	return []kernels.Kernel{k1, k2}, &core.Loops{
+		G: []*dag.Graph{k1.DAG(), k2.DAG()},
+		F: []*sparse.CSR{core.FPattern(a)},
+	}
+}
+
+// trsvMvCSC is the paper's Table 1 row 3 (SpTRSV-CSR then SpMV-CSC): the
+// scatter SpMV runs in atomic mode under parallelism, so this fixture shows
+// the compiled path's gain when atomics bound the kernel.
+func trsvMvCSC(n int) ([]kernels.Kernel, *core.Loops) {
+	a := sparse.BandedSPD(n, 1, 0.4, 1)
+	l := a.Lower()
+	ac := a.ToCSC()
+	x := sparse.RandomVec(n, 2)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	k1 := kernels.NewSpTRSVCSR(l, x, y)
+	k2 := kernels.NewSpMVCSC(ac, y, z)
+	return []kernels.Kernel{k1, k2}, &core.Loops{
+		G: []*dag.Graph{k1.DAG(), k2.DAG()},
+		F: []*sparse.CSR{core.FTrsvToMVCSC(ac)},
+	}
+}
+
+// measure reports the minimum run time over repeated calls spanning at
+// least minTime (after one warmup run).
+func measure(minTime time.Duration, fn func()) time.Duration {
+	fn() // warmup
+	best := time.Duration(0)
+	for spent := time.Duration(0); spent < minTime; {
+		t0 := time.Now()
+		fn()
+		d := time.Since(t0)
+		spent += d
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// barrierCost measures one empty barrier round-trip on the worker pool by
+// timing batches of exec.BenchBarrier rounds.
+func barrierCost(minTime time.Duration, workers int) time.Duration {
+	const rounds = 1000
+	best := time.Duration(0)
+	for spent := time.Duration(0); spent < minTime; {
+		d := exec.BenchBarrier(workers, rounds)
+		spent += d * rounds
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -102,6 +102,7 @@ func main() {
 
 	impls := []*combos.Impl{
 		in.SparseFusion(*threads, figures.PaperLBC()),
+		in.SparseFusionLegacy(*threads, figures.PaperLBC()),
 		in.UnfusedParSy(*threads, figures.PaperLBC()),
 		in.UnfusedMKL(*threads),
 		in.JointWavefront(*threads),

@@ -22,7 +22,10 @@ type GaussSeidel struct {
 	xEnd []float64 // sweep-chain output
 	ks   []kernels.Kernel
 	sch  *core.Schedule
-	th   int
+	// run is the compiled sweep chain; nil means the legacy executor runs
+	// the schedule (it exceeded the packed representation).
+	run *exec.Runner
+	th  int
 	// SweepsPerFusion is how many sweeps one fused execution performs.
 	SweepsPerFusion int
 }
@@ -79,6 +82,7 @@ func NewGaussSeidel(m *Matrix, opts GSOptions) (*GaussSeidel, error) {
 		return nil, err
 	}
 	g.sch = sch
+	g.run, _ = exec.CompileFused(g.ks, sch)
 	return g, nil
 }
 
@@ -101,7 +105,11 @@ func (g *GaussSeidel) Solve(b []float64, tol float64, maxSweeps int) ([]float64,
 	ax := make([]float64, n)
 	sweeps := 0
 	for sweeps < maxSweeps {
-		exec.RunFused(g.ks, g.sch, g.th)
+		if g.run != nil {
+			g.run.Run(g.th)
+		} else {
+			exec.RunFusedLegacy(g.ks, g.sch, g.th)
+		}
 		sweeps += g.SweepsPerFusion
 		copy(g.x0, g.xEnd)
 		// Residual check.

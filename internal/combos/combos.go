@@ -269,16 +269,46 @@ func (im *Impl) Execute() (exec.Stats, error) {
 }
 
 // SparseFusion is the paper's contribution: ICO over the instance's DAGs.
+// The schedule is compiled to a flat exec.Runner during inspection, so the
+// executor timings cover only the hot path.
 func (in *Instance) SparseFusion(threads int, lp lbc.Params) *Impl {
 	var sched *core.Schedule
+	var runner *exec.Runner
 	return &Impl{
 		Name: "sparse-fusion",
 		inspect: func() error {
 			var err error
 			sched, err = core.ICO(in.Loops, core.Params{Threads: threads, ReuseRatio: in.Reuse, LBC: lp})
+			if err != nil {
+				return err
+			}
+			// A schedule too big for the packed form runs through the
+			// legacy executor instead of failing inspection.
+			runner, _ = exec.CompileFused(in.Kernels, sched)
+			return nil
+		},
+		execute: func() exec.Stats {
+			if runner != nil {
+				return runner.Run(threads)
+			}
+			return exec.RunFusedLegacy(in.Kernels, sched, threads)
+		},
+	}
+}
+
+// SparseFusionLegacy runs the same ICO schedule through the slice-walking
+// reference executor: the comparison row that isolates what compiling the
+// schedule buys.
+func (in *Instance) SparseFusionLegacy(threads int, lp lbc.Params) *Impl {
+	var sched *core.Schedule
+	return &Impl{
+		Name: "sf-legacy",
+		inspect: func() error {
+			var err error
+			sched, err = core.ICO(in.Loops, core.Params{Threads: threads, ReuseRatio: in.Reuse, LBC: lp})
 			return err
 		},
-		execute: func() exec.Stats { return exec.RunFused(in.Kernels, sched, threads) },
+		execute: func() exec.Stats { return exec.RunFusedLegacy(in.Kernels, sched, threads) },
 	}
 }
 
@@ -286,34 +316,48 @@ func (in *Instance) SparseFusion(threads int, lp lbc.Params) *Impl {
 // parallelism for edge-free loops) and runs the kernels back to back.
 func (in *Instance) UnfusedParSy(threads int, lp lbc.Params) *Impl {
 	var ps []*partition.Partitioning
+	var rs []*exec.Runner
 	return &Impl{
 		Name: "unfused-parsy",
 		inspect: func() error {
-			ps = nil
+			ps, rs = nil, nil
 			for _, k := range in.Kernels {
 				p, err := lbc.Schedule(k.DAG(), threads, lp)
 				if err != nil {
 					return err
 				}
 				ps = append(ps, p)
+				rs = append(rs, compilePartitioned(k, p))
 			}
 			return nil
 		},
-		execute: func() exec.Stats { return exec.RunChain(in.Kernels, ps, threads) },
+		execute: func() exec.Stats { return exec.RunChainCompiled(in.Kernels, rs, ps, threads) },
 	}
+}
+
+// compilePartitioned compiles one kernel's partitioning, returning nil (the
+// legacy-fallback marker) when it does not fit the packed form.
+func compilePartitioned(k kernels.Kernel, p *partition.Partitioning) *exec.Runner {
+	r, err := exec.CompilePartitioned(k, p)
+	if err != nil {
+		return nil
+	}
+	return r
 }
 
 // UnfusedMKL mimics MKL's inspector-executor routines: level-set TRSV,
 // single-barrier chunked parallel loops, and sequential factorizations.
 func (in *Instance) UnfusedMKL(threads int) *Impl {
 	var ps []*partition.Partitioning
+	var rs []*exec.Runner
 	return &Impl{
 		Name: "unfused-mkl",
 		inspect: func() error {
-			ps = nil
+			ps, rs = nil, nil
 			for i, k := range in.Kernels {
 				if in.mklSeq[i] {
 					ps = append(ps, nil) // sequential (MKL's dcsrilu0)
+					rs = append(rs, nil)
 					continue
 				}
 				p, err := wavefront.Schedule(k.DAG(), threads)
@@ -321,10 +365,11 @@ func (in *Instance) UnfusedMKL(threads int) *Impl {
 					return err
 				}
 				ps = append(ps, p)
+				rs = append(rs, compilePartitioned(k, p))
 			}
 			return nil
 		},
-		execute: func() exec.Stats { return exec.RunChain(in.Kernels, ps, threads) },
+		execute: func() exec.Stats { return exec.RunChainCompiled(in.Kernels, rs, ps, threads) },
 	}
 }
 
@@ -340,59 +385,57 @@ func (in *Instance) joint() (*dag.Graph, error) {
 	return dag.Joint(in.Loops.G[0], in.Loops.G[1], in.Loops.F[0])
 }
 
-// JointWavefront is the fused-wavefront baseline: topological wavefronts of
-// the joint DAG.
-func (in *Instance) JointWavefront(threads int) *Impl {
+// jointImpl wraps a joint-DAG scheduler into an Impl: inspection builds the
+// joint DAG, schedules it, and compiles the result; execution runs the
+// compiled form (or the legacy walker if compilation did not fit).
+func (in *Instance) jointImpl(name string, threads int, schedule func(*dag.Graph) (*partition.Partitioning, error)) *Impl {
 	var p *partition.Partitioning
+	var r *exec.Runner
 	return &Impl{
-		Name: "fused-wavefront",
+		Name: name,
 		inspect: func() error {
 			j, err := in.joint()
 			if err != nil {
 				return err
 			}
-			p, err = wavefront.Schedule(j, threads)
-			return err
+			if p, err = schedule(j); err != nil {
+				return err
+			}
+			r, _ = exec.CompileJoint(in.Kernels[0], in.Kernels[1], p)
+			return nil
 		},
-		execute: func() exec.Stats { return exec.RunJoint(in.Kernels[0], in.Kernels[1], p, threads) },
+		execute: func() exec.Stats {
+			if r != nil {
+				return r.Run(threads)
+			}
+			return exec.RunJointLegacy(in.Kernels[0], in.Kernels[1], p, threads)
+		},
 	}
+}
+
+// JointWavefront is the fused-wavefront baseline: topological wavefronts of
+// the joint DAG.
+func (in *Instance) JointWavefront(threads int) *Impl {
+	return in.jointImpl("fused-wavefront", threads, func(j *dag.Graph) (*partition.Partitioning, error) {
+		return wavefront.Schedule(j, threads)
+	})
 }
 
 // JointLBC is the fused-LBC baseline: the joint DAG is made chordal (as
 // ParSy's LBC expects L-factor DAGs; the dominant inspection cost the paper
 // reports) and then LBC-partitioned.
 func (in *Instance) JointLBC(threads int, lp lbc.Params) *Impl {
-	var p *partition.Partitioning
-	return &Impl{
-		Name: "fused-lbc",
-		inspect: func() error {
-			j, err := in.joint()
-			if err != nil {
-				return err
-			}
-			p, err = lbc.ScheduleChordal(j, threads, lp)
-			return err
-		},
-		execute: func() exec.Stats { return exec.RunJoint(in.Kernels[0], in.Kernels[1], p, threads) },
-	}
+	return in.jointImpl("fused-lbc", threads, func(j *dag.Graph) (*partition.Partitioning, error) {
+		return lbc.ScheduleChordal(j, threads, lp)
+	})
 }
 
 // JointDAGP is the fused-DAGP baseline: multilevel acyclic partitioning of
 // the joint DAG.
 func (in *Instance) JointDAGP(threads int) *Impl {
-	var p *partition.Partitioning
-	return &Impl{
-		Name: "fused-dagp",
-		inspect: func() error {
-			j, err := in.joint()
-			if err != nil {
-				return err
-			}
-			p, err = dagp.Schedule(j, threads, dagp.Params{})
-			return err
-		},
-		execute: func() exec.Stats { return exec.RunJoint(in.Kernels[0], in.Kernels[1], p, threads) },
-	}
+	return in.jointImpl("fused-dagp", threads, func(j *dag.Graph) (*partition.Partitioning, error) {
+		return dagp.Schedule(j, threads, dagp.Params{})
+	})
 }
 
 // UnfusedHDagg schedules every kernel's own DAG with the HDagg-style
@@ -400,36 +443,28 @@ func (in *Instance) JointDAGP(threads int) *Impl {
 // cited as related work).
 func (in *Instance) UnfusedHDagg(threads int) *Impl {
 	var ps []*partition.Partitioning
+	var rs []*exec.Runner
 	return &Impl{
 		Name: "unfused-hdagg",
 		inspect: func() error {
-			ps = nil
+			ps, rs = nil, nil
 			for _, k := range in.Kernels {
 				p, err := hdagg.Schedule(k.DAG(), threads, hdagg.Params{})
 				if err != nil {
 					return err
 				}
 				ps = append(ps, p)
+				rs = append(rs, compilePartitioned(k, p))
 			}
 			return nil
 		},
-		execute: func() exec.Stats { return exec.RunChain(in.Kernels, ps, threads) },
+		execute: func() exec.Stats { return exec.RunChainCompiled(in.Kernels, rs, ps, threads) },
 	}
 }
 
 // JointHDagg applies the HDagg-style aggregator to the joint DAG.
 func (in *Instance) JointHDagg(threads int) *Impl {
-	var p *partition.Partitioning
-	return &Impl{
-		Name: "fused-hdagg",
-		inspect: func() error {
-			j, err := in.joint()
-			if err != nil {
-				return err
-			}
-			p, err = hdagg.Schedule(j, threads, hdagg.Params{})
-			return err
-		},
-		execute: func() exec.Stats { return exec.RunJoint(in.Kernels[0], in.Kernels[1], p, threads) },
-	}
+	return in.jointImpl("fused-hdagg", threads, func(j *dag.Graph) (*partition.Partitioning, error) {
+		return hdagg.Schedule(j, threads, hdagg.Params{})
+	})
 }

@@ -18,16 +18,17 @@ import (
 func ReuseRatio(k1, k2 kernels.Kernel) float64 {
 	f1, f2 := k1.Footprint(), k2.Footprint()
 	common, t1, t2 := 0, 0, 0
+	keys1 := make(map[uintptr]struct{}, len(f1))
 	for _, v := range f1 {
 		t1 += v.Size
+		if v.Key != 0 {
+			keys1[v.Key] = struct{}{}
+		}
 	}
 	for _, v := range f2 {
 		t2 += v.Size
-		for _, u := range f1 {
-			if u.Key != 0 && u.Key == v.Key {
-				common += v.Size
-				break
-			}
+		if _, shared := keys1[v.Key]; shared { // zero keys are never inserted
+			common += v.Size
 		}
 	}
 	den := max(t1, t2)
@@ -58,12 +59,15 @@ func ReuseRatioChain(ks []kernels.Kernel) float64 {
 // the producer/consumer combinations that hand over per-row or per-column
 // results: TRSV-TRSV, DSCAL-ILU0, IC0-TRSV, ILU0-TRSV and DSCAL-IC0
 // (Table 1).
+//
+// Dependency matrices are consumed by pattern only (forEachPred/forEachSucc,
+// Validate, dag.Joint), so this and the other F builders allocate no value
+// arrays.
 func FDiagonal(n int) *sparse.CSR {
-	f := &sparse.CSR{Rows: n, Cols: n, P: make([]int, n+1), I: make([]int, n), X: make([]float64, n)}
+	f := &sparse.CSR{Rows: n, Cols: n, P: make([]int, n+1), I: make([]int, n)}
 	for i := 0; i < n; i++ {
 		f.P[i+1] = i + 1
 		f.I[i] = i
-		f.X[i] = 1
 	}
 	return f
 }
@@ -77,7 +81,6 @@ func FTrsvToMVCSC(a *sparse.CSC) *sparse.CSR {
 	for j := 0; j < n; j++ {
 		if a.P[j] < a.P[j+1] {
 			f.I = append(f.I, j)
-			f.X = append(f.X, 1)
 		}
 		f.P[j+1] = len(f.I)
 	}
@@ -90,9 +93,8 @@ func FTrsvToMVCSC(a *sparse.CSC) *sparse.CSR {
 // TRSV -> SpMV dependency inside a Gauss-Seidel sweep (the SpMV's row i
 // reads x[j] for every nonzero A[i][j], paper section 4.3).
 func FPattern(a *sparse.CSR) *sparse.CSR {
-	f := a.Clone()
-	for i := range f.X {
-		f.X[i] = 1
+	return &sparse.CSR{Rows: a.Rows, Cols: a.Cols,
+		P: append([]int(nil), a.P...),
+		I: append([]int(nil), a.I...),
 	}
-	return f
 }

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"sparsefusion/internal/dag"
+	"sparsefusion/internal/kernels"
+)
+
+// footprintKernel stubs the Kernel interface around a fixed footprint so the
+// reuse-ratio tests can exercise arbitrary sharing shapes.
+type footprintKernel struct{ fp []kernels.Var }
+
+func (k *footprintKernel) Name() string             { return "stub" }
+func (k *footprintKernel) Iterations() int          { return 1 }
+func (k *footprintKernel) DAG() *dag.Graph          { return dag.Parallel(1, []int{1}) }
+func (k *footprintKernel) Prepare()                 {}
+func (k *footprintKernel) Run(int)                  {}
+func (k *footprintKernel) Footprint() []kernels.Var { return k.fp }
+func (k *footprintKernel) Flops() int64             { return 0 }
+
+// reuseRatioQuadratic is the pre-map O(|f1|*|f2|) scan, kept as the reference
+// the indexed implementation must match bit for bit.
+func reuseRatioQuadratic(k1, k2 kernels.Kernel) float64 {
+	f1, f2 := k1.Footprint(), k2.Footprint()
+	common, t1, t2 := 0, 0, 0
+	for _, v := range f1 {
+		t1 += v.Size
+	}
+	for _, v := range f2 {
+		t2 += v.Size
+		for _, u := range f1 {
+			if u.Key != 0 && u.Key == v.Key {
+				common += v.Size
+				break
+			}
+		}
+	}
+	den := max(t1, t2)
+	if den == 0 {
+		return 0
+	}
+	return 2 * float64(common) / float64(den)
+}
+
+func TestReuseRatioMatchesQuadraticScan(t *testing.T) {
+	v := func(key uintptr, size int) kernels.Var { return kernels.Var{Key: key, Size: size} }
+	cases := [][2][]kernels.Var{
+		{{v(1, 10), v(2, 20)}, {v(2, 20), v(3, 5)}},
+		{{v(0, 10), v(2, 20)}, {v(0, 30), v(2, 20)}},        // zero keys never match
+		{{v(1, 10), v(1, 10), v(2, 4)}, {v(1, 7), v(1, 3)}}, // duplicate keys both sides
+		{{}, {v(1, 5)}},
+		{{v(0, 0)}, {v(0, 0)}}, // zero-size, zero-key
+		{{v(9, 100)}, {v(9, 100), v(8, 1), v(9, 50)}},
+	}
+	for i, c := range cases {
+		k1 := &footprintKernel{fp: c[0]}
+		k2 := &footprintKernel{fp: c[1]}
+		if got, want := ReuseRatio(k1, k2), reuseRatioQuadratic(k1, k2); got != want {
+			t.Fatalf("case %d: indexed %v != quadratic %v", i, got, want)
+		}
+	}
+}

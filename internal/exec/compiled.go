@@ -1,0 +1,291 @@
+package exec
+
+import (
+	"time"
+
+	"sparsefusion/internal/core"
+	"sparsefusion/internal/kernels"
+	"sparsefusion/internal/partition"
+)
+
+// This file is the compiled executor path. A core.Schedule (or baseline
+// partitioning) is flattened once into a core.Program, its single-loop run
+// segments are bound to concrete dispatch bodies, and the hot loop then walks
+// flat int32 slices: one kernels.BatchRunner call per segment instead of two
+// interface calls per iteration. Interleaved schedules, whose segments
+// shred down to a couple of iterations each, are coalesced into fused
+// two-kernel spans dispatched through a kernels.PairRunner. The slice-walking
+// Run*Legacy executors remain as the reference implementations these are
+// cross-checked against.
+
+// seg is one dispatch unit of a compiled w-partition: the iteration range
+// Iters[lo:hi] plus the cheapest body able to run it. Exactly one of pair,
+// batch or k drives dispatch, tried in that order.
+type seg struct {
+	lo, hi int32
+	pair   kernels.PairRunner  // fused two-kernel body for shredded spans
+	batch  kernels.BatchRunner // single-kernel batch body
+	k      kernels.Kernel      // per-iteration fallback
+	loop   uint8               // loop tag of batch/fallback segments
+}
+
+// pairRunLimit is the average iterations-per-segment below which an
+// alternating two-loop span dispatches through a fused pair body instead of
+// one batch call per tiny segment.
+const pairRunLimit = 8
+
+// Runner executes one compiled schedule. Compile once (at inspection time),
+// Run many times: solvers that execute the same schedule per sweep or per
+// solver iteration amortize the flattening the way they amortize inspection.
+type Runner struct {
+	prog *core.Program
+	ks   []kernels.Kernel
+	segs []seg
+	wSeg []int32 // segs[wSeg[w]:wSeg[w+1]] belong to w-partition w
+}
+
+// NewRunner binds a compiled program to its kernels, choosing each segment's
+// dispatch body.
+func NewRunner(ks []kernels.Kernel, prog *core.Program) *Runner {
+	batch := make([]kernels.BatchRunner, len(ks))
+	for i, k := range ks {
+		if b, ok := k.(kernels.BatchRunner); ok {
+			batch[i] = b
+		}
+	}
+	type pairKey struct{ a, b uint8 }
+	pairs := map[pairKey]kernels.PairRunner{}
+	pairFor := func(a, b uint8) kernels.PairRunner {
+		key := pairKey{a, b}
+		fn, seen := pairs[key]
+		if !seen {
+			fn, _ = kernels.FusePair(ks[a], ks[b], int(a), int(b))
+			pairs[key] = fn
+		}
+		return fn
+	}
+	r := &Runner{prog: prog, ks: ks, wSeg: make([]int32, 1, prog.NumWPartitions()+1)}
+	for w := 0; w < prog.NumWPartitions(); w++ {
+		g1 := int(prog.WSeg[w+1])
+		for g := int(prog.WSeg[w]); g < g1; {
+			// Coalesce a maximal span alternating between two loops into one
+			// pair segment when its segments are short enough that per-batch
+			// dispatch would dominate.
+			if g+1 < g1 {
+				l1, l2 := prog.SegLoop[g], prog.SegLoop[g+1]
+				end := g + 2
+				for end < g1 && (prog.SegLoop[end] == l1 || prog.SegLoop[end] == l2) {
+					end++
+				}
+				iters := int(prog.SegOff[end] - prog.SegOff[g])
+				if iters < (end-g)*pairRunLimit {
+					if fn := pairFor(l1, l2); fn != nil {
+						r.segs = append(r.segs, seg{lo: prog.SegOff[g], hi: prog.SegOff[end], pair: fn})
+						g = end
+						continue
+					}
+				}
+			}
+			s := seg{lo: prog.SegOff[g], hi: prog.SegOff[g+1], loop: prog.SegLoop[g]}
+			if b := batch[s.loop]; b != nil {
+				s.batch = b
+			} else {
+				s.k = r.ks[s.loop]
+			}
+			r.segs = append(r.segs, s)
+			g++
+		}
+		r.wSeg = append(r.wSeg, int32(len(r.segs)))
+	}
+	return r
+}
+
+// Program exposes the compiled representation, for tests and tooling.
+func (r *Runner) Program() *core.Program { return r.prog }
+
+// Run executes the compiled schedule with the same semantics and Stats
+// accounting as RunFusedLegacy: Prepare in loop order, one barrier per
+// s-partition, atomic scatter mode iff the caller is multi-threaded and the
+// schedule is actually wide.
+func (r *Runner) Run(threads int) Stats {
+	p := r.prog
+	parallel := threads > 1 && p.MaxWidth > 1
+	setAtomics(r.ks, parallel)
+	defer setAtomics(r.ks, false)
+	var st Stats
+	t0 := time.Now()
+	for _, k := range r.ks {
+		k.Prepare()
+	}
+	poolWidth := p.MaxWidth
+	if poolWidth < 1 {
+		poolWidth = 1
+	}
+	pl := newPool(poolWidth)
+	defer pl.close()
+	durs := make([]time.Duration, poolWidth)
+	for s := 0; s < p.NumSPartitions(); s++ {
+		w0 := int(p.SOff[s])
+		width := int(p.SOff[s+1]) - w0
+		if width == 0 {
+			accumulate(&st, durs[:0], threads)
+			continue
+		}
+		pl.run(width, func(w int) { r.runW(w0 + w) }, durs[:width])
+		accumulate(&st, durs[:width], threads)
+	}
+	st.Elapsed = time.Since(t0)
+	return st
+}
+
+// runW executes one w-partition, one dispatch per segment.
+func (r *Runner) runW(w int) {
+	for g := r.wSeg[w]; g < r.wSeg[w+1]; g++ {
+		sg := &r.segs[g]
+		iters := r.prog.Iters[sg.lo:sg.hi]
+		switch {
+		case sg.pair != nil:
+			sg.pair(iters)
+		case sg.batch != nil:
+			sg.batch.RunMany(iters)
+		default:
+			k := sg.k
+			for _, v := range iters {
+				k.Run(int(v & kernels.IterMask))
+			}
+		}
+	}
+}
+
+// CompileFused compiles an ICO schedule for the fused chain ks. It fails
+// only when the schedule exceeds the packed representation; callers fall
+// back to RunFusedLegacy then.
+func CompileFused(ks []kernels.Kernel, sched *core.Schedule) (*Runner, error) {
+	prog, err := core.CompileSchedule(sched, len(ks))
+	if err != nil {
+		return nil, err
+	}
+	return NewRunner(ks, prog), nil
+}
+
+// CompilePartitioned compiles a baseline partitioning of a single kernel's
+// DAG (everything is loop 0).
+func CompilePartitioned(k kernels.Kernel, p *partition.Partitioning) (*Runner, error) {
+	b, err := core.NewProgramBuilder(1)
+	if err != nil {
+		return nil, err
+	}
+	for _, sp := range p.S {
+		b.StartS()
+		for _, wp := range sp {
+			if err := b.StartW(); err != nil {
+				return nil, err
+			}
+			for _, v := range wp {
+				if err := b.Add(0, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return NewRunner([]kernels.Kernel{k}, b.Finish()), nil
+}
+
+// CompileJoint compiles a partitioning of the joint DAG of two kernels
+// (vertices 0..n1-1 are loop-1 iterations, n1.. are loop-2 iterations),
+// resolving the v < n1 split once instead of per iteration per run.
+func CompileJoint(k1, k2 kernels.Kernel, p *partition.Partitioning) (*Runner, error) {
+	n1 := k1.Iterations()
+	b, err := core.NewProgramBuilder(2)
+	if err != nil {
+		return nil, err
+	}
+	for _, sp := range p.S {
+		b.StartS()
+		for _, wp := range sp {
+			if err := b.StartW(); err != nil {
+				return nil, err
+			}
+			for _, v := range wp {
+				loop, idx := 0, v
+				if v >= n1 {
+					loop, idx = 1, v-n1
+				}
+				if err := b.Add(loop, idx); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return NewRunner([]kernels.Kernel{k1, k2}, b.Finish()), nil
+}
+
+// BenchBarrier runs rounds empty barrier rounds of the given width on a
+// fresh pool and returns the mean cost per barrier; the harness behind the
+// committed barrier-throughput numbers (cmd/spbench).
+func BenchBarrier(workers, rounds int) time.Duration {
+	pl := newPool(workers)
+	defer pl.close()
+	durs := make([]time.Duration, workers)
+	body := func(int) {}
+	t0 := time.Now()
+	for i := 0; i < rounds; i++ {
+		pl.run(workers, body, durs)
+	}
+	return time.Since(t0) / time.Duration(rounds)
+}
+
+// RunChainCompiled executes kernels one after another, each under a
+// pre-compiled Runner. Entries with a nil runner fall back to the matching
+// partitioning (or run sequentially when that is nil too), mirroring
+// RunChain's accounting.
+func RunChainCompiled(ks []kernels.Kernel, rs []*Runner, ps []*partition.Partitioning, threads int) Stats {
+	var st Stats
+	t0 := time.Now()
+	for i, k := range ks {
+		var s Stats
+		switch {
+		case rs[i] != nil:
+			s = rs[i].Run(threads)
+		case ps[i] == nil:
+			s = RunSequentialKernel(k)
+		default:
+			s = RunPartitionedLegacy(k, ps[i], threads)
+		}
+		st.Barriers += s.Barriers
+		st.PotentialGain += s.PotentialGain
+	}
+	st.Elapsed = time.Since(t0)
+	return st
+}
+
+// RunFused executes the fused loops under a core.Schedule produced by ICO.
+// ks[l] is the kernel of loop l; each kernel's Prepare runs first, in loop
+// order. threads only affects the potential-gain normalization and atomic
+// mode — the schedule's own w-partition structure decides actual
+// parallelism. The schedule is compiled on every call; callers that rerun
+// one schedule should compile once via CompileFused and Run the Runner.
+func RunFused(ks []kernels.Kernel, sched *core.Schedule, threads int) Stats {
+	if r, err := CompileFused(ks, sched); err == nil {
+		return r.Run(threads)
+	}
+	return RunFusedLegacy(ks, sched, threads)
+}
+
+// RunPartitioned executes one kernel under a baseline partitioning
+// (wavefront, LBC or DAGP schedule of the kernel's own DAG).
+func RunPartitioned(k kernels.Kernel, p *partition.Partitioning, threads int) Stats {
+	if r, err := CompilePartitioned(k, p); err == nil {
+		return r.Run(threads)
+	}
+	return RunPartitionedLegacy(k, p, threads)
+}
+
+// RunJoint executes two kernels under a partitioning of their joint DAG:
+// the fused-wavefront / fused-LBC / fused-DAGP baselines.
+func RunJoint(k1, k2 kernels.Kernel, p *partition.Partitioning, threads int) Stats {
+	if r, err := CompileJoint(k1, k2, p); err == nil {
+		return r.Run(threads)
+	}
+	return RunJointLegacy(k1, k2, p, threads)
+}

@@ -64,12 +64,12 @@ func accumulate(st *Stats, durs []time.Duration, threads int) {
 	}
 }
 
-// RunFused executes the fused loops under a core.Schedule produced by ICO.
-// ks[l] is the kernel of loop l; each kernel's Prepare runs first, in loop
-// order. threads only affects the potential-gain normalization and atomic
-// mode — the schedule's own w-partition structure decides actual
-// parallelism.
-func RunFused(ks []kernels.Kernel, sched *core.Schedule, threads int) Stats {
+// RunFusedLegacy executes the fused loops by walking the three-level
+// core.Schedule directly, dispatching every iteration through the Kernel
+// interface. It is the reference implementation the compiled path
+// (CompileFused) is cross-checked against, and the fallback when a schedule
+// does not fit the packed Program representation.
+func RunFusedLegacy(ks []kernels.Kernel, sched *core.Schedule, threads int) Stats {
 	parallel := threads > 1 && sched.MaxWidth() > 1
 	setAtomics(ks, parallel)
 	defer setAtomics(ks, false)
@@ -93,9 +93,10 @@ func RunFused(ks []kernels.Kernel, sched *core.Schedule, threads int) Stats {
 	return st
 }
 
-// RunPartitioned executes one kernel under a baseline partitioning
-// (wavefront, LBC or DAGP schedule of the kernel's own DAG).
-func RunPartitioned(k kernels.Kernel, p *partition.Partitioning, threads int) Stats {
+// RunPartitionedLegacy executes one kernel under a baseline partitioning by
+// walking the partition slices directly; reference implementation and
+// fallback for CompilePartitioned.
+func RunPartitionedLegacy(k kernels.Kernel, p *partition.Partitioning, threads int) Stats {
 	parallel := threads > 1 && anyWide(p)
 	setAtomics([]kernels.Kernel{k}, parallel)
 	defer setAtomics([]kernels.Kernel{k}, false)
@@ -136,10 +137,28 @@ func RunChain(ks []kernels.Kernel, ps []*partition.Partitioning, threads int) St
 	return st
 }
 
-// RunJoint executes two kernels under a partitioning of their joint DAG
-// (vertices 0..n1-1 are loop-1 iterations, n1.. are loop-2 iterations):
-// the fused-wavefront / fused-LBC / fused-DAGP baselines.
-func RunJoint(k1, k2 kernels.Kernel, p *partition.Partitioning, threads int) Stats {
+// RunChainLegacy is RunChain over the slice-walking partitioned executor.
+func RunChainLegacy(ks []kernels.Kernel, ps []*partition.Partitioning, threads int) Stats {
+	var st Stats
+	t0 := time.Now()
+	for i, k := range ks {
+		var s Stats
+		if ps[i] == nil {
+			s = RunSequentialKernel(k)
+		} else {
+			s = RunPartitionedLegacy(k, ps[i], threads)
+		}
+		st.Barriers += s.Barriers
+		st.PotentialGain += s.PotentialGain
+	}
+	st.Elapsed = time.Since(t0)
+	return st
+}
+
+// RunJointLegacy executes two kernels under a partitioning of their joint
+// DAG by testing v < n1 on every vertex; reference implementation and
+// fallback for CompileJoint.
+func RunJointLegacy(k1, k2 kernels.Kernel, p *partition.Partitioning, threads int) Stats {
 	n1 := k1.Iterations()
 	parallel := threads > 1 && anyWide(p)
 	setAtomics([]kernels.Kernel{k1, k2}, parallel)

@@ -1,66 +1,222 @@
 package exec
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// pool is a reusable set of worker goroutines for barrier-synchronized
-// execution. Spawning goroutines per s-partition costs a few microseconds
-// each; with hundreds of barriers per executor run that overhead rivals the
-// kernel work itself, so the executors start one pool per run and reuse it
-// across every barrier.
+// pool is a persistent set of worker goroutines synchronized by a
+// sense-reversing spin barrier. The previous implementation handed a closure
+// to each worker through a channel per barrier; at the hundreds of barriers
+// per executor run produced by fused schedules, the channel send/receive and
+// sync.WaitGroup traffic dominated the synchronization cost. Here a round is
+// published with a single atomic store and completion is a single atomic
+// counter, so an uncontended barrier is two atomic operations per worker.
+//
+// Wakeup policy: waiters spin on the atomic for a short budget (trimmed to
+// almost nothing when GOMAXPROCS < workers, where spinning only steals time
+// from the goroutine being waited on), then yield with runtime.Gosched for a
+// few rounds, then park on a per-worker channel. Parking uses the classic
+// flag-then-recheck protocol so a wakeup can never be lost: a waiter raises
+// its flag and re-reads the condition before blocking, and a releaser changes
+// the condition before testing the flag, so at least one side always sees the
+// other.
 type pool struct {
 	workers int
-	work    []chan func()
-	wg      sync.WaitGroup
+	spin    int // spin iterations before yielding
+
+	// word publishes rounds to the workers as epoch<<wordPartsBits | parts.
+	// Packing the width into the same word the workers synchronize on means
+	// a worker always decodes the width from the exact round it observed —
+	// a separate plain field could pair a new epoch with a stale width.
+	word    atomic.Uint64
+	arrived atomic.Int32 // workers finished with the current round
+	closed  atomic.Bool
+
+	// body and durs are the current round's work; they are published by the
+	// atomic store to word and stable until every participant has arrived.
+	body func(int)
+	durs []time.Duration
+
+	park []parkSlot // slot 0 is the caller, slots 1.. the workers
+	wg   sync.WaitGroup
+}
+
+const (
+	wordPartsBits = 16
+	wordPartsMask = 1<<wordPartsBits - 1
+
+	yieldRounds = 128
+)
+
+// parkSlot is the per-goroutine parking space, padded out to its own cache
+// line so a releaser testing one flag does not bounce its neighbors.
+type parkSlot struct {
+	flag atomic.Bool   // raised while the owner is parking
+	ch   chan struct{} // capacity 1; at most one token in flight
+	_    [48]byte
 }
 
 // newPool starts workers-1 goroutines (the caller's goroutine acts as
-// worker 0, saving one handoff per barrier).
+// worker 0, saving one handoff per barrier). workers < 1 is clamped to 1:
+// empty schedules ask for a zero-width pool but still need the caller slot.
 func newPool(workers int) *pool {
-	p := &pool{workers: workers}
-	p.work = make([]chan func(), workers)
+	if workers < 1 {
+		workers = 1
+	}
+	p := &pool{workers: workers, spin: 30_000}
+	if runtime.GOMAXPROCS(0) < workers {
+		// Oversubscribed: a spinning waiter occupies the CPU its producer
+		// needs, so go straight to yielding.
+		p.spin = 1
+	}
+	p.park = make([]parkSlot, workers)
+	for i := range p.park {
+		p.park[i].ch = make(chan struct{}, 1)
+	}
+	p.wg.Add(workers - 1)
 	for w := 1; w < workers; w++ {
-		ch := make(chan func(), 1)
-		p.work[w] = ch
-		go func() {
-			for fn := range ch {
-				fn()
-				p.wg.Done()
-			}
-		}()
+		go p.worker(w)
 	}
 	return p
 }
 
 // run executes body(0..parts-1) in parallel and returns per-part durations
-// in durs. parts must not exceed the pool's worker count.
+// in durs. It panics if parts exceeds the pool's worker count: workers beyond
+// the pool size do not exist, and silently running their parts on the caller
+// would serialize the barrier and corrupt the duration accounting.
 func (p *pool) run(parts int, body func(w int), durs []time.Duration) {
+	if parts > p.workers {
+		panic(fmt.Sprintf("exec: pool.run called with %d parts on a pool of %d workers", parts, p.workers))
+	}
 	if parts == 1 {
 		t0 := time.Now()
 		body(0)
 		durs[0] = time.Since(t0)
 		return
 	}
-	p.wg.Add(parts - 1)
+	p.body = body
+	p.durs = durs
+	p.arrived.Store(0)
+	epoch := p.word.Load() >> wordPartsBits
+	p.word.Store((epoch+1)<<wordPartsBits | uint64(parts))
 	for w := 1; w < parts; w++ {
-		w := w
-		p.work[w] <- func() {
-			t0 := time.Now()
-			body(w)
-			durs[w] = time.Since(t0)
-		}
+		p.release(w)
 	}
 	t0 := time.Now()
 	body(0)
 	durs[0] = time.Since(t0)
+	p.awaitArrived(int32(parts - 1))
+}
+
+// close stops the workers and waits for them to exit.
+func (p *pool) close() {
+	if p.workers == 1 {
+		return
+	}
+	p.closed.Store(true)
+	p.word.Add(1 << wordPartsBits) // new epoch so spinners re-check closed
+	for w := 1; w < p.workers; w++ {
+		p.release(w)
+	}
 	p.wg.Wait()
 }
 
-// close stops the workers.
-func (p *pool) close() {
-	for w := 1; w < p.workers; w++ {
-		close(p.work[w])
+func (p *pool) worker(w int) {
+	defer p.wg.Done()
+	// The baseline is the zero word, not a fresh load: a worker scheduled
+	// late could otherwise adopt an already-published round as "seen" and
+	// never join it, deadlocking the caller. Epochs only grow, so every
+	// published round differs from zero.
+	last := uint64(0)
+	for {
+		word := p.awaitWord(w, last)
+		if p.closed.Load() {
+			return
+		}
+		last = word
+		parts := int(word & wordPartsMask)
+		if w >= parts {
+			continue // idle this round; the width came from the same word
+		}
+		t0 := time.Now()
+		p.body(w)
+		p.durs[w] = time.Since(t0)
+		if p.arrived.Add(1) == int32(parts-1) {
+			p.release(0) // last arriver wakes the caller if it parked
+		}
+	}
+}
+
+// awaitWord blocks worker slot until the round word changes from last,
+// escalating spin -> yield -> park.
+func (p *pool) awaitWord(slot int, last uint64) uint64 {
+	for i := 0; i < p.spin; i++ {
+		if w := p.word.Load(); w != last {
+			return w
+		}
+	}
+	for i := 0; i < yieldRounds; i++ {
+		if w := p.word.Load(); w != last {
+			return w
+		}
+		runtime.Gosched()
+	}
+	s := &p.park[slot]
+	for {
+		s.flag.Store(true)
+		if w := p.word.Load(); w != last {
+			if !s.flag.Swap(false) {
+				<-s.ch // a releaser consumed the flag: drain its token
+			}
+			return w
+		}
+		<-s.ch
+		if w := p.word.Load(); w != last {
+			return w
+		}
+	}
+}
+
+// awaitArrived blocks the caller (slot 0) until want workers have finished
+// the current round, escalating spin -> yield -> park.
+func (p *pool) awaitArrived(want int32) {
+	for i := 0; i < p.spin; i++ {
+		if p.arrived.Load() == want {
+			return
+		}
+	}
+	for i := 0; i < yieldRounds; i++ {
+		if p.arrived.Load() == want {
+			return
+		}
+		runtime.Gosched()
+	}
+	s := &p.park[0]
+	for {
+		s.flag.Store(true)
+		if p.arrived.Load() == want {
+			if !s.flag.Swap(false) {
+				<-s.ch
+			}
+			return
+		}
+		<-s.ch
+		if p.arrived.Load() == want {
+			return
+		}
+	}
+}
+
+// release wakes slot if it is parked (or about to park). Lowering the flag
+// and sending are paired: only the side that wins the Swap sends, so the
+// capacity-1 channel never accumulates stale tokens.
+func (p *pool) release(slot int) {
+	s := &p.park[slot]
+	if s.flag.Swap(false) {
+		s.ch <- struct{}{}
 	}
 }

@@ -64,6 +64,50 @@ func TestPoolDistinctWorkersConcurrent(t *testing.T) {
 	}
 }
 
+func TestPoolTooManyPartsPanics(t *testing.T) {
+	pl := newPool(2)
+	defer pl.close()
+	durs := make([]time.Duration, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("run with parts > workers did not panic")
+		}
+	}()
+	pl.run(3, func(w int) {}, durs)
+}
+
+// TestPoolZeroWorkersClamps covers the empty-schedule path: executors size
+// the pool from MaxWidth, which can be zero, and the pool must still serve
+// width-1 rounds on the caller's goroutine.
+func TestPoolZeroWorkersClamps(t *testing.T) {
+	pl := newPool(0)
+	defer pl.close()
+	durs := make([]time.Duration, 1)
+	ran := false
+	pl.run(1, func(w int) { ran = true }, durs)
+	if !ran {
+		t.Fatal("zero-worker pool did not run the caller's part")
+	}
+}
+
+// TestPoolManyRoundsVaryingWidth hammers the barrier with width changes so
+// idle workers repeatedly park across rounds they do not participate in.
+func TestPoolManyRoundsVaryingWidth(t *testing.T) {
+	pl := newPool(6)
+	defer pl.close()
+	durs := make([]time.Duration, 6)
+	var count int64
+	want := int64(0)
+	for round := 0; round < 500; round++ {
+		parts := 1 + round%6
+		want += int64(parts)
+		pl.run(parts, func(w int) { atomic.AddInt64(&count, 1) }, durs[:parts])
+	}
+	if count != want {
+		t.Fatalf("ran %d of %d parts", count, want)
+	}
+}
+
 func TestPoolSingleWorker(t *testing.T) {
 	pl := newPool(1)
 	defer pl.close()

@@ -1,0 +1,283 @@
+package kernels
+
+import "sparsefusion/internal/atomicf"
+
+// This file defines the batch-execution ABI shared by the compiled executor
+// (core.Program + internal/exec): schedules are flattened into one int32
+// iteration stream with the loop tag packed into the high bits, and kernels
+// that implement BatchRunner consume a whole single-loop run segment with a
+// single dynamic dispatch instead of one Kernel.Run interface call per
+// iteration.
+
+const (
+	// LoopShift is the bit position of the loop tag inside a packed stream
+	// entry: bits 0..LoopShift-1 hold the iteration index, bits LoopShift..30
+	// the loop number. 27 index bits bound fusable loops at 2^27 iterations
+	// each, far beyond what fits in memory; 4 tag bits bound a fused chain at
+	// MaxLoops loops, beyond the deepest Gauss-Seidel unrolling in use.
+	LoopShift = 27
+	// MaxLoops is the largest fusable chain a packed stream can tag.
+	MaxLoops = 16
+	// IterMask extracts the iteration index from a packed entry.
+	IterMask int32 = 1<<LoopShift - 1
+	// MaxIterations is the largest per-loop trip count a packed entry can hold.
+	MaxIterations = 1 << LoopShift
+)
+
+// PackIter packs (loop, idx) into one stream entry. Callers must have
+// checked loop < MaxLoops and idx < MaxIterations.
+func PackIter(loop, idx int) int32 { return int32(loop)<<LoopShift | int32(idx) }
+
+// UnpackIter splits a stream entry into (loop, idx).
+func UnpackIter(v int32) (loop, idx int) { return int(v >> LoopShift), int(v & IterMask) }
+
+// BatchRunner is implemented by kernels whose per-iteration body is cheap
+// enough that the Kernel.Run interface dispatch is measurable: RunMany
+// executes a whole run segment of packed entries (all tagged with this
+// kernel's loop), masking each entry with IterMask. The dependency contract
+// is the same as Run's, applied elementwise in stream order.
+type BatchRunner interface {
+	RunMany(iters []int32)
+}
+
+// PairRunner executes one mixed two-loop segment of a packed stream:
+// interleaved packing alternates producer and consumer iterations, which
+// shreds single-loop run segments down to a handful of entries and would turn
+// batch dispatch back into per-iteration dispatch. A PairRunner is
+// specialized to the two concrete kernel types, so the per-entry branch is a
+// tag compare plus a direct (devirtualized) call.
+type PairRunner func(iters []int32)
+
+// FusePair returns a specialized mixed-segment body for the hot
+// producer-consumer pairs of the paper's Table 1 and the Gauss-Seidel/PCG
+// solvers, or ok=false when the pair has no specialization. loop1 and loop2
+// are the stream tags of k1 and k2.
+func FusePair(k1, k2 Kernel, loop1, loop2 int) (fn PairRunner, ok bool) {
+	t1 := int32(loop1) << LoopShift
+	tagMask := ^IterMask
+	switch a := k1.(type) {
+	case *SpTRSVCSR:
+		switch b := k2.(type) {
+		case *SpMVCSC: // TRSV-MV (Table 1 row 3), PCG matvec feed
+			return func(iters []int32) {
+				for _, v := range iters {
+					i := int(v & IterMask)
+					if v&tagMask == t1 {
+						a.Run(i)
+					} else {
+						b.Run(i)
+					}
+				}
+			}, true
+		case *SpMVPlusCSR: // sweep s TRSV -> sweep s+1 SpMV+b (Gauss-Seidel)
+			return func(iters []int32) {
+				for _, v := range iters {
+					i := int(v & IterMask)
+					if v&tagMask == t1 {
+						a.Run(i)
+					} else {
+						b.Run(i)
+					}
+				}
+			}, true
+		case *SpTRSVCSR: // TRSV-TRSV (Table 1 row 1)
+			return func(iters []int32) {
+				for _, v := range iters {
+					i := int(v & IterMask)
+					if v&tagMask == t1 {
+						a.Run(i)
+					} else {
+						b.Run(i)
+					}
+				}
+			}, true
+		}
+	case *SpMVPlusCSR: // SpMV+b -> TRSV inside one Gauss-Seidel sweep
+		if b, ok := k2.(*SpTRSVCSR); ok {
+			return func(iters []int32) {
+				for _, v := range iters {
+					i := int(v & IterMask)
+					if v&tagMask == t1 {
+						a.Run(i)
+					} else {
+						b.Run(i)
+					}
+				}
+			}, true
+		}
+	case *SpTRSVCSC: // forward solve -> backward solve (IC0 preconditioner)
+		if b, ok := k2.(*SpTRSVTransCSC); ok {
+			return func(iters []int32) {
+				for _, v := range iters {
+					i := int(v & IterMask)
+					if v&tagMask == t1 {
+						a.Run(i)
+					} else {
+						b.Run(i)
+					}
+				}
+			}, true
+		}
+	}
+	return nil, false
+}
+
+// RunMany computes Y[i] = A[i][:]*X for each packed entry.
+func (k *SpMVCSR) RunMany(iters []int32) {
+	a := k.A
+	for _, v := range iters {
+		i := int(v & IterMask)
+		s := 0.0
+		for p := a.P[i]; p < a.P[i+1]; p++ {
+			s += a.X[p] * k.X[a.I[p]]
+		}
+		k.Y[i] = s
+	}
+}
+
+// RunMany scatters Y += A[:,j]*X[j] for each packed entry; the Atomic flag is
+// hoisted out of the per-entry loop.
+func (k *SpMVCSC) RunMany(iters []int32) {
+	a := k.A
+	if k.Atomic {
+		for _, v := range iters {
+			j := int(v & IterMask)
+			xj := k.X[j]
+			for p := a.P[j]; p < a.P[j+1]; p++ {
+				atomicf.Add(&k.Y[a.I[p]], a.X[p]*xj)
+			}
+		}
+		return
+	}
+	for _, v := range iters {
+		j := int(v & IterMask)
+		xj := k.X[j]
+		for p := a.P[j]; p < a.P[j+1]; p++ {
+			k.Y[a.I[p]] += a.X[p] * xj
+		}
+	}
+}
+
+// RunMany computes Y[i] = B[i] + A[i][:]*X for each packed entry.
+func (k *SpMVPlusCSR) RunMany(iters []int32) {
+	a := k.A
+	for _, v := range iters {
+		i := int(v & IterMask)
+		s := k.B[i]
+		for p := a.P[i]; p < a.P[i+1]; p++ {
+			s += a.X[p] * k.X[a.I[p]]
+		}
+		k.Y[i] = s
+	}
+}
+
+// RunMany solves the rows of the packed entries in stream order.
+func (k *SpTRSVCSR) RunMany(iters []int32) {
+	l := k.L
+	for _, v := range iters {
+		i := int(v & IterMask)
+		xi := k.B[i]
+		end := l.P[i+1] - 1
+		for p := l.P[i]; p < end; p++ {
+			xi -= l.X[p] * k.X[l.I[p]]
+		}
+		k.X[i] = xi / l.X[end]
+	}
+}
+
+// RunMany finalizes and scatters the columns of the packed entries in stream
+// order; the Atomic flag is hoisted out of the per-entry loop.
+func (k *SpTRSVCSC) RunMany(iters []int32) {
+	l := k.L
+	if k.Atomic {
+		for _, v := range iters {
+			j := int(v & IterMask)
+			p := l.P[j]
+			xj := (k.B[j] + k.X[j]) / l.X[p]
+			k.X[j] = xj
+			for p++; p < l.P[j+1]; p++ {
+				atomicf.Add(&k.X[l.I[p]], -l.X[p]*xj)
+			}
+		}
+		return
+	}
+	for _, v := range iters {
+		j := int(v & IterMask)
+		p := l.P[j]
+		xj := (k.B[j] + k.X[j]) / l.X[p]
+		k.X[j] = xj
+		for p++; p < l.P[j+1]; p++ {
+			k.X[l.I[p]] -= l.X[p] * xj
+		}
+	}
+}
+
+// RunMany solves the packed entries' columns of L' in stream order.
+func (k *SpTRSVTransCSC) RunMany(iters []int32) {
+	l := k.L
+	for _, v := range iters {
+		it := int(v & IterMask)
+		j := l.Cols - 1 - it
+		p := l.P[j]
+		diag := l.X[p]
+		xj := k.B[j]
+		for p++; p < l.P[j+1]; p++ {
+			xj -= l.X[p] * k.X[l.I[p]]
+		}
+		k.X[j] = xj / diag
+	}
+}
+
+// RunMany solves the packed entries' unit-lower rows in stream order.
+func (k *SpTRSVUnitLowerCSR) RunMany(iters []int32) {
+	lu := k.LU
+	for _, v := range iters {
+		i := int(v & IterMask)
+		xi := k.B[i]
+		for p := lu.P[i]; p < lu.P[i+1]; p++ {
+			j := lu.I[p]
+			if j >= i {
+				break
+			}
+			xi -= lu.X[p] * k.X[j]
+		}
+		k.X[i] = xi
+	}
+}
+
+// RunMany scales the packed entries' rows.
+func (k *DScalCSR) RunMany(iters []int32) {
+	a := k.A
+	for _, v := range iters {
+		i := int(v & IterMask)
+		di := k.D[i]
+		for p := a.P[i]; p < a.P[i+1]; p++ {
+			k.Out.X[p] = di * a.X[p] * k.D[a.I[p]]
+		}
+	}
+}
+
+// RunMany scales the packed entries' columns.
+func (k *DScalCSC) RunMany(iters []int32) {
+	a := k.A
+	for _, v := range iters {
+		j := int(v & IterMask)
+		dj := k.D[j]
+		for p := a.P[j]; p < a.P[j+1]; p++ {
+			k.Out.X[p] = k.D[a.I[p]] * a.X[p] * dj
+		}
+	}
+}
+
+// Compile-time checks that every cheap-bodied kernel stays batchable.
+var (
+	_ BatchRunner = (*SpMVCSR)(nil)
+	_ BatchRunner = (*SpMVCSC)(nil)
+	_ BatchRunner = (*SpMVPlusCSR)(nil)
+	_ BatchRunner = (*SpTRSVCSR)(nil)
+	_ BatchRunner = (*SpTRSVCSC)(nil)
+	_ BatchRunner = (*SpTRSVTransCSC)(nil)
+	_ BatchRunner = (*SpTRSVUnitLowerCSR)(nil)
+	_ BatchRunner = (*DScalCSR)(nil)
+	_ BatchRunner = (*DScalCSC)(nil)
+)

@@ -95,7 +95,8 @@ func (a *CSR) Validate() error {
 	if len(a.P) != a.Rows+1 {
 		return fmt.Errorf("sparse: row pointer length %d, want %d", len(a.P), a.Rows+1)
 	}
-	if a.P[0] != 0 || a.P[a.Rows] != len(a.I) || len(a.I) != len(a.X) {
+	// Pattern-only matrices (dependency matrices F) carry no value array.
+	if a.P[0] != 0 || a.P[a.Rows] != len(a.I) || (len(a.X) != 0 && len(a.I) != len(a.X)) {
 		return fmt.Errorf("sparse: inconsistent pointer/index/value lengths")
 	}
 	for r := 0; r < a.Rows; r++ {
@@ -138,12 +139,15 @@ func (a *CSR) ToCSC() *CSC {
 	}
 	next := make([]int, a.Cols)
 	copy(next, b.P[:a.Cols])
+	vals := len(a.X) != 0 // pattern-only matrices carry no values
 	for r := 0; r < a.Rows; r++ {
 		for k := a.P[r]; k < a.P[r+1]; k++ {
 			c := a.I[k]
 			dst := next[c]
 			b.I[dst] = r
-			b.X[dst] = a.X[k]
+			if vals {
+				b.X[dst] = a.X[k]
+			}
 			next[c]++
 		}
 	}
@@ -321,12 +325,16 @@ func (a *CSR) IsSymmetricPattern() bool {
 }
 
 // At returns the value stored at (r, c), or 0 when the entry is not present.
+// Stored entries of a pattern-only matrix (no value array) read as 1.
 func (a *CSR) At(r, c int) float64 {
 	lo, hi := a.P[r], a.P[r+1]
 	for lo < hi {
 		mid := (lo + hi) / 2
 		switch {
 		case a.I[mid] == c:
+			if len(a.X) == 0 {
+				return 1
+			}
 			return a.X[mid]
 		case a.I[mid] < c:
 			lo = mid + 1

@@ -23,7 +23,9 @@ type IC0Preconditioner struct {
 	z     []float64 // output of the backward kernel
 	ks    []kernels.Kernel
 	sched *core.Schedule
-	th    int
+	// run is the compiled apply; nil falls back to the legacy executor.
+	run *exec.Runner
+	th  int
 }
 
 // NewIC0Preconditioner factors tril(A) with IC0 and inspects the fused
@@ -69,6 +71,7 @@ func NewIC0Preconditioner(m *Matrix, opts Options) (*IC0Preconditioner, error) {
 		return nil, fmt.Errorf("sparsefusion: internal schedule error: %w", err)
 	}
 	p.sched = sched
+	p.run, _ = exec.CompileFused(p.ks, sched)
 	return p, nil
 }
 
@@ -79,7 +82,11 @@ func (p *IC0Preconditioner) Apply(r, z []float64) ([]float64, error) {
 		return nil, fmt.Errorf("sparsefusion: apply length %d, want %d", len(r), p.n)
 	}
 	copy(p.r, r)
-	exec.RunFused(p.ks, p.sched, p.th)
+	if p.run != nil {
+		p.run.Run(p.th)
+	} else {
+		exec.RunFusedLegacy(p.ks, p.sched, p.th)
+	}
 	if z == nil {
 		z = make([]float64, p.n)
 	}

@@ -176,7 +176,11 @@ type Report struct {
 type Operation struct {
 	inst  *combos.Instance
 	sched *core.Schedule
-	th    int
+	// runner is the schedule compiled to the flat executor form; nil when
+	// the schedule exceeds the packed representation, in which case Run
+	// falls back to the slice-walking reference executor.
+	runner *exec.Runner
+	th     int
 }
 
 // NewOperation inspects combination c over the SPD matrix m.
@@ -190,7 +194,8 @@ func NewOperation(c Combination, m *Matrix, opts Options) (*Operation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Operation{inst: inst, sched: sched, th: th}, nil
+	runner, _ := exec.CompileFused(inst.Kernels, sched)
+	return &Operation{inst: inst, sched: sched, runner: runner, th: th}, nil
 }
 
 // SetInput overwrites the operation's input vector. Matrix-only combinations
@@ -221,7 +226,12 @@ func (op *Operation) Barriers() int { return op.sched.NumSPartitions() }
 
 // Run executes the fused schedule once.
 func (op *Operation) Run() Report {
-	st := exec.RunFused(op.inst.Kernels, op.sched, op.th)
+	var st exec.Stats
+	if op.runner != nil {
+		st = op.runner.Run(op.th)
+	} else {
+		st = exec.RunFusedLegacy(op.inst.Kernels, op.sched, op.th)
+	}
 	return Report{
 		Time:     st.Elapsed,
 		Barriers: st.Barriers,
@@ -253,5 +263,6 @@ func NewOperationFromSchedule(c Combination, m *Matrix, r io.Reader, opts Option
 	if err := inst.Loops.Validate(sched); err != nil {
 		return nil, fmt.Errorf("sparsefusion: saved schedule does not match this matrix: %w", err)
 	}
-	return &Operation{inst: inst, sched: sched, th: opts.threads()}, nil
+	runner, _ := exec.CompileFused(inst.Kernels, sched)
+	return &Operation{inst: inst, sched: sched, runner: runner, th: opts.threads()}, nil
 }
