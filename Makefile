@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench
+.PHONY: build test race bench bench-inspector check-inspector
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/exec/... ./internal/core/...
+	$(GO) test -race ./internal/exec/... ./internal/core/... ./internal/dag/... ./internal/lbc/...
 
 # bench regenerates BENCH_exec.json: compiled-vs-legacy executor timings and
 # spin-barrier throughput on fixed-seed synthetic fixtures.
 bench:
-	$(GO) run ./cmd/spbench -out BENCH_exec.json
+	$(GO) run ./cmd/spbench -mode exec -out BENCH_exec.json
+
+# bench-inspector regenerates BENCH_inspector.json: per-stage inspection
+# timings (reference vs serial vs parallel), byte-identity verdicts, and the
+# executor-economics break-even run counts.
+bench-inspector:
+	$(GO) run ./cmd/spbench -mode inspector -out BENCH_inspector.json
+
+# check-inspector re-measures and fails (exit 1) if any headline number
+# regressed more than 25% against the committed BENCH_inspector.json.
+check-inspector:
+	$(GO) run ./cmd/spbench -mode inspector -check -out BENCH_inspector.json

@@ -1,12 +1,23 @@
-// Command spbench benchmarks the compiled executor (flat program + batch
-// dispatch + spin-barrier pool) against the legacy slice-walking executor on
-// fixed-seed synthetic fixtures and writes the results as JSON
-// (BENCH_exec.json at the repository root). Fixtures are deterministic, so
-// reruns on one machine are comparable; the file records the machine shape
-// alongside the numbers.
+// Command spbench benchmarks the runtime against fixed-seed synthetic
+// fixtures and writes the results as JSON at the repository root:
+//
+//	-mode exec       — compiled executor (flat program + batch dispatch +
+//	                   spin-barrier pool) vs the legacy slice-walking
+//	                   executor (BENCH_exec.json)
+//	-mode inspector  — the parallel, allocation-lean inspector vs the frozen
+//	                   serial reference (internal/refinspect), with
+//	                   per-stage timings and the break-even run count
+//	                   (BENCH_inspector.json)
+//
+// Fixtures are deterministic, so reruns on one machine are comparable; each
+// file records the machine shape alongside the numbers. -check re-measures
+// and compares against the committed JSON instead of overwriting it, exiting
+// nonzero when a headline metric regressed by more than 25% — the guard the
+// Makefile's bench targets and CI can run.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,6 +31,8 @@ import (
 	"sparsefusion/internal/exec"
 	"sparsefusion/internal/kernels"
 	"sparsefusion/internal/lbc"
+	"sparsefusion/internal/partition"
+	"sparsefusion/internal/refinspect"
 	"sparsefusion/internal/sparse"
 )
 
@@ -43,84 +56,115 @@ type barrierResult struct {
 	BarriersPerSec float64 `json:"barriers_per_sec"`
 }
 
+// stageNs is InspectorTimings in JSON form.
+type stageNs struct {
+	Setup   int64 `json:"setup_ns"`
+	Head    int64 `json:"head_ns"`
+	Pairing int64 `json:"pairing_ns"`
+	Merge   int64 `json:"merge_ns"`
+	Slack   int64 `json:"slack_ns"`
+	Pack    int64 `json:"pack_ns"`
+}
+
+func toStageNs(t core.InspectorTimings) stageNs {
+	return stageNs{
+		Setup:   t.Setup.Nanoseconds(),
+		Head:    t.Head.Nanoseconds(),
+		Pairing: t.Pairing.Nanoseconds(),
+		Merge:   t.Merge.Nanoseconds(),
+		Slack:   t.Slack.Nanoseconds(),
+		Pack:    t.Pack.Nanoseconds(),
+	}
+}
+
+type inspectorResult struct {
+	Name       string `json:"name"`
+	N          int    `json:"n"`
+	Iterations int    `json:"iterations"`
+	// ReferenceNs is the frozen seed-era serial inspector (refinspect.ICO).
+	ReferenceNs int64 `json:"reference_ns"`
+	// SerialNs / ParallelNs are the optimized pipeline at Workers=1 and
+	// Workers=threads; stage breakdowns accompany each.
+	SerialNs       int64   `json:"serial_ns"`
+	ParallelNs     int64   `json:"parallel_ns"`
+	SerialStages   stageNs `json:"serial_stages"`
+	ParallelStages stageNs `json:"parallel_stages"`
+	// ByteIdentical confirms all three pipelines serialized to the same
+	// schedule bytes (the determinism contract, also asserted by tests).
+	ByteIdentical bool    `json:"byte_identical"`
+	SpeedupSerial float64 `json:"speedup_serial_vs_reference"`
+	Speedup       float64 `json:"speedup_vs_reference"`
+	// Break-even economics: the fused executor gains FusedGainNs per run
+	// over the unfused per-kernel LBC chain, so the parallel inspection
+	// amortizes after BreakEvenRuns executor runs.
+	FusedNs       int64   `json:"fused_ns_per_run"`
+	UnfusedNs     int64   `json:"unfused_ns_per_run"`
+	FusedGainNs   int64   `json:"fused_gain_ns_per_run"`
+	BreakEvenRuns float64 `json:"break_even_runs"`
+}
+
 type report struct {
-	GoVersion string           `json:"go_version"`
-	GOOS      string           `json:"goos"`
-	GOARCH    string           `json:"goarch"`
-	NumCPU    int              `json:"num_cpu"`
-	Threads   int              `json:"threads"`
-	Generated string           `json:"generated"`
-	Executor  []executorResult `json:"executor"`
-	Barrier   []barrierResult  `json:"barrier"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	NumCPU     int               `json:"num_cpu"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Threads    int               `json:"threads"`
+	Generated  string            `json:"generated"`
+	Executor   []executorResult  `json:"executor,omitempty"`
+	Barrier    []barrierResult   `json:"barrier,omitempty"`
+	Inspector  []inspectorResult `json:"inspector,omitempty"`
+}
+
+type fixture struct {
+	name  string
+	reuse float64
+	mk    func(n int) ([]kernels.Kernel, *core.Loops)
+}
+
+var fixtures = []fixture{
+	{"gs-pair/separated", 0.5, gsPair},
+	{"gs-pair/interleaved", 1.5, gsPair},
+	{"trsv-mv-csc/separated", 0.5, trsvMvCSC},
 }
 
 func main() {
-	out := flag.String("out", "BENCH_exec.json", "output file")
-	threads := flag.Int("threads", 8, "schedule width r")
+	mode := flag.String("mode", "exec", "benchmark suite: exec or inspector")
+	out := flag.String("out", "", "output file (default BENCH_<mode>.json)")
+	threads := flag.Int("threads", 8, "schedule width r (and inspector workers)")
 	n := flag.Int("n", 40000, "fixture size")
-	minTime := flag.Duration("mintime", time.Second, "minimum measuring time per executor")
+	minTime := flag.Duration("mintime", time.Second, "minimum measuring time per subject")
+	check := flag.Bool("check", false, "compare fresh numbers against the committed JSON instead of writing; exit nonzero on >25% regression")
 	flag.Parse()
 
+	if *out == "" {
+		*out = "BENCH_" + *mode + ".json"
+	}
 	rep := report{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Threads:   *threads,
-		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Threads:    *threads,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+	}
+	switch *mode {
+	case "exec":
+		runExec(&rep, *threads, *n, *minTime)
+	case "inspector":
+		runInspector(&rep, *threads, *n, *minTime)
+	default:
+		log.Fatalf("unknown -mode %q (want exec or inspector)", *mode)
 	}
 
-	for _, fx := range []struct {
-		name  string
-		reuse float64
-		mk    func(n int) ([]kernels.Kernel, *core.Loops)
-	}{
-		{"gs-pair/separated", 0.5, gsPair},
-		{"gs-pair/interleaved", 1.5, gsPair},
-		{"trsv-mv-csc/separated", 0.5, trsvMvCSC},
-	} {
-		ks, loops := fx.mk(*n)
-		sched, err := core.ICO(loops, core.Params{
-			Threads: *threads, ReuseRatio: fx.reuse,
-			LBC: lbc.Params{InitialCut: 3, Agg: 8},
-		})
-		if err != nil {
-			log.Fatalf("%s: %v", fx.name, err)
+	if *check {
+		if err := checkRegression(*out, &rep); err != nil {
+			log.Fatal(err)
 		}
-		runner, err := exec.CompileFused(ks, sched)
-		if err != nil {
-			log.Fatalf("%s: compile: %v", fx.name, err)
-		}
-		compiled := measure(*minTime, func() { runner.Run(*threads) })
-		legacy := measure(*minTime, func() { exec.RunFusedLegacy(ks, sched, *threads) })
-		iters := sched.NumIterations()
-		rep.Executor = append(rep.Executor, executorResult{
-			Name:           fx.name,
-			N:              *n,
-			Iterations:     iters,
-			SPartitions:    sched.NumSPartitions(),
-			MaxWidth:       sched.MaxWidth(),
-			Interleaved:    sched.Interleaved,
-			CompiledNs:     compiled.Nanoseconds(),
-			LegacyNs:       legacy.Nanoseconds(),
-			CompiledNsIter: float64(compiled.Nanoseconds()) / float64(iters),
-			LegacyNsIter:   float64(legacy.Nanoseconds()) / float64(iters),
-			Speedup:        float64(legacy.Nanoseconds()) / float64(compiled.Nanoseconds()),
-		})
-		fmt.Printf("%-22s compiled %10v  legacy %10v  speedup %.2fx\n",
-			fx.name, compiled, legacy, float64(legacy)/float64(compiled))
+		fmt.Printf("%s: within 25%% of committed numbers\n", *out)
+		return
 	}
-
-	for _, workers := range []int{2, 4, 8} {
-		d := barrierCost(*minTime/2, workers)
-		rep.Barrier = append(rep.Barrier, barrierResult{
-			Workers:        workers,
-			NsPerBarrier:   d.Nanoseconds(),
-			BarriersPerSec: 1e9 / float64(d.Nanoseconds()),
-		})
-		fmt.Printf("barrier w=%d %v/barrier\n", workers, d)
-	}
-
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -134,6 +178,211 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+func runExec(rep *report, threads, n int, minTime time.Duration) {
+	for _, fx := range fixtures {
+		ks, loops := fx.mk(n)
+		sched, err := core.ICO(loops, icoParams(threads, fx.reuse, 0))
+		if err != nil {
+			log.Fatalf("%s: %v", fx.name, err)
+		}
+		runner, err := exec.CompileFused(ks, sched)
+		if err != nil {
+			log.Fatalf("%s: compile: %v", fx.name, err)
+		}
+		compiled := measure(minTime, func() { runner.Run(threads) })
+		legacy := measure(minTime, func() { exec.RunFusedLegacy(ks, sched, threads) })
+		iters := sched.NumIterations()
+		rep.Executor = append(rep.Executor, executorResult{
+			Name:           fx.name,
+			N:              n,
+			Iterations:     iters,
+			SPartitions:    sched.NumSPartitions(),
+			MaxWidth:       sched.MaxWidth(),
+			Interleaved:    sched.Interleaved,
+			CompiledNs:     compiled.Nanoseconds(),
+			LegacyNs:       legacy.Nanoseconds(),
+			CompiledNsIter: ratio(float64(compiled.Nanoseconds()), float64(iters)),
+			LegacyNsIter:   ratio(float64(legacy.Nanoseconds()), float64(iters)),
+			Speedup:        ratio(float64(legacy.Nanoseconds()), float64(compiled.Nanoseconds())),
+		})
+		fmt.Printf("%-22s compiled %10v  legacy %10v  speedup %.2fx\n",
+			fx.name, compiled, legacy, ratio(float64(legacy), float64(compiled)))
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		d := barrierCost(minTime/2, workers)
+		rep.Barrier = append(rep.Barrier, barrierResult{
+			Workers:        workers,
+			NsPerBarrier:   d.Nanoseconds(),
+			BarriersPerSec: ratio(1e9, float64(d.Nanoseconds())),
+		})
+		fmt.Printf("barrier w=%d %v/barrier\n", workers, d)
+	}
+}
+
+// ratio returns num/den, or 0 when den is 0 — degenerate fixtures (n=0)
+// produce zero timings and zero iteration counts, and +Inf/NaN are not
+// JSON-encodable.
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func icoParams(threads int, reuse float64, workers int) core.Params {
+	return core.Params{
+		Threads: threads, Workers: workers, ReuseRatio: reuse,
+		LBC: lbc.Params{InitialCut: 3, Agg: 8},
+	}
+}
+
+func runInspector(rep *report, threads, n int, minTime time.Duration) {
+	for _, fx := range fixtures {
+		ks, loops := fx.mk(n)
+
+		refSched, err := refinspect.ICO(loops, icoParams(threads, fx.reuse, 0))
+		if err != nil {
+			log.Fatalf("%s: reference: %v", fx.name, err)
+		}
+		reference := measure(minTime, func() {
+			if _, err := refinspect.ICO(loops, icoParams(threads, fx.reuse, 0)); err != nil {
+				log.Fatal(err)
+			}
+		})
+
+		var serialSched, parSched *core.Schedule
+		var serialTm, parTm core.InspectorTimings
+		serial := measure(minTime, func() {
+			serialSched, serialTm, err = core.ICOTimed(loops, icoParams(threads, fx.reuse, 1))
+			if err != nil {
+				log.Fatal(err)
+			}
+		})
+		parallel := measure(minTime, func() {
+			parSched, parTm, err = core.ICOTimed(loops, icoParams(threads, fx.reuse, threads))
+			if err != nil {
+				log.Fatal(err)
+			}
+		})
+
+		refBytes := refSched.Bytes()
+		identical := bytes.Equal(refBytes, serialSched.Bytes()) &&
+			bytes.Equal(refBytes, parSched.Bytes())
+		if !identical {
+			log.Fatalf("%s: schedules diverged between reference and optimized inspector", fx.name)
+		}
+
+		fused, unfused := executorEconomics(ks, loops, parSched, threads, minTime)
+		gain := unfused - fused
+		breakEven := float64(-1)
+		if gain > 0 && gain.Nanoseconds() > 0 {
+			breakEven = float64(parallel.Nanoseconds()) / float64(gain.Nanoseconds())
+		}
+		rep.Inspector = append(rep.Inspector, inspectorResult{
+			Name:           fx.name,
+			N:              n,
+			Iterations:     parSched.NumIterations(),
+			ReferenceNs:    reference.Nanoseconds(),
+			SerialNs:       serial.Nanoseconds(),
+			ParallelNs:     parallel.Nanoseconds(),
+			SerialStages:   toStageNs(serialTm),
+			ParallelStages: toStageNs(parTm),
+			ByteIdentical:  identical,
+			SpeedupSerial:  ratio(float64(reference.Nanoseconds()), float64(serial.Nanoseconds())),
+			Speedup:        ratio(float64(reference.Nanoseconds()), float64(parallel.Nanoseconds())),
+			FusedNs:        fused.Nanoseconds(),
+			UnfusedNs:      unfused.Nanoseconds(),
+			FusedGainNs:    gain.Nanoseconds(),
+			BreakEvenRuns:  breakEven,
+		})
+		fmt.Printf("%-22s reference %10v  optimized %10v (serial %10v)  speedup %.2fx  break-even %.1f runs\n",
+			fx.name, reference, parallel, serial,
+			ratio(float64(reference.Nanoseconds()), float64(parallel.Nanoseconds())), breakEven)
+	}
+}
+
+// executorEconomics measures the per-run cost of the fused compiled executor
+// and of the unfused per-kernel LBC chain — the gap the inspector's one-time
+// cost is amortized against.
+func executorEconomics(ks []kernels.Kernel, loops *core.Loops, sched *core.Schedule, threads int, minTime time.Duration) (fused, unfused time.Duration) {
+	runner, err := exec.CompileFused(ks, sched)
+	if err != nil {
+		log.Fatalf("compile fused: %v", err)
+	}
+	fused = measure(minTime, func() { runner.Run(threads) })
+
+	ps := make([]*partition.Partitioning, len(ks))
+	rs := make([]*exec.Runner, len(ks))
+	for i, k := range ks {
+		p, err := lbc.Schedule(k.DAG(), threads, lbc.Params{InitialCut: 3, Agg: 8})
+		if err != nil {
+			log.Fatalf("unfused lbc: %v", err)
+		}
+		ps[i] = p
+		if r, err := exec.CompilePartitioned(k, p); err == nil {
+			rs[i] = r
+		}
+	}
+	unfused = measure(minTime, func() { exec.RunChainCompiled(ks, rs, ps, threads) })
+	return fused, unfused
+}
+
+// checkRegression compares fresh headline metrics against the committed
+// report: executor compiled ns/run and inspector optimized ns must not be
+// more than 25% worse.
+func checkRegression(path string, fresh *report) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading committed baseline: %w", err)
+	}
+	var committed report
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	const slack = 1.25
+	var failures []string
+	byName := func(rs []executorResult) map[string]executorResult {
+		m := make(map[string]executorResult, len(rs))
+		for _, r := range rs {
+			m[r.Name] = r
+		}
+		return m
+	}
+	exeC := byName(committed.Executor)
+	for _, f := range fresh.Executor {
+		c, ok := exeC[f.Name]
+		if !ok {
+			continue
+		}
+		if float64(f.CompiledNs) > float64(c.CompiledNs)*slack {
+			failures = append(failures, fmt.Sprintf(
+				"executor %s: compiled %dns > committed %dns +25%%", f.Name, f.CompiledNs, c.CompiledNs))
+		}
+	}
+	insC := make(map[string]inspectorResult, len(committed.Inspector))
+	for _, r := range committed.Inspector {
+		insC[r.Name] = r
+	}
+	for _, f := range fresh.Inspector {
+		c, ok := insC[f.Name]
+		if !ok {
+			continue
+		}
+		if float64(f.ParallelNs) > float64(c.ParallelNs)*slack {
+			failures = append(failures, fmt.Sprintf(
+				"inspector %s: optimized %dns > committed %dns +25%%", f.Name, f.ParallelNs, c.ParallelNs))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+		}
+		return fmt.Errorf("%d benchmark regression(s) vs %s", len(failures), path)
+	}
+	return nil
 }
 
 // gsPair is the Gauss-Seidel/PCG pair — SpTRSV-CSR feeding SpMV+b CSR, both

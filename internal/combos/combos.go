@@ -26,6 +26,7 @@ import (
 	"sparsefusion/internal/hdagg"
 	"sparsefusion/internal/kernels"
 	"sparsefusion/internal/lbc"
+	"sparsefusion/internal/par"
 	"sparsefusion/internal/partition"
 	"sparsefusion/internal/sparse"
 	"sparsefusion/internal/wavefront"
@@ -93,34 +94,49 @@ func (in *Instance) FlopCount() int64 {
 // Build instantiates combination id over the SPD matrix a. Input vectors are
 // derived deterministically from the matrix size.
 func Build(id ID, a *sparse.CSR) (*Instance, error) {
+	return BuildWorkers(id, a, 1)
+}
+
+// BuildWorkers is Build with intra-build parallelism: the two kernel
+// constructors (which build the iteration DAGs) run concurrently, then the F
+// matrix construction overlaps the reuse-ratio computation. Constructors only
+// read their shared inputs, so the result is identical for any worker count.
+func BuildWorkers(id ID, a *sparse.CSR, workers int) (*Instance, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("combos: matrix must be square, got %dx%d", a.Rows, a.Cols)
 	}
 	n := a.Rows
 	in := &Instance{ID: id, Name: Names[id]}
 	vec := func(seed int64) []float64 { return sparse.RandomVec(n, seed) }
+	// Each combination provides its two constructor stages and F builder;
+	// finish runs after construction for wiring that needs the built kernels.
+	var (
+		build1, build2 func() kernels.Kernel
+		buildF         func() *sparse.CSR
+		finish         func(k1, k2 kernels.Kernel)
+	)
 	switch id {
 	case TrsvTrsv:
 		l := a.Lower()
 		y, x, z := vec(1), make([]float64, n), make([]float64, n)
-		k1 := kernels.NewSpTRSVCSR(l, y, x)
-		k2 := kernels.NewSpTRSVCSR(l, x, z)
-		in.Kernels = []kernels.Kernel{k1, k2}
-		in.Loops = &core.Loops{G: []*dag.Graph{k1.DAG(), k2.DAG()}, F: []*sparse.CSR{core.FDiagonal(n)}}
+		build1 = func() kernels.Kernel { return kernels.NewSpTRSVCSR(l, y, x) }
+		build2 = func() kernels.Kernel { return kernels.NewSpTRSVCSR(l, x, z) }
+		buildF = func() *sparse.CSR { return core.FDiagonal(n) }
 		in.Snapshot = snap(z)
 		in.Input, in.Output = y, z
 		in.mklSeq = []bool{false, false}
 	case DscalIlu0:
 		work := a.Clone()
 		d := kernels.JacobiScaling(a)
-		k1 := kernels.NewDScalCSR(work, d, work)
-		k2 := kernels.NewSpILU0CSR(work)
-		// DSCAL rewrites every entry of work on each run, so it owns the
-		// replay; the factor restoring its own snapshot would clobber the
-		// chain in kernel-at-a-time order.
-		k2.DisableRestore()
-		in.Kernels = []kernels.Kernel{k1, k2}
-		in.Loops = &core.Loops{G: []*dag.Graph{k1.DAG(), k2.DAG()}, F: []*sparse.CSR{core.FDiagonal(n)}}
+		build1 = func() kernels.Kernel { return kernels.NewDScalCSR(work, d, work) }
+		build2 = func() kernels.Kernel { return kernels.NewSpILU0CSR(work) }
+		buildF = func() *sparse.CSR { return core.FDiagonal(n) }
+		finish = func(_, k2 kernels.Kernel) {
+			// DSCAL rewrites every entry of work on each run, so it owns the
+			// replay; the factor restoring its own snapshot would clobber the
+			// chain in kernel-at-a-time order.
+			k2.(*kernels.SpILU0CSR).DisableRestore()
+		}
 		in.Snapshot = snap(work.X)
 		in.Output = work.X
 		in.mklSeq = []bool{false, true}
@@ -128,58 +144,68 @@ func Build(id ID, a *sparse.CSR) (*Instance, error) {
 		l := a.Lower()
 		ac := a.ToCSC()
 		x, y, z := vec(1), make([]float64, n), make([]float64, n)
-		k1 := kernels.NewSpTRSVCSR(l, x, y)
-		k2 := kernels.NewSpMVCSC(ac, y, z)
-		in.Kernels = []kernels.Kernel{k1, k2}
-		in.Loops = &core.Loops{G: []*dag.Graph{k1.DAG(), k2.DAG()}, F: []*sparse.CSR{core.FTrsvToMVCSC(ac)}}
+		build1 = func() kernels.Kernel { return kernels.NewSpTRSVCSR(l, x, y) }
+		build2 = func() kernels.Kernel { return kernels.NewSpMVCSC(ac, y, z) }
+		buildF = func() *sparse.CSR { return core.FTrsvToMVCSC(ac) }
 		in.Snapshot = snap(z)
 		in.Input, in.Output = x, z
 		in.mklSeq = []bool{false, false}
 	case Ic0Trsv:
 		lc := a.Lower().ToCSC()
 		x, y := vec(1), make([]float64, n)
-		k1 := kernels.NewSpIC0CSC(lc)
-		k2 := kernels.NewSpTRSVCSC(lc, x, y)
-		in.Kernels = []kernels.Kernel{k1, k2}
-		in.Loops = &core.Loops{G: []*dag.Graph{k1.DAG(), k2.DAG()}, F: []*sparse.CSR{core.FDiagonal(n)}}
+		build1 = func() kernels.Kernel { return kernels.NewSpIC0CSC(lc) }
+		build2 = func() kernels.Kernel { return kernels.NewSpTRSVCSC(lc, x, y) }
+		buildF = func() *sparse.CSR { return core.FDiagonal(n) }
 		in.Snapshot = snap(y)
 		in.Input, in.Output = x, y
 		in.mklSeq = []bool{true, false}
 	case Ilu0Trsv:
 		work := a.Clone()
 		b, y := vec(1), make([]float64, n)
-		k1 := kernels.NewSpILU0CSR(work)
-		k2 := kernels.NewSpTRSVUnitLowerCSR(work, b, y)
-		in.Kernels = []kernels.Kernel{k1, k2}
-		in.Loops = &core.Loops{G: []*dag.Graph{k1.DAG(), k2.DAG()}, F: []*sparse.CSR{core.FDiagonal(n)}}
+		build1 = func() kernels.Kernel { return kernels.NewSpILU0CSR(work) }
+		build2 = func() kernels.Kernel { return kernels.NewSpTRSVUnitLowerCSR(work, b, y) }
+		buildF = func() *sparse.CSR { return core.FDiagonal(n) }
 		in.Snapshot = snap(y)
 		in.Input, in.Output = b, y
 		in.mklSeq = []bool{true, false}
 	case DscalIc0:
 		lc := a.Lower().ToCSC()
 		d := kernels.JacobiScaling(a)
-		k1 := kernels.NewDScalCSC(lc, d, lc)
-		k2 := kernels.NewSpIC0CSC(lc)
-		k2.DisableRestore() // DSCAL owns the replay, as in DscalIlu0
-
-		in.Kernels = []kernels.Kernel{k1, k2}
-		in.Loops = &core.Loops{G: []*dag.Graph{k1.DAG(), k2.DAG()}, F: []*sparse.CSR{core.FDiagonal(n)}}
+		build1 = func() kernels.Kernel { return kernels.NewDScalCSC(lc, d, lc) }
+		build2 = func() kernels.Kernel { return kernels.NewSpIC0CSC(lc) }
+		buildF = func() *sparse.CSR { return core.FDiagonal(n) }
+		finish = func(_, k2 kernels.Kernel) {
+			k2.(*kernels.SpIC0CSC).DisableRestore() // DSCAL owns the replay, as in DscalIlu0
+		}
 		in.Snapshot = snap(lc.X)
 		in.Output = lc.X
 		in.mklSeq = []bool{false, true}
 	case MvMv:
 		x, y, z := vec(1), make([]float64, n), make([]float64, n)
-		k1 := kernels.NewSpMVCSR(a, x, y)
-		k2 := kernels.NewSpMVCSR(a, y, z)
-		in.Kernels = []kernels.Kernel{k1, k2}
-		in.Loops = &core.Loops{G: []*dag.Graph{k1.DAG(), k2.DAG()}, F: []*sparse.CSR{core.FPattern(a)}}
+		build1 = func() kernels.Kernel { return kernels.NewSpMVCSR(a, x, y) }
+		build2 = func() kernels.Kernel { return kernels.NewSpMVCSR(a, y, z) }
+		buildF = func() *sparse.CSR { return core.FPattern(a) }
 		in.Snapshot = snap(z)
 		in.Input, in.Output = x, z
 		in.mklSeq = []bool{false, false}
 	default:
 		return nil, fmt.Errorf("combos: unknown combination %d", id)
 	}
-	in.Reuse = core.ReuseRatioChain(in.Kernels)
+	var k1, k2 kernels.Kernel
+	par.Do(workers,
+		func() { k1 = build1() },
+		func() { k2 = build2() },
+	)
+	in.Kernels = []kernels.Kernel{k1, k2}
+	var f *sparse.CSR
+	par.Do(workers,
+		func() { f = buildF() },
+		func() { in.Reuse = core.ReuseRatioChain(in.Kernels) },
+	)
+	in.Loops = &core.Loops{G: []*dag.Graph{k1.DAG(), k2.DAG()}, F: []*sparse.CSR{f}}
+	if finish != nil {
+		finish(k1, k2)
+	}
 	return in, nil
 }
 
@@ -187,6 +213,13 @@ func Build(id ID, a *sparse.CSR) (*Instance, error) {
 // nSweeps sweeps of x <- L \ (b - U*x), each sweep contributing an SpMV+b
 // loop and an SpTRSV loop (2*nSweeps fused loops total).
 func BuildGS(a *sparse.CSR, nSweeps int) (*Instance, error) {
+	return BuildGSWorkers(a, nSweeps, 1)
+}
+
+// BuildGSWorkers is BuildGS with the per-sweep kernel constructors and F
+// matrices built across workers; every stage writes only its own slot, so
+// the instance is identical for any worker count.
+func BuildGSWorkers(a *sparse.CSR, nSweeps, workers int) (*Instance, error) {
 	if nSweeps < 1 {
 		return nil, fmt.Errorf("combos: need at least one sweep")
 	}
@@ -200,25 +233,41 @@ func BuildGS(a *sparse.CSR, nSweeps int) (*Instance, error) {
 	b := sparse.RandomVec(n, 3)
 	in := &Instance{ID: 0, Name: fmt.Sprintf("GS-%dsweeps", nSweeps)}
 	in.Loops = &core.Loops{}
-	x := make([]float64, n) // x_0 = 0
-	in.GSX0 = x
+	// Allocate the sweep-chained vectors serially, then construct every
+	// kernel (2 per sweep, all DAG-building) concurrently.
+	xs := make([][]float64, nSweeps+1) // xs[s] feeds sweep s
+	ts := make([][]float64, nSweeps)
+	xs[0] = make([]float64, n) // x_0 = 0
 	for s := 0; s < nSweeps; s++ {
-		t := make([]float64, n)
-		xNext := make([]float64, n)
-		kmv := kernels.NewSpMVPlusCSR(negU, x, b, t) // t = b - U*x
-		ktr := kernels.NewSpTRSVCSR(l, t, xNext)     // xNext = L \ t
-		in.Kernels = append(in.Kernels, kmv, ktr)
-		in.Loops.G = append(in.Loops.G, kmv.DAG(), ktr.DAG())
-		if s > 0 {
-			// The SpMV of sweep s reads x produced by the previous TRSV:
-			// row i needs x[j] for every nonzero U[i][j].
-			in.Loops.F = append(in.Loops.F, core.FPattern(u))
-		}
-		in.Loops.F = append(in.Loops.F, core.FDiagonal(n)) // TRSV reads t[i]
-		in.mklSeq = append(in.mklSeq, false, false)
-		x = xNext
+		ts[s] = make([]float64, n)
+		xs[s+1] = make([]float64, n)
 	}
-	final := x
+	in.GSX0 = xs[0]
+	in.Kernels = make([]kernels.Kernel, 2*nSweeps)
+	par.ForEach(workers, 2*nSweeps, func(i int) {
+		s := i / 2
+		if i%2 == 0 {
+			in.Kernels[i] = kernels.NewSpMVPlusCSR(negU, xs[s], b, ts[s]) // t = b - U*x
+		} else {
+			in.Kernels[i] = kernels.NewSpTRSVCSR(l, ts[s], xs[s+1]) // xNext = L \ t
+		}
+	})
+	// F matrices: per sweep s > 0 the SpMV reads x produced by the previous
+	// TRSV (row i needs x[j] for every nonzero U[i][j]); every TRSV reads
+	// t[i] from its own SpMV.
+	in.Loops.F = make([]*sparse.CSR, 2*nSweeps-1)
+	par.ForEach(workers, 2*nSweeps-1, func(i int) {
+		if i%2 == 0 {
+			in.Loops.F[i] = core.FDiagonal(n)
+		} else {
+			in.Loops.F[i] = core.FPattern(u)
+		}
+	})
+	for _, k := range in.Kernels {
+		in.Loops.G = append(in.Loops.G, k.DAG())
+		in.mklSeq = append(in.mklSeq, false)
+	}
+	final := xs[nSweeps]
 	in.Snapshot = snap(final)
 	in.Input, in.Output = b, final
 	in.Reuse = core.ReuseRatioChain(in.Kernels)

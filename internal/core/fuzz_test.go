@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
@@ -165,6 +166,45 @@ func TestICOWideThreadCounts(t *testing.T) {
 		}
 		if sched.MaxWidth() > r {
 			t.Fatalf("r=%d: width %d", r, sched.MaxWidth())
+		}
+	}
+}
+
+// TestICOWorkersDeterministic asserts the parallel inspector's core
+// guarantee: any Workers value serializes to byte-identical schedules.
+// (The cross-check against the frozen serial reference lives in
+// internal/refinspect, whose tests import this package.)
+func TestICOWorkersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 20 + rng.Intn(120)
+		loops := randomLoops(rng, n)
+		p := Params{
+			Threads:      1 + rng.Intn(8),
+			ReuseRatio:   rng.Float64() * 2,
+			LBC:          lbc.Params{InitialCut: 1 + rng.Intn(5), Agg: 1 + rng.Intn(20)},
+			DisableMerge: rng.Intn(4) == 0,
+			DisableSlack: rng.Intn(4) == 0,
+		}
+		var want []byte
+		for _, workers := range []int{1, 2, 4, 8} {
+			p.Workers = workers
+			sched, err := ICO(loops, p)
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			got := sched.Bytes()
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("trial %d: workers=%d produced a different schedule than workers=1", trial, workers)
+			}
 		}
 	}
 }

@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"sparsefusion/internal/dag"
 	"sparsefusion/internal/lbc"
+	"sparsefusion/internal/par"
+	"sparsefusion/internal/partition"
 	"sparsefusion/internal/sparse"
 )
 
@@ -12,6 +15,12 @@ import (
 type Params struct {
 	// Threads is r, the requested number of w-partitions per s-partition.
 	Threads int
+	// Workers parallelizes the inspector itself: DAG transposes, the head
+	// LBC partitioning, and per-unit packing run across this many
+	// goroutines. <= 1 runs serially. Any value produces a byte-identical
+	// schedule — parallel stages write to indexed slots only — which the
+	// fuzz corpus asserts against the serial reference.
+	Workers int
 	// ReuseRatio selects the packing strategy: interleaved when >= 1,
 	// separated when < 1 (paper section 3.2.3).
 	ReuseRatio float64
@@ -25,6 +34,23 @@ type Params struct {
 	DisableSlack bool
 }
 
+// InspectorTimings breaks an ICO run into its pipeline phases, the numbers
+// cmd/spbench's inspector suite reports. Durations are wall-clock, so
+// parallel phases report their span, not their CPU time.
+type InspectorTimings struct {
+	Setup   time.Duration // transposes, CSC conversions, state allocation
+	Head    time.Duration // LBC on the head DAG (+ overlapped topo orders)
+	Pairing time.Duration // partition pairing of the tail loops
+	Merge   time.Duration // ICO step (ii) merging
+	Slack   time.Duration // ICO step (ii) slack assignment
+	Pack    time.Duration // ICO step (iii) per-unit ordering
+}
+
+// Total sums the phases.
+func (t InspectorTimings) Total() time.Duration {
+	return t.Setup + t.Head + t.Pairing + t.Merge + t.Slack + t.Pack
+}
+
 // ICO runs Iteration Composition and Ordering on the fused loops and returns
 // the fused partitioning (paper section 3). For two loops it applies the
 // paper's head-selection rule (Algorithm 1 line 1): the second DAG becomes
@@ -32,8 +58,19 @@ type Params struct {
 // the DAGs are processed in program order, each pairing against the fused
 // schedule built so far (paper section 3.3).
 func ICO(loops *Loops, p Params) (*Schedule, error) {
+	s, _, err := icoRun(loops, p)
+	return s, err
+}
+
+// ICOTimed is ICO with per-phase timings for the benchmark harness.
+func ICOTimed(loops *Loops, p Params) (*Schedule, InspectorTimings, error) {
+	return icoRun(loops, p)
+}
+
+func icoRun(loops *Loops, p Params) (*Schedule, InspectorTimings, error) {
+	var tm InspectorTimings
 	if err := loops.Check(); err != nil {
-		return nil, err
+		return nil, tm, err
 	}
 	if p.Threads < 1 {
 		p.Threads = 1
@@ -41,22 +78,29 @@ func ICO(loops *Loops, p Params) (*Schedule, error) {
 	if len(loops.G) == 2 && loops.G[1].NumEdges() > 0 {
 		return icoReversed(loops, p)
 	}
-	st, err := place(loops, p)
+	st, err := place(loops, p, &tm)
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
-	st.runPhases()
-	return st.pack(p.ReuseRatio)
+	st.runPhases(&tm)
+	t0 := time.Now()
+	sched, err := st.pack(p.ReuseRatio)
+	tm.Pack = time.Since(t0)
+	return sched, tm, err
 }
 
 // runPhases applies ICO step (ii) honoring the ablation knobs.
-func (st *state) runPhases() {
+func (st *state) runPhases(tm *InspectorTimings) {
+	t0 := time.Now()
 	if !st.p.DisableMerge {
 		st.merge()
 	}
+	tm.Merge = time.Since(t0)
+	t0 = time.Now()
 	if !st.p.DisableSlack {
 		st.slackBalance()
 	}
+	tm.Slack = time.Since(t0)
 }
 
 // icoReversed handles head = G2 (Algorithm 1 line 1): it mirrors the problem
@@ -64,18 +108,27 @@ func (st *state) runPhases() {
 // second loop as the head, then mirrors the s-partition order back. Within-
 // partition ordering is produced by packing on the original orientation, so
 // only s/w placement needs mirroring.
-func icoReversed(loops *Loops, p Params) (*Schedule, error) {
+func icoReversed(loops *Loops, p Params) (*Schedule, InspectorTimings, error) {
+	var tm InspectorTimings
+	t0 := time.Now()
 	rev := &Loops{
-		G: []*dag.Graph{loops.G[1].Transpose(), loops.G[0].Transpose()},
-		F: []*sparse.CSR{loops.F[0].Transpose()},
+		G: make([]*dag.Graph, 2),
+		F: make([]*sparse.CSR, 1),
 	}
-	st, err := place(rev, p)
+	par.Do(p.Workers,
+		func() { rev.G[0] = loops.G[1].Transpose() },
+		func() { rev.G[1] = loops.G[0].Transpose() },
+		func() { rev.F[0] = loops.F[0].Transpose() },
+	)
+	tm.Setup = time.Since(t0)
+	st, err := place(rev, p, &tm)
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
-	st.runPhases()
+	st.runPhases(&tm)
 	// Mirror back: loop 0' is the original loop 1 and vice versa; s-partition
 	// order reverses.
+	t0 = time.Now()
 	b := st.numS()
 	orig := newState(loops, p)
 	orig.ensureS(b - 1)
@@ -88,7 +141,9 @@ func icoReversed(loops *Loops, p Params) (*Schedule, error) {
 		orig.posW[0][i] = st.posW[1][i]
 	}
 	orig.recomputeCosts()
-	return orig.pack(p.ReuseRatio)
+	sched, err := orig.pack(p.ReuseRatio)
+	tm.Pack += time.Since(t0)
+	return sched, tm, err
 }
 
 // state carries the mutable fused placement: for every iteration, its
@@ -127,13 +182,16 @@ func (st *state) assignFree(it Iter, s int) {
 func newState(loops *Loops, p Params) *state {
 	st := &state{loops: loops, p: p}
 	st.tg = make([]*dag.Graph, len(loops.G))
-	for k, g := range loops.G {
-		st.tg[k] = g.Transpose()
-	}
 	st.fcsc = make([]*sparse.CSC, len(loops.F))
-	for k, f := range loops.F {
-		st.fcsc[k] = f.ToCSC()
-	}
+	// Transposes and CSC conversions are independent per loop: fan them out
+	// across the inspector workers (each writes only its own slot).
+	par.ForEach(p.Workers, len(loops.G)+len(loops.F), func(i int) {
+		if i < len(loops.G) {
+			st.tg[i] = loops.G[i].Transpose()
+		} else {
+			st.fcsc[i-len(loops.G)] = loops.F[i-len(loops.G)].ToCSC()
+		}
+	})
 	st.posS = make([][]int, len(loops.G))
 	st.posW = make([][]int, len(loops.G))
 	for k, g := range loops.G {
@@ -221,12 +279,46 @@ func (st *state) recomputeCosts() {
 // single w-partition joins that pair partition (self-contained); one whose
 // predecessors span w-partitions is deferred to the following s-partition
 // (the paper's uncontained vertices, which "create synchronization").
-func place(loops *Loops, p Params) (*state, error) {
-	st := newState(loops, p)
-	head, err := lbc.Schedule(loops.G[0], p.Threads, p.LBC)
-	if err != nil {
-		return nil, err
+//
+// With Workers > 1, state setup, the head LBC run, and the tail loops' topo
+// orders (which pairing consumes but which only depend on the input DAGs)
+// all execute concurrently; the pairing scan itself is order-dependent and
+// stays sequential.
+func place(loops *Loops, p Params, tm *InspectorTimings) (*state, error) {
+	t0 := time.Now()
+	var st *state
+	var head *partition.Partitioning
+	var headErr error
+	orders := make([][]int32, len(loops.G))
+	orderErrs := make([]error, len(loops.G))
+	lp := p.LBC
+	lp.Workers = p.Workers
+	par.Do(p.Workers,
+		func() { st = newState(loops, p) },
+		func() { head, headErr = lbc.Schedule(loops.G[0], p.Threads, lp) },
+		func() {
+			par.ForEachWorker(p.Workers, len(loops.G)-1, func(_, i int) {
+				k := i + 1
+				sc := dag.NewScratch()
+				order, err := sc.TopoOrder(loops.G[k])
+				if err != nil {
+					orderErrs[k] = err
+					return
+				}
+				orders[k] = append([]int32(nil), order...)
+			})
+		},
+	)
+	if headErr != nil {
+		return nil, headErr
 	}
+	for _, err := range orderErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	tm.Setup += time.Since(t0)
+	t0 = time.Now()
 	for s, sp := range head.S {
 		for w, part := range sp {
 			for _, v := range part {
@@ -234,12 +326,11 @@ func place(loops *Loops, p Params) (*state, error) {
 			}
 		}
 	}
+	tm.Head = time.Since(t0)
+	t0 = time.Now()
 	for k := 1; k < len(loops.G); k++ {
-		order, err := loops.G[k].TopoOrder()
-		if err != nil {
-			return nil, err
-		}
-		for _, i := range order {
+		for _, i32 := range orders[k] {
+			i := int(i32)
 			it := Iter{k, i}
 			maxS := -1
 			wAtMax := -1
@@ -273,5 +364,6 @@ func place(loops *Loops, p Params) (*state, error) {
 			}
 		}
 	}
+	tm.Pairing = time.Since(t0)
 	return st, nil
 }

@@ -108,11 +108,32 @@ func (st *state) mergeTarget(unit []Iter, s int) (int, int, bool) {
 	return maxPredS, wAtMax, true
 }
 
-// members groups every iteration by its (s, w) placement.
+// members groups every iteration by its (s, w) placement. A counting pass
+// sizes every unit exactly and the units are carved out of one backing array,
+// so grouping the whole placement costs two scans and a single allocation
+// instead of O(units) append-doubling (this runs once per merge pass and once
+// per pack, so it is on the inspector's critical path).
 func (st *state) members() [][][]Iter {
 	m := make([][][]Iter, len(st.cost))
+	counts := make([][]int, len(st.cost))
+	total := 0
 	for s := range m {
 		m[s] = make([][]Iter, len(st.cost[s]))
+		counts[s] = make([]int, len(st.cost[s]))
+	}
+	for k, g := range st.loops.G {
+		total += g.N
+		for i := 0; i < g.N; i++ {
+			counts[st.posS[k][i]][st.posW[k][i]]++
+		}
+	}
+	backing := make([]Iter, total)
+	off := 0
+	for s := range m {
+		for w, c := range counts[s] {
+			m[s][w] = backing[off : off : off+c]
+			off += c
+		}
 	}
 	for k, g := range st.loops.G {
 		for i := 0; i < g.N; i++ {

@@ -12,7 +12,7 @@ import (
 // buildState places a two-loop problem and returns the state before step (ii).
 func buildState(t *testing.T, loops *Loops, r int) *state {
 	t.Helper()
-	st, err := place(loops, Params{Threads: r, LBC: lbc.Params{InitialCut: 2, Agg: 4}})
+	st, err := place(loops, Params{Threads: r, LBC: lbc.Params{InitialCut: 2, Agg: 4}}, &InspectorTimings{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -66,6 +67,17 @@ func (s *Schedule) WriteTo(w io.Writer) (int64, error) {
 		return cw.n, err
 	}
 	return cw.n, nil
+}
+
+// Bytes serializes the schedule to memory. Two schedules are identical iff
+// their Bytes are equal, which is how the determinism guards compare the
+// parallel inspector against the serial reference.
+func (s *Schedule) Bytes() []byte {
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		panic(err) // bytes.Buffer writes cannot fail
+	}
+	return buf.Bytes()
 }
 
 // ReadSchedule deserializes a schedule written by WriteTo. Callers must

@@ -1,6 +1,6 @@
 package core
 
-import "sort"
+import "slices"
 
 // slackBalance implements ICO step (ii)'s slack vertex assignment (paper
 // section 3.2.2, Algorithm 1 lines 12-16): iterations that can be postponed
@@ -157,13 +157,16 @@ func (st *state) slackBalance() {
 		// heaviest-first packing, which the sticky-granule re-evaluation of
 		// the lightest slot recovers anyway.
 		candidates = append(candidates, byAvailable[s]...)
+		// (Loop, Idx) is unique per pool entry, so this is a total order and
+		// the non-stable pdqsort yields the same permutation a stable sort
+		// would — without reflection.
 		sortByIndex := func(c []int) {
-			sort.SliceStable(c, func(i, j int) bool {
-				a, b := pool[c[i]].it, pool[c[j]].it
+			slices.SortFunc(c, func(i, j int) int {
+				a, b := pool[i].it, pool[j].it
 				if a.Loop != b.Loop {
-					return a.Loop < b.Loop
+					return a.Loop - b.Loop
 				}
-				return a.Idx < b.Idx
+				return a.Idx - b.Idx
 			})
 		}
 		sortByIndex(candidates)

@@ -157,31 +157,23 @@ func (g *Graph) InDegrees() []int {
 
 // TopoOrder returns a topological ordering, or an error when the graph has a
 // cycle. Kahn's algorithm with a FIFO queue, so independent vertices appear
-// in index order.
+// in index order. Allocating convenience form of Scratch.TopoOrder, which
+// hot paths use to reuse buffers across calls.
 func (g *Graph) TopoOrder() ([]int, error) {
-	deg := g.InDegrees()
-	order := make([]int, 0, g.N)
-	queue := make([]int, 0, g.N)
-	for v := 0; v < g.N; v++ {
-		if deg[v] == 0 {
-			queue = append(queue, v)
-		}
+	order, err := NewScratch().TopoOrder(g)
+	if err != nil {
+		return nil, err
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		order = append(order, v)
-		for _, s := range g.Succ(v) {
-			deg[s]--
-			if deg[s] == 0 {
-				queue = append(queue, s)
-			}
-		}
+	return toInts(order), nil
+}
+
+// toInts widens a scratch-backed int32 slice into a fresh []int.
+func toInts(s []int32) []int {
+	out := make([]int, len(s))
+	for i, v := range s {
+		out[i] = int(v)
 	}
-	if len(order) != g.N {
-		return nil, fmt.Errorf("dag: graph has a cycle (%d of %d vertices ordered)", len(order), g.N)
-	}
-	return order, nil
+	return out
 }
 
 // IsAcyclic reports whether the graph has no directed cycle.
@@ -192,20 +184,13 @@ func (g *Graph) IsAcyclic() bool {
 
 // Levels returns the wavefront number l(v) of every vertex: sources are
 // level 0 and l(v) = 1 + max over predecessors. Returns an error on cycles.
+// Allocating convenience form of Scratch.Levels.
 func (g *Graph) Levels() ([]int, error) {
-	order, err := g.TopoOrder()
+	lvl, err := NewScratch().Levels(g)
 	if err != nil {
 		return nil, err
 	}
-	lvl := make([]int, g.N)
-	for _, v := range order {
-		for _, s := range g.Succ(v) {
-			if lvl[v]+1 > lvl[s] {
-				lvl[s] = lvl[v] + 1
-			}
-		}
-	}
-	return lvl, nil
+	return toInts(lvl), nil
 }
 
 // LevelSets groups vertices by wavefront number; LevelSets()[l] lists the
@@ -229,21 +214,13 @@ func (g *Graph) LevelSets() ([][]int, error) {
 }
 
 // Heights returns height(v), the longest path (in edges) from v to any sink.
+// Allocating convenience form of Scratch.Heights.
 func (g *Graph) Heights() ([]int, error) {
-	order, err := g.TopoOrder()
+	h, err := NewScratch().Heights(g)
 	if err != nil {
 		return nil, err
 	}
-	h := make([]int, g.N)
-	for i := len(order) - 1; i >= 0; i-- {
-		v := order[i]
-		for _, s := range g.Succ(v) {
-			if h[s]+1 > h[v] {
-				h[v] = h[s] + 1
-			}
-		}
-	}
-	return h, nil
+	return toInts(h), nil
 }
 
 // CriticalPath returns the length (in wavefronts, i.e. vertices on the
@@ -264,27 +241,14 @@ func (g *Graph) CriticalPath() (int, error) {
 
 // SlackNumbers returns SN(v) = PG - l(v) - height(v) for every vertex
 // (paper section 3.2.2). A vertex with positive slack can be postponed that
-// many wavefronts without delaying its dependents.
+// many wavefronts without delaying its dependents. Allocating convenience
+// form of Scratch.SlackNumbers.
 func (g *Graph) SlackNumbers() ([]int, error) {
-	lvl, err := g.Levels()
+	sn, err := NewScratch().SlackNumbers(g)
 	if err != nil {
 		return nil, err
 	}
-	h, err := g.Heights()
-	if err != nil {
-		return nil, err
-	}
-	pg := 0
-	for _, l := range lvl {
-		if l > pg {
-			pg = l
-		}
-	}
-	sn := make([]int, g.N)
-	for v := range sn {
-		sn[v] = pg - lvl[v] - h[v]
-	}
-	return sn, nil
+	return toInts(sn), nil
 }
 
 // Joint builds the joint DAG of two kernels (paper section 1): vertices
@@ -292,59 +256,59 @@ func (g *Graph) SlackNumbers() ([]int, error) {
 // and f contributes an edge j -> g1.N+i for every nonzero f[i][j]. This is
 // the input of the fused wavefront/LBC/DAGP baselines; sparse fusion itself
 // never materializes it.
+//
+// The adjacency is assembled directly in CSR form by counting — no edge
+// list, no sort. Successor lists stay sorted because a loop-1 vertex's
+// intra-DAG successors all precede its F successors (which are offset by
+// g1.N) and both groups are emitted in ascending order; the output is
+// identical to building the graph through FromEdges.
 func Joint(g1, g2 *Graph, f *sparse.CSR) (*Graph, error) {
 	if f.Rows != g2.N || f.Cols != g1.N {
 		return nil, fmt.Errorf("dag: F is %dx%d, want %dx%d", f.Rows, f.Cols, g2.N, g1.N)
 	}
 	n := g1.N + g2.N
-	edges := make([]Edge, 0, g1.NumEdges()+g2.NumEdges()+f.NNZ())
+	g := &Graph{N: n, P: make([]int, n+1), W: make([]int, n)}
 	for v := 0; v < g1.N; v++ {
-		for _, s := range g1.Succ(v) {
-			edges = append(edges, Edge{v, s})
+		g.P[v+1] = g1.P[v+1] - g1.P[v]
+		g.W[v] = g1.Weight(v)
+	}
+	for v := 0; v < g2.N; v++ {
+		g.P[g1.N+v+1] = g2.P[v+1] - g2.P[v]
+		g.W[g1.N+v] = g2.Weight(v)
+	}
+	for _, j := range f.I {
+		g.P[j+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.P[v+1] += g.P[v]
+	}
+	g.I = make([]int, g.P[n])
+	next := make([]int, n)
+	copy(next, g.P[:n])
+	for v := 0; v < g1.N; v++ {
+		next[v] += copy(g.I[next[v]:], g1.Succ(v))
+	}
+	// Rows ascending keeps each source's F successors (g1.N+i) ascending,
+	// placed after its intra-DAG successors, which are all < g1.N.
+	for i := 0; i < f.Rows; i++ {
+		for k := f.P[i]; k < f.P[i+1]; k++ {
+			j := f.I[k]
+			g.I[next[j]] = g1.N + i
+			next[j]++
 		}
 	}
 	for v := 0; v < g2.N; v++ {
 		for _, s := range g2.Succ(v) {
-			edges = append(edges, Edge{g1.N + v, g1.N + s})
+			g.I[next[g1.N+v]] = g1.N + s
+			next[g1.N+v]++
 		}
 	}
-	for i := 0; i < f.Rows; i++ {
-		for k := f.P[i]; k < f.P[i+1]; k++ {
-			edges = append(edges, Edge{f.I[k], g1.N + i})
-		}
-	}
-	w := make([]int, n)
-	for v := 0; v < g1.N; v++ {
-		w[v] = g1.Weight(v)
-	}
-	for v := 0; v < g2.N; v++ {
-		w[g1.N+v] = g2.Weight(v)
-	}
-	return FromEdges(n, edges, w)
+	return g, nil
 }
 
 // Reach returns the set of vertices reachable from the seeds (inclusive),
-// as a sorted slice, via a breadth-first search over successor edges.
+// as a sorted slice. Allocating convenience form of Scratch.Reach, the
+// flat-array CSR BFS that replaced the former map-based search.
 func (g *Graph) Reach(seeds []int) []int {
-	visited := make(map[int]bool, len(seeds))
-	queue := append([]int(nil), seeds...)
-	for _, s := range seeds {
-		visited[s] = true
-	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, s := range g.Succ(v) {
-			if !visited[s] {
-				visited[s] = true
-				queue = append(queue, s)
-			}
-		}
-	}
-	out := make([]int, 0, len(visited))
-	for v := range visited {
-		out = append(out, v)
-	}
-	sort.Ints(out)
-	return out
+	return toInts(NewScratch().Reach(g, seeds, nil))
 }

@@ -12,9 +12,11 @@
 package lbc
 
 import (
+	"slices"
 	"sort"
 
 	"sparsefusion/internal/dag"
+	"sparsefusion/internal/par"
 	"sparsefusion/internal/partition"
 )
 
@@ -22,6 +24,11 @@ import (
 type Params struct {
 	InitialCut int // wavefronts in the first s-partition (paper: 4)
 	Agg        int // wavefronts per subsequent s-partition (paper: 400)
+	// Workers parallelizes window finalization (component extraction and
+	// bin packing) across goroutines. <= 1 runs serially; any value yields
+	// a byte-identical partitioning — window extents are chosen by a
+	// sequential scan, and each window's result is independent.
+	Workers int
 }
 
 // DefaultParams returns the tuning used throughout the paper's evaluation.
@@ -51,19 +58,36 @@ func Schedule(g *dag.Graph, r int, params Params) (*partition.Partitioning, erro
 	if r < 1 {
 		r = 1
 	}
-	lvl, err := g.Levels()
+	sc := dag.NewScratch()
+	lvl, err := sc.Levels(g)
 	if err != nil {
 		return nil, err
 	}
-	maxL := 0
+	var maxL int32
 	for _, l := range lvl {
 		if l > maxL {
 			maxL = l
 		}
 	}
-	sets := make([][]int, maxL+1)
+	// Level sets by counting into one backing array: sets[l] lists the
+	// vertices of wavefront l in ascending index order.
+	setOff := make([]int, int(maxL)+2)
+	for _, l := range lvl {
+		setOff[l+1]++
+	}
+	for l := 0; l < int(maxL)+1; l++ {
+		setOff[l+1] += setOff[l]
+	}
+	setVerts := make([]int, g.N)
+	fill := make([]int, int(maxL)+1)
+	copy(fill, setOff)
 	for v := 0; v < g.N; v++ {
-		sets[lvl[v]] = append(sets[lvl[v]], v)
+		setVerts[fill[lvl[v]]] = v
+		fill[lvl[v]]++
+	}
+	sets := make([][]int, int(maxL)+1)
+	for l := range sets {
+		sets[l] = setVerts[setOff[l]:setOff[l+1]]
 	}
 	maxVertexW := 1
 	for v := 0; v < g.N; v++ {
@@ -72,17 +96,23 @@ func Schedule(g *dag.Graph, r int, params Params) (*partition.Partitioning, erro
 		}
 	}
 	tg := g.Transpose()
+
+	// Phase A (sequential): choose the window extents. Each window grows
+	// level by level and is cut where the balance criterion last held; the
+	// next window starts where the previous one was cut, so this scan is
+	// inherently serial.
 	uf := newUnionFind(g.N)
-	p := &partition.Partitioning{}
+	type window struct{ lo, hi int }
+	var windows []window
 	lo := 0
-	for lo <= maxL {
+	for lo <= int(maxL) {
 		span := params.Agg
 		if lo == 0 {
 			span = params.InitialCut
 		}
 		end := lo + span
-		if end > maxL+1 {
-			end = maxL + 1
+		if end > int(maxL)+1 {
+			end = int(maxL) + 1
 		}
 		// Tentative pass: extend the window level by level. An extent is
 		// acceptable when its heaviest weakly-connected component stays
@@ -130,18 +160,33 @@ func Schedule(g *dag.Graph, r int, params Params) (*partition.Partitioning, erro
 				bestHi = lo
 			}
 		}
-		// Final pass on the chosen extent only (the tentative pass may have
-		// merged components through discarded levels).
-		uf.reset()
-		var vs []int
-		for h := lo; h <= bestHi; h++ {
-			uf.addLevel(g, tg, sets[h])
-			vs = append(vs, sets[h]...)
-		}
-		comps2 := uf.groups(vs)
-		p.S = append(p.S, packLPT(g, lvl, comps2, r))
+		windows = append(windows, window{lo, bestHi})
 		lo = bestHi + 1
 	}
+
+	// Phase B (parallel): finalize each window — re-aggregate components on
+	// the chosen extent only (the tentative pass may have merged components
+	// through discarded levels), then bin-pack. Windows are independent, so
+	// each lands in its own indexed slot and the result does not depend on
+	// the worker count. Worker 0 reuses the phase-A union-find; extra
+	// workers lazily allocate their own.
+	p := &partition.Partitioning{S: make([][][]int, len(windows))}
+	ufs := make([]*unionFind, par.Workers(params.Workers, len(windows)))
+	ufs[0] = uf
+	par.ForEachWorker(params.Workers, len(windows), func(worker, i int) {
+		u := ufs[worker]
+		if u == nil {
+			u = newUnionFind(g.N)
+			ufs[worker] = u
+		}
+		win := windows[i]
+		u.reset()
+		for h := win.lo; h <= win.hi; h++ {
+			u.addLevel(g, tg, sets[h])
+		}
+		vs := setVerts[setOff[win.lo]:setOff[win.hi+1]]
+		p.S[i] = packLPT(g, lvl, u.groups(vs), r)
+	})
 	return p.Compact(), nil
 }
 
@@ -152,12 +197,13 @@ type unionFind struct {
 	parent  []int
 	compW   []int
 	in      []bool
+	compOf  []int32 // component rank per root, assigned by groups
 	touched []int
 	maxComp int
 }
 
 func newUnionFind(n int) *unionFind {
-	return &unionFind{parent: make([]int, n), compW: make([]int, n), in: make([]bool, n)}
+	return &unionFind{parent: make([]int, n), compW: make([]int, n), in: make([]bool, n), compOf: make([]int32, n)}
 }
 
 func (u *unionFind) reset() {
@@ -172,6 +218,7 @@ func (u *unionFind) add(v, w int) {
 	u.parent[v] = v
 	u.compW[v] = w
 	u.in[v] = true
+	u.compOf[v] = -1
 	u.touched = append(u.touched, v)
 	if w > u.maxComp {
 		u.maxComp = w
@@ -224,23 +271,47 @@ func (u *unionFind) union(a, b int) bool {
 	return true
 }
 
-// groups materializes the components of the inserted vertices.
+// groups materializes the components of the inserted vertices, ordered by
+// their first member in vs order (vs is level-ordered, so that member is
+// stable) — the same order the former map-based implementation produced by
+// sorting roots. Flat component labels over the union-find's own arrays
+// replace the map: two passes over vs, no hashing, one backing allocation.
 func (u *unionFind) groups(vs []int) [][]int {
-	byRoot := make(map[int][]int)
+	type compInfo struct{ first, size int }
+	var comps []compInfo
 	for _, v := range vs {
 		r := u.find(v)
-		byRoot[r] = append(byRoot[r], v)
+		if u.compOf[r] < 0 {
+			u.compOf[r] = int32(len(comps))
+			comps = append(comps, compInfo{first: v})
+		}
+		comps[u.compOf[r]].size++
 	}
-	out := make([][]int, 0, len(byRoot))
-	// Deterministic order: by smallest member (vs is level-ordered, so the
-	// first member encountered is stable).
-	roots := make([]int, 0, len(byRoot))
-	for r := range byRoot {
-		roots = append(roots, r)
+	// Rank components ascending by first member; ranks[c] is the output
+	// position of label c.
+	order := make([]int32, len(comps))
+	for i := range order {
+		order[i] = int32(i)
 	}
-	sort.Slice(roots, func(i, j int) bool { return byRoot[roots[i]][0] < byRoot[roots[j]][0] })
-	for _, r := range roots {
-		out = append(out, byRoot[r])
+	slices.SortFunc(order, func(a, b int32) int {
+		return comps[a].first - comps[b].first
+	})
+	ranks := make([]int32, len(comps))
+	for rank, c := range order {
+		ranks[c] = int32(rank)
+	}
+	// Carve the output slices out of one backing array, sized per component,
+	// then fill in vs order (members stay level-ordered within a component).
+	backing := make([]int, len(vs))
+	out := make([][]int, len(comps))
+	off := 0
+	for _, c := range order {
+		out[ranks[c]] = backing[off : off : off+comps[c].size]
+		off += comps[c].size
+	}
+	for _, v := range vs {
+		rank := ranks[u.compOf[u.find(v)]]
+		out[rank] = append(out[rank], v)
 	}
 	return out
 }
@@ -254,7 +325,7 @@ func (u *unionFind) groups(vs []int) [][]int {
 //     locality depends on;
 //   - few, heterogeneous components: longest-processing-time bin packing,
 //     which balances better when component weights vary.
-func packLPT(g *dag.Graph, lvl []int, comps [][]int, r int) [][]int {
+func packLPT(g *dag.Graph, lvl []int32, comps [][]int, r int) [][]int {
 	type wc struct {
 		vs   []int
 		cost int
@@ -300,7 +371,17 @@ func packLPT(g *dag.Graph, lvl []int, comps [][]int, r int) [][]int {
 			bins = append(bins, cur)
 		}
 	} else {
-		sort.Slice(items, func(i, j int) bool { return items[i].cost > items[j].cost })
+		// Heaviest first; equal costs tie-break on the first member so the
+		// order is total — LPT packing is then independent of the sort
+		// algorithm, which the parallel-vs-serial byte-identity guarantee
+		// relies on (the seed's cost-only comparator left ties to the
+		// sort's internals).
+		slices.SortFunc(items, func(a, b wc) int {
+			if a.cost != b.cost {
+				return b.cost - a.cost
+			}
+			return a.vs[0] - b.vs[0]
+		})
 		bins = make([][]int, k)
 		binCost := make([]int, k)
 		for _, it := range items {
@@ -315,11 +396,11 @@ func packLPT(g *dag.Graph, lvl []int, comps [][]int, r int) [][]int {
 		}
 	}
 	for _, b := range bins {
-		sort.Slice(b, func(i, j int) bool {
-			if lvl[b[i]] != lvl[b[j]] {
-				return lvl[b[i]] < lvl[b[j]]
+		slices.SortFunc(b, func(x, y int) int {
+			if lvl[x] != lvl[y] {
+				return int(lvl[x] - lvl[y])
 			}
-			return b[i] < b[j]
+			return x - y
 		})
 	}
 	return bins

@@ -1,0 +1,42 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 9} {
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			hit := make([]atomic.Int32, n)
+			ForEach(workers, n, func(i int) { hit[i].Add(1) })
+			for i := range hit {
+				if got := hit[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestDoRunsEveryTask(t *testing.T) {
+	var a, b, c atomic.Int32
+	Do(3, func() { a.Add(1) }, func() { b.Add(1) }, func() { c.Add(1) })
+	if a.Load() != 1 || b.Load() != 1 || c.Load() != 1 {
+		t.Fatal("task skipped or repeated")
+	}
+}
+
+func TestWorkersClamp(t *testing.T) {
+	if Workers(0, 5) != 1 || Workers(-3, 5) != 1 {
+		t.Fatal("non-positive requests must be serial")
+	}
+	want := 3
+	if p := runtime.GOMAXPROCS(0); p < want {
+		want = p
+	}
+	if Workers(8, 3) != want {
+		t.Fatalf("Workers(8, 3) = %d, want %d (task-count and GOMAXPROCS clamp)", Workers(8, 3), want)
+	}
+}

@@ -1,0 +1,271 @@
+package refinspect
+
+// The seed revision's serial LBC (Load-Balanced Level Coarsening): per-call
+// level-set allocation, map-backed component grouping, reflection sorts.
+// One deviation from the seed is deliberate: packLPT's bin-packing order
+// breaks cost ties canonically (first vertex ascending), matching the
+// canonicalization the optimized internal/lbc adopted. The seed left ties to
+// sort.Slice's unstable internals, which no reference can reproduce.
+
+import (
+	"sort"
+
+	"sparsefusion/internal/dag"
+	"sparsefusion/internal/lbc"
+	"sparsefusion/internal/partition"
+)
+
+func lbcSchedule(g *dag.Graph, r int, params lbc.Params) (*partition.Partitioning, error) {
+	if params.InitialCut <= 0 {
+		params.InitialCut = lbc.DefaultParams().InitialCut
+	}
+	if params.Agg <= 0 {
+		params.Agg = lbc.DefaultParams().Agg
+	}
+	if r < 1 {
+		r = 1
+	}
+	lvl, err := levels(g)
+	if err != nil {
+		return nil, err
+	}
+	maxL := 0
+	for _, l := range lvl {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	sets := make([][]int, maxL+1)
+	for v := 0; v < g.N; v++ {
+		sets[lvl[v]] = append(sets[lvl[v]], v)
+	}
+	maxVertexW := 1
+	for v := 0; v < g.N; v++ {
+		if w := g.Weight(v); w > maxVertexW {
+			maxVertexW = w
+		}
+	}
+	tg := g.Transpose()
+	uf := newUnionFind(g.N)
+	p := &partition.Partitioning{}
+	lo := 0
+	for lo <= maxL {
+		span := params.Agg
+		if lo == 0 {
+			span = params.InitialCut
+		}
+		end := lo + span
+		if end > maxL+1 {
+			end = maxL + 1
+		}
+		uf.reset()
+		bestHi := -1
+		totalW := 0
+		count := 0
+		lastH := lo
+		for h := lo; h < end; h++ {
+			totalW += uf.addLevel(g, tg, sets[h])
+			count += len(sets[h])
+			lastH = h
+			limit := (totalW*11 + 10*r - 1) / (10 * r)
+			if limit < maxVertexW {
+				limit = maxVertexW
+			}
+			if uf.maxComp <= limit {
+				bestHi = h
+			}
+			chainLike := count <= (h-lo+1)*r
+			last := bestHi
+			if last < 0 {
+				last = lo
+			}
+			if !chainLike && h-last >= 8 {
+				break
+			}
+		}
+		if bestHi < 0 {
+			if count <= (lastH-lo+1)*r {
+				bestHi = lastH
+			} else {
+				bestHi = lo
+			}
+		}
+		uf.reset()
+		var vs []int
+		for h := lo; h <= bestHi; h++ {
+			uf.addLevel(g, tg, sets[h])
+			vs = append(vs, sets[h]...)
+		}
+		comps2 := uf.groups(vs)
+		p.S = append(p.S, packLPT(g, lvl, comps2, r))
+		lo = bestHi + 1
+	}
+	return p.Compact(), nil
+}
+
+type unionFind struct {
+	parent  []int
+	compW   []int
+	in      []bool
+	touched []int
+	maxComp int
+}
+
+func newUnionFind(n int) *unionFind {
+	return &unionFind{parent: make([]int, n), compW: make([]int, n), in: make([]bool, n)}
+}
+
+func (u *unionFind) reset() {
+	for _, v := range u.touched {
+		u.in[v] = false
+	}
+	u.touched = u.touched[:0]
+	u.maxComp = 0
+}
+
+func (u *unionFind) add(v, w int) {
+	u.parent[v] = v
+	u.compW[v] = w
+	u.in[v] = true
+	u.touched = append(u.touched, v)
+	if w > u.maxComp {
+		u.maxComp = w
+	}
+}
+
+func (u *unionFind) find(v int) int {
+	for u.parent[v] != v {
+		u.parent[v] = u.parent[u.parent[v]]
+		v = u.parent[v]
+	}
+	return v
+}
+
+func (u *unionFind) addLevel(g, tg *dag.Graph, level []int) int {
+	added := 0
+	for _, v := range level {
+		w := g.Weight(v)
+		u.add(v, w)
+		added += w
+	}
+	for _, v := range level {
+		for _, s := range g.Succ(v) {
+			if u.in[s] {
+				u.union(v, s)
+			}
+		}
+		for _, s := range tg.Succ(v) {
+			if u.in[s] {
+				u.union(v, s)
+			}
+		}
+	}
+	return added
+}
+
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	u.parent[ra] = rb
+	u.compW[rb] += u.compW[ra]
+	if u.compW[rb] > u.maxComp {
+		u.maxComp = u.compW[rb]
+	}
+	return true
+}
+
+// groups materializes components with the seed's map-backed grouping.
+func (u *unionFind) groups(vs []int) [][]int {
+	byRoot := make(map[int][]int)
+	for _, v := range vs {
+		r := u.find(v)
+		byRoot[r] = append(byRoot[r], v)
+	}
+	out := make([][]int, 0, len(byRoot))
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return byRoot[roots[i]][0] < byRoot[roots[j]][0] })
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+func packLPT(g *dag.Graph, lvl []int, comps [][]int, r int) [][]int {
+	type wc struct {
+		vs   []int
+		cost int
+	}
+	items := make([]wc, len(comps))
+	total := 0
+	for i, c := range comps {
+		cost := 0
+		for _, v := range c {
+			cost += g.Weight(v)
+		}
+		items[i] = wc{c, cost}
+		total += cost
+	}
+	k := r
+	if len(items) < k {
+		k = len(items)
+	}
+	var bins [][]int
+	if len(items) >= 4*r {
+		bins = make([][]int, 0, k)
+		target := (total + k - 1) / k
+		var cur []int
+		acc, remaining := 0, total
+		for i, it := range items {
+			cur = append(cur, it.vs...)
+			acc += it.cost
+			slotsLeft := k - len(bins) - 1
+			if acc >= target && slotsLeft > 0 && len(items)-i-1 >= slotsLeft {
+				bins = append(bins, cur)
+				remaining -= acc
+				cur, acc = nil, 0
+				target = (remaining + slotsLeft - 1) / slotsLeft
+				if target < 1 {
+					target = 1
+				}
+			}
+		}
+		if len(cur) > 0 {
+			bins = append(bins, cur)
+		}
+	} else {
+		// Canonical LPT order: cost descending, ties by first vertex
+		// ascending (see the package comment on the one seed deviation).
+		sort.Slice(items, func(i, j int) bool {
+			if items[i].cost != items[j].cost {
+				return items[i].cost > items[j].cost
+			}
+			return items[i].vs[0] < items[j].vs[0]
+		})
+		bins = make([][]int, k)
+		binCost := make([]int, k)
+		for _, it := range items {
+			best := 0
+			for b := 1; b < k; b++ {
+				if binCost[b] < binCost[best] {
+					best = b
+				}
+			}
+			bins[best] = append(bins[best], it.vs...)
+			binCost[best] += it.cost
+		}
+	}
+	for _, b := range bins {
+		sort.Slice(b, func(i, j int) bool {
+			if lvl[b[i]] != lvl[b[j]] {
+				return lvl[b[i]] < lvl[b[j]]
+			}
+			return b[i] < b[j]
+		})
+	}
+	return bins
+}

@@ -1,0 +1,477 @@
+package refinspect
+
+// The seed revision's ICO steps (ii) and (iii): merge, slack assignment and
+// packing, with their original per-call maps and reflection-based sorts.
+
+import (
+	"fmt"
+	"sort"
+)
+
+func (st *state) merge() {
+	for pass := 0; pass < 2 && st.mergePass(); pass++ {
+	}
+	st.compactS()
+}
+
+func (st *state) mergePass() bool {
+	members := st.members()
+	merged := false
+	for s := 1; s < len(members); s++ {
+		maxCur := maxIntSlice(st.cost[s])
+		for w, unit := range members[s] {
+			if len(unit) == 0 {
+				continue
+			}
+			target, targetW, ok := st.mergeTarget(unit, s)
+			if !ok || target >= s {
+				continue
+			}
+			c := 0
+			for _, it := range unit {
+				c += st.loops.G[it.Loop].Weight(it.Idx)
+			}
+			st.ensureS(target)
+			if targetW < 0 {
+				targetW = st.lightestW(target)
+			}
+			for len(st.cost[target]) <= targetW {
+				st.cost[target] = append(st.cost[target], 0)
+			}
+			if st.cost[target][targetW]+c > maxIntSlice(st.cost[target])+maxCur {
+				continue
+			}
+			for _, it := range unit {
+				st.posS[it.Loop][it.Idx] = target
+				st.posW[it.Loop][it.Idx] = targetW
+			}
+			st.cost[target][targetW] += c
+			st.cost[s][w] -= c
+			members[s][w] = nil
+			merged = true
+		}
+	}
+	return merged
+}
+
+func (st *state) mergeTarget(unit []Iter, s int) (int, int, bool) {
+	maxPredS, wAtMax := -1, -1
+	multi := false
+	zeroSlack := s == len(st.cost)-1
+	for _, it := range unit {
+		forEachPred(st.loops, st.tg, it, func(pr Iter) {
+			ps := st.posS[pr.Loop][pr.Idx]
+			if ps == s {
+				return
+			}
+			pw := st.posW[pr.Loop][pr.Idx]
+			switch {
+			case ps > maxPredS:
+				maxPredS, wAtMax, multi = ps, pw, false
+			case ps == maxPredS && pw != wAtMax:
+				multi = true
+			}
+		})
+		if !zeroSlack {
+			forEachSucc(st.loops, st.fcsc, it, func(su Iter) {
+				if st.posS[su.Loop][su.Idx] == s+1 {
+					zeroSlack = true
+				}
+			})
+		}
+	}
+	if !zeroSlack {
+		return 0, 0, false
+	}
+	if maxPredS < 0 {
+		return 0, -1, true
+	}
+	if multi {
+		return maxPredS + 1, -1, true
+	}
+	return maxPredS, wAtMax, true
+}
+
+func (st *state) members() [][][]Iter {
+	m := make([][][]Iter, len(st.cost))
+	for s := range m {
+		m[s] = make([][]Iter, len(st.cost[s]))
+	}
+	for k, g := range st.loops.G {
+		for i := 0; i < g.N; i++ {
+			s, w := st.posS[k][i], st.posW[k][i]
+			m[s][w] = append(m[s][w], Iter{Loop: k, Idx: i})
+		}
+	}
+	return m
+}
+
+func (st *state) compactS() {
+	counts := make([]int, len(st.cost))
+	for k, g := range st.loops.G {
+		for i := 0; i < g.N; i++ {
+			counts[st.posS[k][i]]++
+		}
+	}
+	remap := make([]int, len(st.cost))
+	next := 0
+	for s := range st.cost {
+		if counts[s] > 0 {
+			remap[s] = next
+			next++
+		} else {
+			remap[s] = -1
+		}
+	}
+	if next == len(st.cost) {
+		return
+	}
+	newCost := make([][]int, next)
+	for s, ns := range remap {
+		if ns >= 0 {
+			newCost[ns] = st.cost[s]
+		}
+	}
+	st.cost = newCost
+	for k, g := range st.loops.G {
+		for i := 0; i < g.N; i++ {
+			st.posS[k][i] = remap[st.posS[k][i]]
+		}
+	}
+}
+
+func maxIntSlice(s []int) int {
+	m := 0
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func (st *state) slackBalance() {
+	b := st.numS()
+	if b <= 1 {
+		return
+	}
+	total := 0
+	for _, g := range st.loops.G {
+		total += g.TotalWeight()
+	}
+	eps := total / 1000
+	if eps < 1 {
+		eps = 1
+	}
+
+	type slackIter struct {
+		it             Iter
+		origS, origW   int
+		latest, weight int
+	}
+	var pool []slackIter
+	placed := make([][]bool, len(st.loops.G))
+	removed := make([][]bool, len(st.loops.G))
+	for k, g := range st.loops.G {
+		placed[k] = make([]bool, g.N)
+		removed[k] = make([]bool, g.N)
+	}
+	for k, g := range st.loops.G {
+		for i := 0; i < g.N; i++ {
+			it := Iter{Loop: k, Idx: i}
+			latest := b - 1
+			forEachSucc(st.loops, st.fcsc, it, func(su Iter) {
+				if s := st.posS[su.Loop][su.Idx] - 1; s < latest {
+					latest = s
+				}
+			})
+			if s := st.posS[k][i]; latest > s {
+				pool = append(pool, slackIter{it, s, st.posW[k][i], latest, g.Weight(i)})
+				removed[k][i] = true
+				st.cost[s][st.posW[k][i]] -= g.Weight(i)
+			}
+		}
+	}
+	if len(pool) == 0 {
+		return
+	}
+	slotAt := func(it Iter, s int) (int, bool) {
+		forced, ok := -1, true
+		forEachPred(st.loops, st.tg, it, func(pr Iter) {
+			if removed[pr.Loop][pr.Idx] && !placed[pr.Loop][pr.Idx] {
+				ok = false
+				return
+			}
+			ps := st.posS[pr.Loop][pr.Idx]
+			switch {
+			case ps > s:
+				ok = false
+			case ps == s:
+				w := st.posW[pr.Loop][pr.Idx]
+				if forced == -1 {
+					forced = w
+				} else if forced != w {
+					ok = false
+				}
+			}
+		})
+		return forced, ok
+	}
+	put := func(si slackIter, s, w int) {
+		st.assign(si.it, s, w)
+		placed[si.it.Loop][si.it.Idx] = true
+	}
+	putFree := func(si slackIter, s int) {
+		st.assignFree(si.it, s)
+		placed[si.it.Loop][si.it.Idx] = true
+	}
+	byDeadline := make([][]int, b)
+	byAvailable := make([][]int, b)
+	for idx, si := range pool {
+		byDeadline[si.latest] = append(byDeadline[si.latest], idx)
+		byAvailable[si.origS] = append(byAvailable[si.origS], idx)
+	}
+	deficit := make([]int, b)
+	slackAt := make([]int, b)
+	for _, si := range pool {
+		slackAt[si.origS] += si.weight
+	}
+	for s := 0; s < b; s++ {
+		maxC := maxIntSlice(st.cost[s])
+		for _, c := range st.cost[s] {
+			deficit[s] += maxC - c
+		}
+		if extra := st.p.Threads - len(st.cost[s]); extra > 0 {
+			deficit[s] += extra * maxC
+		}
+		deficit[s] -= slackAt[s]
+		if deficit[s] < 0 {
+			deficit[s] = 0
+		}
+	}
+	suffix := make([]int, b+1)
+	for s := b - 1; s >= 0; s-- {
+		suffix[s] = suffix[s+1] + deficit[s]
+	}
+	booked := 0
+
+	var candidates []int
+	for s := 0; s < b; s++ {
+		for _, idx := range byDeadline[s] {
+			si := pool[idx]
+			if placed[si.it.Loop][si.it.Idx] {
+				continue
+			}
+			if s == si.origS {
+				put(si, s, si.origW)
+				continue
+			}
+			putFree(si, s)
+			booked -= si.weight
+		}
+		candidates = append(candidates, byAvailable[s]...)
+		sortByIndex := func(c []int) {
+			sort.SliceStable(c, func(i, j int) bool {
+				a, b := pool[c[i]].it, pool[c[j]].it
+				if a.Loop != b.Loop {
+					return a.Loop < b.Loop
+				}
+				return a.Idx < b.Idx
+			})
+		}
+		sortByIndex(candidates)
+		maxC := maxIntSlice(st.cost[s])
+		for ci, idx := range candidates {
+			if idx < 0 {
+				continue
+			}
+			si := pool[idx]
+			if placed[si.it.Loop][si.it.Idx] || si.latest < s {
+				candidates[ci] = -1
+				continue
+			}
+			w, ok := slotAt(si.it, s)
+			if !ok {
+				continue
+			}
+			if w < 0 {
+				if st.stickS != s || st.stickLeft <= 0 ||
+					st.cost[s][st.stickW]+si.weight > maxC+eps {
+					st.stickS, st.stickW, st.stickLeft = s, st.lightestW(s), stickyGranule
+				}
+				if st.cost[s][st.stickW]+si.weight > maxC+eps {
+					continue
+				}
+				w = st.stickW
+				st.stickLeft--
+			} else {
+				st.ensureS(s)
+				for len(st.cost[s]) <= w {
+					st.cost[s] = append(st.cost[s], 0)
+				}
+				if st.cost[s][w]+si.weight > maxC+eps {
+					continue
+				}
+			}
+			if fromLater := si.origS < s; fromLater {
+				booked -= si.weight
+			}
+			put(si, s, w)
+			if c := st.cost[s][w]; c > maxC {
+				maxC = c
+			}
+			candidates[ci] = -1
+		}
+		compacted := candidates[:0]
+		for _, idx := range candidates {
+			if idx >= 0 {
+				compacted = append(compacted, idx)
+			}
+		}
+		candidates = compacted
+		sortByIndex(candidates)
+		for ci, idx := range candidates {
+			if idx < 0 {
+				continue
+			}
+			si := pool[idx]
+			if placed[si.it.Loop][si.it.Idx] || si.origS != s {
+				continue
+			}
+			if si.latest > s && booked+si.weight <= suffix[s+1] {
+				booked += si.weight
+				continue
+			}
+			w, ok := slotAt(si.it, s)
+			if !ok {
+				continue
+			}
+			if w < 0 {
+				putFree(si, s)
+			} else {
+				for len(st.cost[s]) <= w {
+					st.cost[s] = append(st.cost[s], 0)
+				}
+				put(si, s, w)
+			}
+			candidates[ci] = -1
+		}
+		live := candidates[:0]
+		for _, idx := range candidates {
+			if idx >= 0 && !placed[pool[idx].it.Loop][pool[idx].it.Idx] && pool[idx].latest > s {
+				live = append(live, idx)
+			}
+		}
+		candidates = live
+	}
+	st.compactS()
+}
+
+func (st *state) pack(reuse float64) (*Schedule, error) {
+	members := st.members()
+	sched := &Schedule{ReuseRatio: reuse, Interleaved: reuse >= 1}
+	lvl := make([][]int, len(st.loops.G))
+	for k, g := range st.loops.G {
+		l, err := levels(g)
+		if err != nil {
+			return nil, err
+		}
+		lvl[k] = l
+	}
+	for _, sp := range members {
+		var out [][]Iter
+		for _, unit := range sp {
+			if len(unit) == 0 {
+				continue
+			}
+			if sched.Interleaved {
+				out = append(out, st.interleavedPack(unit, lvl))
+			} else {
+				out = append(out, separatedPack(unit, lvl))
+			}
+		}
+		if len(out) > 0 {
+			sched.S = append(sched.S, out)
+		}
+	}
+	return sched, nil
+}
+
+func separatedPack(unit []Iter, lvl [][]int) []Iter {
+	out := append([]Iter(nil), unit...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Loop != b.Loop {
+			return a.Loop < b.Loop
+		}
+		if lvl[a.Loop][a.Idx] != lvl[b.Loop][b.Idx] {
+			return lvl[a.Loop][a.Idx] < lvl[b.Loop][b.Idx]
+		}
+		return a.Idx < b.Idx
+	})
+	return out
+}
+
+func (st *state) interleavedPack(unit []Iter, lvl [][]int) []Iter {
+	local := make(map[Iter]int, len(unit))
+	for li, it := range unit {
+		local[it] = li
+	}
+	indeg := make([]int, len(unit))
+	succ := make([][]int, len(unit))
+	for li, it := range unit {
+		forEachPred(st.loops, st.tg, it, func(pr Iter) {
+			if pi, ok := local[pr]; ok {
+				indeg[li]++
+				succ[pi] = append(succ[pi], li)
+			}
+		})
+	}
+	nLoops := len(st.loops.G)
+	ready := make([][]int, nLoops)
+	for li, d := range indeg {
+		if d == 0 {
+			ready[unit[li].Loop] = append(ready[unit[li].Loop], li)
+		}
+	}
+	for k := range ready {
+		sortReady(ready[k], unit, lvl)
+	}
+	out := make([]Iter, 0, len(unit))
+	for len(out) < len(unit) {
+		picked := -1
+		for k := nLoops - 1; k >= 0; k-- {
+			if n := len(ready[k]); n > 0 {
+				picked = ready[k][n-1]
+				ready[k] = ready[k][:n-1]
+				break
+			}
+		}
+		if picked < 0 {
+			panic(fmt.Sprintf("refinspect: interleaved packing wedged with %d of %d placed", len(out), len(unit)))
+		}
+		out = append(out, unit[picked])
+		for _, si := range succ[picked] {
+			indeg[si]--
+			if indeg[si] == 0 {
+				k := unit[si].Loop
+				ready[k] = append(ready[k], si)
+				if k == 0 {
+					sortReady(ready[k], unit, lvl)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sortReady(r []int, unit []Iter, lvl [][]int) {
+	sort.Slice(r, func(i, j int) bool {
+		a, b := unit[r[i]], unit[r[j]]
+		la, lb := lvl[a.Loop][a.Idx], lvl[b.Loop][b.Idx]
+		if la != lb {
+			return la > lb
+		}
+		return a.Idx > b.Idx
+	})
+}
