@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-inspector check-inspector
+.PHONY: build test race bench bench-inspector check-inspector check-exec
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,8 @@ bench-inspector:
 # regressed more than 25% against the committed BENCH_inspector.json.
 check-inspector:
 	$(GO) run ./cmd/spbench -mode inspector -check -out BENCH_inspector.json
+
+# check-exec does the same for BENCH_exec.json: compiled and packed executor
+# ns/run must stay within 25% of the committed numbers.
+check-exec:
+	$(GO) run ./cmd/spbench -mode exec -check -out BENCH_exec.json

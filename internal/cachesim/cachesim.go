@@ -15,6 +15,7 @@ import (
 	"sparsefusion/internal/core"
 	"sparsefusion/internal/kernels"
 	"sparsefusion/internal/partition"
+	"sparsefusion/internal/relayout"
 )
 
 // Config describes the simulated hierarchy. Latencies are in cycles.
@@ -195,6 +196,42 @@ func MeasureFused(ks []kernels.Kernel, sched *core.Schedule, cfg Config) (Result
 			th := s.threads[w]
 			for _, it := range part {
 				trs[it.Loop].Trace(it.Idx, th.access)
+			}
+		}
+	}
+	return s.result(), nil
+}
+
+// MeasurePacked replays a compiled schedule against its schedule-order
+// re-layout: w-partition w of s-partition s runs on thread slot w-SOff[s]
+// (matching MeasureFused's slot assignment), and each run segment reads its
+// loop's packed stream through the layout's entry/occurrence cursors instead
+// of pointer-chasing the matrix-order arrays. The delta against MeasureFused
+// on the same schedule is the locality the re-layout buys.
+func MeasurePacked(ks []kernels.Kernel, lay *relayout.Layout, cfg Config) (Result, error) {
+	prog := lay.Program()
+	trs := make([]kernels.PackedTracer, len(ks))
+	for i, k := range ks {
+		t, ok := k.(kernels.PackedTracer)
+		if !ok {
+			return Result{}, fmt.Errorf("cachesim: kernel %s does not support packed tracing", k.Name())
+		}
+		trs[i] = t
+	}
+	s := newSim(cfg, prog.MaxWidth)
+	for sp := 0; sp < prog.NumSPartitions(); sp++ {
+		w0 := int(prog.SOff[sp])
+		for w := w0; w < int(prog.SOff[sp+1]); w++ {
+			th := s.threads[w-w0]
+			for g := prog.WSeg[w]; g < prog.WSeg[w+1]; g++ {
+				loop := int(prog.SegLoop[g])
+				stream := lay.Streams[loop]
+				ent := int(lay.SegEnt[g])
+				it := int(prog.SegIter[g])
+				for _, v := range prog.Iters[prog.SegOff[g]:prog.SegOff[g+1]] {
+					ent = trs[loop].TracePacked(int(v&kernels.IterMask), stream, ent, it, th.access)
+					it++
+				}
 			}
 		}
 	}

@@ -30,6 +30,13 @@ type Program struct {
 	SegLoop []uint8
 	WSeg    []int32
 
+	// SegIter[g] is the number of loop-SegLoop[g] iterations scheduled in
+	// segments before g: the per-loop occurrence cursor at which segment g
+	// starts. A schedule-order operand re-layout (internal/relayout) lays its
+	// per-loop streams out in this occurrence order, so SegIter is the stream
+	// offset metadata that aligns segments with their packed data.
+	SegIter []int32
+
 	// NumLoops is the fused chain length the tags were packed against.
 	NumLoops int
 	// MaxWidth is the maximum number of w-partitions in any s-partition.
@@ -60,7 +67,8 @@ type ProgramBuilder struct {
 	prog    *Program
 	sCounts []int32
 	wOpen   bool
-	segLast int // loop of the open segment, -1 when none
+	segLast int     // loop of the open segment, -1 when none
+	seen    []int32 // iterations appended so far, per loop (feeds SegIter)
 }
 
 // NewProgramBuilder starts a builder for a chain of numLoops loops.
@@ -76,6 +84,7 @@ func NewProgramBuilder(numLoops int) (*ProgramBuilder, error) {
 			NumLoops: numLoops,
 		},
 		segLast: -1,
+		seen:    make([]int32, numLoops),
 	}, nil
 }
 
@@ -96,7 +105,10 @@ func (b *ProgramBuilder) StartW() error {
 	return nil
 }
 
-// Add appends iteration idx of loop to the open w-partition.
+// Add appends iteration idx of loop to the open w-partition. The packed
+// entry is built through kernels.PackIterChecked, so a loop beyond the tag
+// width or an index beyond the index bits surfaces as an error here instead
+// of a silently corrupted tag.
 func (b *ProgramBuilder) Add(loop, idx int) error {
 	if !b.wOpen {
 		return fmt.Errorf("core: Add before StartW")
@@ -104,15 +116,18 @@ func (b *ProgramBuilder) Add(loop, idx int) error {
 	if loop < 0 || loop >= b.prog.NumLoops {
 		return fmt.Errorf("core: loop %d out of range [0,%d)", loop, b.prog.NumLoops)
 	}
-	if idx < 0 || idx >= kernels.MaxIterations {
-		return fmt.Errorf("core: iteration %d of loop %d does not fit in %d index bits", idx, loop, kernels.LoopShift)
+	v, err := kernels.PackIterChecked(loop, idx)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	if loop != b.segLast {
 		b.closeSeg()
 		b.segLast = loop
 		b.prog.SegLoop = append(b.prog.SegLoop, uint8(loop))
+		b.prog.SegIter = append(b.prog.SegIter, b.seen[loop])
 	}
-	b.prog.Iters = append(b.prog.Iters, kernels.PackIter(loop, idx))
+	b.prog.Iters = append(b.prog.Iters, v)
+	b.seen[loop]++
 	return nil
 }
 

@@ -87,9 +87,11 @@ func FromEdges(n int, edges []Edge, w []int) (*Graph, error) {
 }
 
 // FromLowerCSR builds the iteration DAG of a kernel whose dependence pattern
-// is a lower-triangular factor L in CSR form (SpTRSV, SpIC0, SpILU0 in the
+// is the strictly-lower part of a CSR matrix (SpTRSV, SpIC0, SpILU0 in the
 // paper): each strictly-lower nonzero L[i][j] is a dependency from iteration
-// j to iteration i. The vertex weight is the number of nonzeros in row i.
+// j to iteration i. Entries on or above the diagonal contribute no edges, so
+// the matrix may be a lower-triangular factor or a full matrix (SpILU0 passes
+// the whole A). The vertex weight is the number of nonzeros in row i.
 func FromLowerCSR(l *sparse.CSR) *Graph {
 	n := l.Rows
 	g := &Graph{N: n, P: make([]int, n+1), W: make([]int, n)}
@@ -120,9 +122,59 @@ func FromLowerCSR(l *sparse.CSR) *Graph {
 }
 
 // Parallel builds an edge-free DAG of n vertices with the given weights:
-// the DAG of a fully parallel loop such as SpMV or DSCAL.
+// the DAG of a fully parallel loop such as SpMV or DSCAL. The weight slice is
+// retained, not copied.
 func Parallel(n int, w []int) *Graph {
 	return &Graph{N: n, P: make([]int, n+1), W: w}
+}
+
+// ParallelCSR builds the edge-free DAG of a fully parallel loop over the
+// rows/columns of a CSR-style pointer array: vertex i has weight
+// p[i+1]-p[i]+bump, the nonzero count of its row/column plus any fixed
+// per-iteration cost. One allocation, replacing the count-and-fill loops the
+// SpMV/DSCAL constructors used to carry.
+func ParallelCSR(p []int, bump int) *Graph {
+	n := len(p) - 1
+	w := make([]int, n)
+	for i := 0; i < n; i++ {
+		w[i] = p[i+1] - p[i] + bump
+	}
+	return &Graph{N: n, P: make([]int, n+1), W: w}
+}
+
+// FromLowerCSC builds the iteration DAG of a kernel whose dependence pattern
+// is a lower-triangular factor in CSC form (SpTRSV-CSC, SpIC0): each
+// strictly-lower nonzero L[i][j] is a dependency from column j to column i.
+// Row indices ascend within a column, so vertex j's successor list is exactly
+// the strictly-lower rows of column j, already sorted — the adjacency is
+// assembled directly in CSR form with no edge list and no sort, identical to
+// routing the edges through FromEdges. The vertex weight is the column
+// length.
+func FromLowerCSC(l *sparse.CSC) *Graph {
+	n := l.Cols
+	g := &Graph{N: n, P: make([]int, n+1), W: make([]int, n)}
+	for j := 0; j < n; j++ {
+		g.W[j] = l.P[j+1] - l.P[j]
+		for p := l.P[j]; p < l.P[j+1]; p++ {
+			if l.I[p] > j {
+				g.P[j+1]++
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		g.P[v+1] += g.P[v]
+	}
+	g.I = make([]int, g.P[n])
+	next := 0
+	for j := 0; j < n; j++ {
+		for p := l.P[j]; p < l.P[j+1]; p++ {
+			if i := l.I[p]; i > j {
+				g.I[next] = i
+				next++
+			}
+		}
+	}
+	return g
 }
 
 // Transpose returns the graph with all edges reversed (predecessor lists).

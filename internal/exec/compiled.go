@@ -27,6 +27,7 @@ type seg struct {
 	batch  kernels.BatchRunner // single-kernel batch body
 	k      kernels.Kernel      // per-iteration fallback
 	loop   uint8               // loop tag of batch/fallback segments
+	g0     int32               // first program segment of this dispatch unit
 }
 
 // pairRunLimit is the average iterations-per-segment below which an
@@ -42,6 +43,11 @@ type Runner struct {
 	ks   []kernels.Kernel
 	segs []seg
 	wSeg []int32 // segs[wSeg[w]:wSeg[w+1]] belong to w-partition w
+
+	// packed, when non-nil, holds the schedule-order stream bindings of every
+	// dispatch unit (parallel to segs) and switches Run to the packed path.
+	// Set by AttachLayout (exec/packed.go).
+	packed []packedSeg
 }
 
 // NewRunner binds a compiled program to its kernels, choosing each segment's
@@ -80,13 +86,13 @@ func NewRunner(ks []kernels.Kernel, prog *core.Program) *Runner {
 				iters := int(prog.SegOff[end] - prog.SegOff[g])
 				if iters < (end-g)*pairRunLimit {
 					if fn := pairFor(l1, l2); fn != nil {
-						r.segs = append(r.segs, seg{lo: prog.SegOff[g], hi: prog.SegOff[end], pair: fn})
+						r.segs = append(r.segs, seg{lo: prog.SegOff[g], hi: prog.SegOff[end], pair: fn, g0: int32(g)})
 						g = end
 						continue
 					}
 				}
 			}
-			s := seg{lo: prog.SegOff[g], hi: prog.SegOff[g+1], loop: prog.SegLoop[g]}
+			s := seg{lo: prog.SegOff[g], hi: prog.SegOff[g+1], loop: prog.SegLoop[g], g0: int32(g)}
 			if b := batch[s.loop]; b != nil {
 				s.batch = b
 			} else {
@@ -124,6 +130,10 @@ func (r *Runner) Run(threads int) Stats {
 	pl := newPool(poolWidth)
 	defer pl.close()
 	durs := make([]time.Duration, poolWidth)
+	runBody := r.runW
+	if r.packed != nil {
+		runBody = r.runWPacked
+	}
 	for s := 0; s < p.NumSPartitions(); s++ {
 		w0 := int(p.SOff[s])
 		width := int(p.SOff[s+1]) - w0
@@ -131,7 +141,7 @@ func (r *Runner) Run(threads int) Stats {
 			accumulate(&st, durs[:0], threads)
 			continue
 		}
-		pl.run(width, func(w int) { r.runW(w0 + w) }, durs[:width])
+		pl.run(width, func(w int) { runBody(w0 + w) }, durs[:width])
 		accumulate(&st, durs[:width], threads)
 	}
 	st.Elapsed = time.Since(t0)

@@ -1,0 +1,128 @@
+package exec
+
+import (
+	"fmt"
+
+	"sparsefusion/internal/core"
+	"sparsefusion/internal/kernels"
+	"sparsefusion/internal/relayout"
+)
+
+// This file is the packed executor path: a Runner whose dispatch units have
+// been bound, once at inspection time, to the schedule-order operand streams
+// of a relayout.Layout. The hot loop then reads compact int32 indices and
+// float64 values with a single advancing cursor per stream instead of
+// pointer-chasing P[i] into matrix-order arrays. The compiled-unpacked path
+// (runW) and the slice-walking legacy executors remain as the reference
+// implementations the packed path is cross-checked against.
+
+// packedSeg is one dispatch unit's stream binding: the packed body plus the
+// entry/occurrence cursors at which the unit's data starts in each stream.
+// Parallel to Runner.segs.
+type packedSeg struct {
+	pair kernels.PackedPairRunner // fused two-kernel body for shredded spans
+	run  kernels.PackedRunner     // single-kernel batch body
+	s1   *kernels.PackedStream    // stream of the unit's (first) loop
+	s2   *kernels.PackedStream    // stream of the pair's second loop
+	ent1 int32                    // first operand-entry slot in s1
+	it1  int32                    // first occurrence slot in s1
+	ent2 int32                    // first operand-entry slot in s2 (pair only)
+	it2  int32                    // first occurrence slot in s2 (pair only)
+}
+
+// AttachLayout binds a schedule-order re-layout to the runner and switches
+// Run to the packed path. The layout must have been built for this runner's
+// program; every kernel must support packed batch execution, and every
+// coalesced pair span must have a packed pair specialization. On error the
+// runner is left unchanged (still running the compiled-unpacked path).
+func (r *Runner) AttachLayout(lay *relayout.Layout) error {
+	prog := r.prog
+	if lay.Program() != prog {
+		return fmt.Errorf("exec: layout was built for a different program")
+	}
+	packed := make([]packedSeg, len(r.segs))
+	for i := range r.segs {
+		sg := &r.segs[i]
+		g0 := int(sg.g0)
+		if sg.pair != nil {
+			// A pair span coalesces consecutive program segments alternating
+			// between two loops; consecutive segments of one w-partition always
+			// differ in loop, so the span's loops are those of its first two
+			// segments. Each loop's entries are contiguous in its own stream
+			// across the whole span (streams are laid out in global segment
+			// order and the other loop's entries land in the other stream), so
+			// one cursor pair per loop covers the span.
+			l1, l2 := prog.SegLoop[g0], prog.SegLoop[g0+1]
+			fn, ok := kernels.FusePackedPair(r.ks[l1], r.ks[l2], int(l1), int(l2))
+			if !ok {
+				return fmt.Errorf("exec: no packed pair body for %s+%s", r.ks[l1].Name(), r.ks[l2].Name())
+			}
+			packed[i] = packedSeg{
+				pair: fn,
+				s1:   lay.Streams[l1],
+				s2:   lay.Streams[l2],
+				ent1: lay.SegEnt[g0],
+				it1:  prog.SegIter[g0],
+				ent2: lay.SegEnt[g0+1],
+				it2:  prog.SegIter[g0+1],
+			}
+			continue
+		}
+		pk, ok := r.ks[sg.loop].(kernels.PackedRunner)
+		if !ok {
+			return fmt.Errorf("exec: kernel %s does not support packed execution", r.ks[sg.loop].Name())
+		}
+		packed[i] = packedSeg{
+			run:  pk,
+			s1:   lay.Streams[sg.loop],
+			ent1: lay.SegEnt[g0],
+			it1:  prog.SegIter[g0],
+		}
+	}
+	r.packed = packed
+	return nil
+}
+
+// Packed reports whether a layout is attached (Run takes the packed path).
+func (r *Runner) Packed() bool { return r.packed != nil }
+
+// DetachLayout drops the stream bindings, returning Run to the
+// compiled-unpacked path.
+func (r *Runner) DetachLayout() { r.packed = nil }
+
+// runWPacked executes one w-partition against the packed streams, one
+// dispatch per segment.
+func (r *Runner) runWPacked(w int) {
+	for g := r.wSeg[w]; g < r.wSeg[w+1]; g++ {
+		sg := &r.segs[g]
+		ps := &r.packed[g]
+		iters := r.prog.Iters[sg.lo:sg.hi]
+		if ps.pair != nil {
+			ps.pair(iters, ps.s1, ps.s2, int(ps.ent1), int(ps.it1), int(ps.ent2), int(ps.it2))
+		} else {
+			ps.run.RunManyPacked(iters, ps.s1, int(ps.ent1), int(ps.it1))
+		}
+	}
+}
+
+// CompileFusedPacked compiles an ICO schedule for the fused chain ks and
+// attaches a schedule-order re-layout: the full packed pipeline in one call.
+// The layout is returned alongside the runner so callers can report its
+// build cost and footprint. It fails when the schedule exceeds the packed
+// representation or when the chain does not support the packed layout
+// (kernels without stream support, or a kernel overwriting another's packed
+// source mid-run); callers fall back to CompileFused then.
+func CompileFusedPacked(ks []kernels.Kernel, sched *core.Schedule) (*Runner, *relayout.Layout, error) {
+	r, err := CompileFused(ks, sched)
+	if err != nil {
+		return nil, nil, err
+	}
+	lay, err := relayout.Build(r.Program(), ks)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := r.AttachLayout(lay); err != nil {
+		return nil, nil, err
+	}
+	return r, lay, nil
+}

@@ -1,0 +1,190 @@
+package exec
+
+import (
+	"testing"
+
+	"sparsefusion/internal/core"
+	"sparsefusion/internal/relayout"
+	"sparsefusion/internal/sparse"
+)
+
+// packableCombos are the fused chains whose kernels all support the packed
+// layout. ic0-trsv and dscal-ilu0 are excluded by design: the factor kernels
+// mutate their matrices mid-run (no stable stream to pack), which
+// CompileFusedPacked must reject (TestPackedFallbackForUnsupportedChains).
+var packableCombos = []string{"trsv-mv", "trsv-trsv"}
+
+// TestPackedMatchesLegacyBitIdentical: on width-1 schedules all three
+// executors (legacy slice walker, compiled-unpacked, packed) run strictly
+// sequentially with the same arithmetic order, so outputs must match bit for
+// bit.
+func TestPackedMatchesLegacyBitIdentical(t *testing.T) {
+	for _, name := range packableCombos {
+		mk := combos[name]
+		for _, reuse := range []float64{0.5, 1.5} {
+			loops, ks, snap := mk(300, 7)
+			p := core.Params{Threads: 1, ReuseRatio: reuse, LBC: icoParams().LBC}
+			sched, err := core.ICO(loops, p)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			stL := RunFusedLegacy(ks, sched, 1)
+			legacy := snap()
+			r, lay, err := CompileFusedPacked(ks, sched)
+			if err != nil {
+				t.Fatalf("%s: compile packed: %v", name, err)
+			}
+			if !r.Packed() {
+				t.Fatalf("%s: runner did not take the packed path", name)
+			}
+			if lay.Words() == 0 {
+				t.Fatalf("%s: empty layout", name)
+			}
+			stP := r.Run(1)
+			packed := snap()
+			for i := range legacy {
+				if packed[i] != legacy[i] {
+					t.Fatalf("%s reuse %v: output[%d] = %v, legacy %v", name, reuse, i, packed[i], legacy[i])
+				}
+			}
+			if stP.Barriers != stL.Barriers {
+				t.Fatalf("%s reuse %v: %d barriers, legacy %d", name, reuse, stP.Barriers, stL.Barriers)
+			}
+			// Detaching returns the runner to the compiled-unpacked path,
+			// still bit-identical.
+			r.DetachLayout()
+			if r.Packed() {
+				t.Fatalf("%s: detach did not clear the packed path", name)
+			}
+			r.Run(1)
+			unpacked := snap()
+			for i := range legacy {
+				if unpacked[i] != legacy[i] {
+					t.Fatalf("%s reuse %v: detached output[%d] diverges", name, reuse, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedMatchesLegacyParallel: wide schedules run scatter kernels in
+// atomic mode (nondeterministic accumulation order), so parallel equivalence
+// is up to floating-point reassociation plus an exact barrier count. Run under
+// -race this also exercises the packed path for data races.
+func TestPackedMatchesLegacyParallel(t *testing.T) {
+	for _, name := range packableCombos {
+		mk := combos[name]
+		for _, reuse := range []float64{0.5, 1.5} {
+			loops, ks, snap := mk(300, 7)
+			p := icoParams()
+			p.ReuseRatio = reuse
+			sched, err := core.ICO(loops, p)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			stL := RunFusedLegacy(ks, sched, threads)
+			legacy := snap()
+			r, _, err := CompileFusedPacked(ks, sched)
+			if err != nil {
+				t.Fatalf("%s: compile packed: %v", name, err)
+			}
+			for rep := 0; rep < 3; rep++ {
+				stP := r.Run(threads)
+				if e := sparse.RelErr(snap(), legacy); e > 1e-9 {
+					t.Fatalf("%s reuse %v rep %d: packed diverges from legacy by %v", name, reuse, rep, e)
+				}
+				if stP.Barriers != stL.Barriers {
+					t.Fatalf("%s reuse %v: %d barriers, legacy %d", name, reuse, stP.Barriers, stL.Barriers)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedFallbackForUnsupportedChains: chains containing factor kernels
+// (which mutate their matrices mid-run) must be rejected by the relayout
+// stage, leaving CompileFused as the fallback.
+func TestPackedFallbackForUnsupportedChains(t *testing.T) {
+	for _, name := range []string{"ic0-trsv", "dscal-ilu0"} {
+		loops, ks, _ := combos[name](200, 7)
+		sched, err := core.ICO(loops, icoParams())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, _, err := CompileFusedPacked(ks, sched); err == nil {
+			t.Fatalf("%s: CompileFusedPacked accepted a chain with a mid-run matrix writer", name)
+		}
+		if _, err := CompileFused(ks, sched); err != nil {
+			t.Fatalf("%s: unpacked fallback failed too: %v", name, err)
+		}
+	}
+}
+
+// TestAttachLayoutRejectsForeignProgram: a layout is bound to the program it
+// was built from; attaching it to a runner compiled from a different program
+// must fail and leave the runner unpacked.
+func TestAttachLayoutRejectsForeignProgram(t *testing.T) {
+	loops, ks, _ := fusedTrsvMv(200, 7)
+	sched, err := core.ICO(loops, icoParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := CompileFused(ks, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := CompileFused(ks, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := relayout.Build(r2.Program(), ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.AttachLayout(lay); err == nil {
+		t.Fatal("AttachLayout accepted a layout built for a different program")
+	}
+	if r1.Packed() {
+		t.Fatal("failed attach left the runner packed")
+	}
+}
+
+// BenchmarkPackedExecutor compares the packed executor against the
+// compiled-unpacked one on the acceptance fixture (SpTRSV -> SpMV+b at 8
+// w-partitions). Same pool, same program, same dispatch structure — the delta
+// isolates the data layout: sequential int32/float64 streams vs matrix-order
+// pointer-chasing.
+func BenchmarkPackedExecutor(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		reuse float64
+	}{
+		{"separated", 0.5},
+		{"interleaved", 1.5},
+	} {
+		ks, sched := benchFused(b, 40000, tc.reuse)
+		r, err := CompileFused(ks, sched)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lay, err := relayout.Build(r.Program(), ks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name+"/compiled", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.Run(8)
+			}
+		})
+		b.Run(tc.name+"/packed", func(b *testing.B) {
+			if err := r.AttachLayout(lay); err != nil {
+				b.Fatal(err)
+			}
+			defer r.DetachLayout()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Run(8)
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package kernels
+
+import (
+	"testing"
+
+	"sparsefusion/internal/sparse"
+)
+
+// TestConstructorAllocsBounded guards the satellite rework of the kernel
+// constructors: DAG adjacency is assembled directly in CSR form (no edge
+// lists, no sort), read lists live in one flat backing, and counting cursors
+// come from the shared pool. Every constructor must finish in a small,
+// size-independent number of allocations; the old append-grown edge lists
+// allocated O(log nnz) grow steps and the per-row rowEntries appends
+// allocated O(n). Bounds are deliberately loose (about 2x the current counts)
+// so only a regression back to per-element allocation trips them. Note the
+// weight slices themselves are retained by the DAG (dag.Parallel keeps w),
+// so they rightly count as one allocation, not workspace.
+func TestConstructorAllocsBounded(t *testing.T) {
+	const n = 2000
+	a := sparse.RandomSPD(n, 8, 5)
+	l := a.Lower()
+	lc := l.ToCSC()
+	ac := a.ToCSC()
+	d := JacobiScaling(a)
+	b := sparse.RandomVec(n, 6)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	work := a.Clone()
+	workC := ac.Clone()
+
+	cases := []struct {
+		name  string
+		bound float64
+		f     func()
+	}{
+		{"NewSpMVCSR", 8, func() { NewSpMVCSR(a, x, y) }},
+		{"NewSpMVCSC", 8, func() { NewSpMVCSC(ac, x, y) }},
+		{"NewSpMVPlusCSR", 8, func() { NewSpMVPlusCSR(a, x, b, y) }},
+		{"NewDScalCSR", 10, func() { NewDScalCSR(a, d, work) }},
+		{"NewDScalCSC", 10, func() { NewDScalCSC(ac, d, workC) }},
+		{"NewSpTRSVCSR", 12, func() { NewSpTRSVCSR(l, b, x) }},
+		{"NewSpTRSVCSC", 10, func() { NewSpTRSVCSC(lc, b, x) }},
+		{"NewSpTRSVTransCSC", 12, func() { NewSpTRSVTransCSC(lc, b, x) }},
+		{"NewSpTRSVUnitLowerCSR", 12, func() { NewSpTRSVUnitLowerCSR(l, b, x) }},
+		{"NewSpIC0CSC", 20, func() { NewSpIC0CSC(lc) }},
+		{"NewSpILU0CSR", 16, func() { NewSpILU0CSR(a) }},
+	}
+	for _, tc := range cases {
+		tc.f() // warm the scratch pool so steady-state is measured
+		if got := testing.AllocsPerRun(5, tc.f); got > tc.bound {
+			t.Errorf("%s: %.0f allocs per construction, want <= %.0f", tc.name, got, tc.bound)
+		}
+	}
+}
+
+func benchConstructor(b *testing.B, f func()) {
+	b.ReportAllocs()
+	f()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f()
+	}
+}
+
+func BenchmarkNewSpIC0CSC(b *testing.B) {
+	a := sparse.RandomSPD(20000, 8, 5)
+	lc := a.Lower().ToCSC()
+	benchConstructor(b, func() { NewSpIC0CSC(lc) })
+}
+
+func BenchmarkNewSpILU0CSR(b *testing.B) {
+	a := sparse.RandomSPD(20000, 8, 5)
+	benchConstructor(b, func() { NewSpILU0CSR(a) })
+}
+
+func BenchmarkNewSpTRSVCSC(b *testing.B) {
+	a := sparse.RandomSPD(20000, 8, 5)
+	lc := a.Lower().ToCSC()
+	b1 := sparse.RandomVec(20000, 6)
+	x := make([]float64, 20000)
+	benchConstructor(b, func() { NewSpTRSVCSC(lc, b1, x) })
+}

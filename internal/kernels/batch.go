@@ -1,6 +1,10 @@
 package kernels
 
-import "sparsefusion/internal/atomicf"
+import (
+	"fmt"
+
+	"sparsefusion/internal/atomicf"
+)
 
 // This file defines the batch-execution ABI shared by the compiled executor
 // (core.Program + internal/exec): schedules are flattened into one int32
@@ -25,8 +29,23 @@ const (
 )
 
 // PackIter packs (loop, idx) into one stream entry. Callers must have
-// checked loop < MaxLoops and idx < MaxIterations.
+// checked loop < MaxLoops and idx < MaxIterations — out-of-range values
+// silently corrupt the tag bits. Builders that consume unvalidated input go
+// through PackIterChecked instead.
 func PackIter(loop, idx int) int32 { return int32(loop)<<LoopShift | int32(idx) }
+
+// PackIterChecked is the validating form of PackIter: it rejects loop tags
+// that exceed the tag width and iteration indices that do not fit the index
+// bits instead of truncating them into a corrupted entry.
+func PackIterChecked(loop, idx int) (int32, error) {
+	if loop < 0 || loop >= MaxLoops {
+		return 0, fmt.Errorf("kernels: loop %d does not fit the %d-loop tag width", loop, MaxLoops)
+	}
+	if idx < 0 || idx >= MaxIterations {
+		return 0, fmt.Errorf("kernels: iteration %d of loop %d does not fit in %d index bits", idx, loop, LoopShift)
+	}
+	return PackIter(loop, idx), nil
+}
 
 // UnpackIter splits a stream entry into (loop, idx).
 func UnpackIter(v int32) (loop, idx int) { return int(v >> LoopShift), int(v & IterMask) }

@@ -24,11 +24,7 @@ type DScalCSR struct {
 
 // NewDScalCSR builds the kernel. Out must share A's pattern (same P and I).
 func NewDScalCSR(a *sparse.CSR, d []float64, out *sparse.CSR) *DScalCSR {
-	w := make([]int, a.Rows)
-	for r := 0; r < a.Rows; r++ {
-		w[r] = a.P[r+1] - a.P[r]
-	}
-	return &DScalCSR{A: a, D: d, Out: out, a0: append([]float64(nil), a.X...), g: dag.Parallel(a.Rows, w)}
+	return &DScalCSR{A: a, D: d, Out: out, a0: append([]float64(nil), a.X...), g: dag.ParallelCSR(a.P, 0)}
 }
 
 // JacobiScaling returns d with d[i] = 1/sqrt(A[i][i]).
@@ -83,11 +79,7 @@ type DScalCSC struct {
 
 // NewDScalCSC builds the kernel. Out must share A's pattern.
 func NewDScalCSC(a *sparse.CSC, d []float64, out *sparse.CSC) *DScalCSC {
-	w := make([]int, a.Cols)
-	for c := 0; c < a.Cols; c++ {
-		w[c] = a.P[c+1] - a.P[c]
-	}
-	return &DScalCSC{A: a, D: d, Out: out, a0: append([]float64(nil), a.X...), g: dag.Parallel(a.Cols, w)}
+	return &DScalCSC{A: a, D: d, Out: out, a0: append([]float64(nil), a.X...), g: dag.ParallelCSR(a.P, 0)}
 }
 
 func (k *DScalCSC) Name() string    { return "DSCAL-CSC" }

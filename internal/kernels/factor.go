@@ -33,32 +33,50 @@ type rowRef struct{ col, idx int }
 
 // NewSpIC0CSC builds the kernel from the lower-triangular CSC pattern l
 // (typically tril(A) of an SPD matrix). The values of l are copied as the
-// replayable input.
+// replayable input. The DAG adjacency comes straight from the strictly-lower
+// column pattern (dag.FromLowerCSC — no edge list, no sort), and the per-row
+// read lists are carved out of one flat backing array instead of n
+// append-grown slices.
 func NewSpIC0CSC(l *sparse.CSC) *SpIC0CSC {
 	n := l.Cols
 	k := &SpIC0CSC{L: l, A0: append([]float64(nil), l.X...)}
-	k.rowEntries = make([][]rowRef, n)
-	var edges []dag.Edge
-	w := make([]int, n)
+	g := dag.FromLowerCSC(l)
+
+	// Count strictly-lower refs per row (cnt[i+1]), prefix-sum into start
+	// offsets, carve the sub-slice headers, then fill in the same
+	// column-scan order as before, advancing cnt[i] as the row cursor.
+	cntp := getInts(n + 1)
+	defer putInts(cntp)
+	cnt := *cntp
 	for j := 0; j < n; j++ {
-		w[j] = l.P[j+1] - l.P[j]
 		for p := l.P[j]; p < l.P[j+1]; p++ {
 			if i := l.I[p]; i > j {
-				k.rowEntries[i] = append(k.rowEntries[i], rowRef{j, p})
-				edges = append(edges, dag.Edge{Src: j, Dst: i})
+				cnt[i+1]++
 			}
 		}
 	}
-	// Weight grows with the update work: column length plus the lengths of
-	// the columns it reads.
+	for i := 0; i < n; i++ {
+		cnt[i+1] += cnt[i]
+	}
+	refs := make([]rowRef, cnt[n])
+	k.rowEntries = make([][]rowRef, n)
+	for i := 0; i < n; i++ {
+		k.rowEntries[i] = refs[cnt[i]:cnt[i+1]]
+	}
 	for j := 0; j < n; j++ {
-		for _, ref := range k.rowEntries[j] {
-			w[j] += l.P[ref.col+1] - l.P[ref.col]
+		for p := l.P[j]; p < l.P[j+1]; p++ {
+			if i := l.I[p]; i > j {
+				refs[cnt[i]] = rowRef{j, p}
+				cnt[i]++
+			}
 		}
 	}
-	g, err := dag.FromEdges(n, edges, w)
-	if err != nil {
-		panic(err) // indices come from a validated matrix
+	// Weight grows with the update work: column length (set by FromLowerCSC)
+	// plus the lengths of the columns the iteration reads.
+	for j := 0; j < n; j++ {
+		for _, ref := range k.rowEntries[j] {
+			g.W[j] += l.P[ref.col+1] - l.P[ref.col]
+		}
 	}
 	k.g = g
 	k.flops = k.countFlops()
@@ -155,31 +173,28 @@ type SpILU0CSR struct {
 }
 
 // NewSpILU0CSR builds the kernel from a square matrix with a full diagonal.
+// The strictly-lower entries of A are exactly the dependence edges, so the
+// DAG comes from dag.FromLowerCSR directly (no edge list, no sort); the base
+// row-length weights it assigns are then augmented with the lengths of the
+// rows each iteration reads.
 func NewSpILU0CSR(a *sparse.CSR) *SpILU0CSR {
 	n := a.Rows
 	k := &SpILU0CSR{A: a, A0: append([]float64(nil), a.X...), diag: make([]int, n)}
-	var edges []dag.Edge
-	w := make([]int, n)
+	g := dag.FromLowerCSR(a)
 	for i := 0; i < n; i++ {
 		k.diag[i] = -1
-		w[i] = a.P[i+1] - a.P[i]
 		for p := a.P[i]; p < a.P[i+1]; p++ {
 			j := a.I[p]
 			if j == i {
 				k.diag[i] = p
 			}
 			if j < i {
-				edges = append(edges, dag.Edge{Src: j, Dst: i})
-				w[i] += a.P[j+1] - a.P[j]
+				g.W[i] += a.P[j+1] - a.P[j]
 			}
 		}
 		if k.diag[i] < 0 {
 			panic("kernels: SpILU0 requires a full diagonal")
 		}
-	}
-	g, err := dag.FromEdges(n, edges, w)
-	if err != nil {
-		panic(err)
 	}
 	k.g = g
 	k.flops = k.countFlops()

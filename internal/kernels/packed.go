@@ -1,0 +1,511 @@
+package kernels
+
+import "sparsefusion/internal/atomicf"
+
+// This file defines the packed-executor ABI (internal/relayout +
+// internal/exec): a kernel's sparse operand rows/columns are copied once, at
+// inspection time, into schedule execution order, so the executor's hot loop
+// reads one contiguous int32 index stream and one contiguous float64 value
+// stream with a single advancing cursor instead of pointer-chasing P[i] into
+// matrix-order I/X arrays. Indices are compact int32 (16 per cache line
+// against 8 for the matrix-order []int arrays), and both streams are
+// perfectly sequential in execution order, so the locality the schedule's
+// packing step creates is realized in the memory system.
+//
+// The packed bodies replay the exact arithmetic of the Run/RunMany bodies in
+// the same order, so packed outputs are bit-identical to the legacy and
+// compiled-unpacked executors (asserted by tests in this package and
+// internal/exec).
+
+// PackedStream is one loop's sparse operand re-laid-out into schedule
+// execution order. Entries of consecutive scheduled iterations are adjacent:
+// iteration occurrence o (the o-th time this loop appears in the execution
+// stream) owns Len[o] entries, starting where occurrence o-1's ended.
+type PackedStream struct {
+	// Idx holds the operand indices (column ids of a CSR row, row ids of a
+	// CSC column) of every scheduled iteration, one contiguous run per
+	// occurrence, in execution order.
+	Idx []int32
+	// Val holds the matching operand values, parallel to Idx.
+	Val []float64
+	// Len holds the entry count of each occurrence, in occurrence order.
+	Len []int32
+	// Pos holds the original first value slot (the matrix P[i]) of each
+	// occurrence, for kernels that write matrix values at their original
+	// positions (DSCAL). Kernels that do not need it leave Pos empty.
+	Pos []int32
+}
+
+// Entries returns the total number of packed operand entries.
+func (s *PackedStream) Entries() int { return len(s.Idx) }
+
+// Occurrences returns the number of scheduled iterations packed so far.
+func (s *PackedStream) Occurrences() int { return len(s.Len) }
+
+// StreamPacker is implemented by kernels the packed executor supports.
+// AppendStream appends iteration i's operand entries to s in the exact order
+// RunManyPacked consumes them, growing Len (and Pos where used) by one
+// occurrence. PackedSource exposes the value array the stream snapshots, so
+// the relayout stage can refuse layouts whose source another fused kernel
+// overwrites during the run (the snapshot would go stale mid-execution).
+type StreamPacker interface {
+	AppendStream(i int, s *PackedStream)
+	PackedSource() []float64
+}
+
+// PackedRunner executes a whole run segment of packed entries against a
+// schedule-order operand stream: ent is the segment's first operand-entry
+// slot and it its first occurrence slot in s (relayout.Layout.SegEnt and
+// core.Program.SegIter). The dependency contract is the same as Run's,
+// applied elementwise in stream order.
+type PackedRunner interface {
+	RunManyPacked(iters []int32, s *PackedStream, ent, it int)
+}
+
+// PackedPairRunner executes one mixed two-loop span of a packed iteration
+// stream against the two loops' operand streams, advancing an entry cursor
+// and an occurrence cursor per stream — the packed analogue of PairRunner.
+type PackedPairRunner func(iters []int32, s1, s2 *PackedStream, ent1, it1, ent2, it2 int)
+
+// PackedTracer replays the memory accesses of one packed iteration for the
+// cache simulator (occurrence it at entry cursor ent) and returns the
+// advanced entry cursor. The packed counterpart of Tracer.
+type PackedTracer interface {
+	TracePacked(i int, s *PackedStream, ent, it int, emit func(uintptr)) int
+}
+
+// appendCSR appends row/column i of a matrix-order (p, idx, val) triple to
+// the stream: the shared body of most AppendStream implementations.
+func (s *PackedStream) appendCSR(p []int, idx []int, val []float64, i int) {
+	lo, hi := p[i], p[i+1]
+	for q := lo; q < hi; q++ {
+		s.Idx = append(s.Idx, int32(idx[q]))
+	}
+	s.Val = append(s.Val, val[lo:hi]...)
+	s.Len = append(s.Len, int32(hi-lo))
+}
+
+// ---- SpMV-CSR ----
+
+func (k *SpMVCSR) AppendStream(i int, s *PackedStream) { s.appendCSR(k.A.P, k.A.I, k.A.X, i) }
+func (k *SpMVCSR) PackedSource() []float64             { return k.A.X }
+
+// RunManyPacked computes Y[i] = A[i][:]*X from the packed stream.
+func (k *SpMVCSR) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
+	for o, v := range iters {
+		i := int(v & IterMask)
+		n := int(s.Len[it+o])
+		vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+		ent += n
+		sum := 0.0
+		for c := 0; c < n; c++ {
+			sum += vs[c] * k.X[is[c]]
+		}
+		k.Y[i] = sum
+	}
+}
+
+// ---- SpMV-CSC ----
+
+func (k *SpMVCSC) AppendStream(j int, s *PackedStream) { s.appendCSR(k.A.P, k.A.I, k.A.X, j) }
+func (k *SpMVCSC) PackedSource() []float64             { return k.A.X }
+
+// packedIter scatters one packed column; shared with the fused pair bodies.
+func (k *SpMVCSC) packedIter(j int, s *PackedStream, ent, it int) int {
+	n := int(s.Len[it])
+	vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+	xj := k.X[j]
+	if k.Atomic {
+		for c := 0; c < n; c++ {
+			atomicf.Add(&k.Y[is[c]], vs[c]*xj)
+		}
+	} else {
+		for c := 0; c < n; c++ {
+			k.Y[is[c]] += vs[c] * xj
+		}
+	}
+	return ent + n
+}
+
+// RunManyPacked scatters Y += A[:,j]*X[j] from the packed stream; the Atomic
+// flag is hoisted out of the per-entry loop.
+func (k *SpMVCSC) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
+	if k.Atomic {
+		for o, v := range iters {
+			j := int(v & IterMask)
+			n := int(s.Len[it+o])
+			vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+			ent += n
+			xj := k.X[j]
+			for c := 0; c < n; c++ {
+				atomicf.Add(&k.Y[is[c]], vs[c]*xj)
+			}
+		}
+		return
+	}
+	for o, v := range iters {
+		j := int(v & IterMask)
+		n := int(s.Len[it+o])
+		vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+		ent += n
+		xj := k.X[j]
+		for c := 0; c < n; c++ {
+			k.Y[is[c]] += vs[c] * xj
+		}
+	}
+}
+
+// ---- SpMV+b-CSR ----
+
+func (k *SpMVPlusCSR) AppendStream(i int, s *PackedStream) { s.appendCSR(k.A.P, k.A.I, k.A.X, i) }
+func (k *SpMVPlusCSR) PackedSource() []float64             { return k.A.X }
+
+// packedIter computes one packed row; shared with the fused pair bodies.
+func (k *SpMVPlusCSR) packedIter(i int, s *PackedStream, ent, it int) int {
+	n := int(s.Len[it])
+	vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+	sum := k.B[i]
+	for c := 0; c < n; c++ {
+		sum += vs[c] * k.X[is[c]]
+	}
+	k.Y[i] = sum
+	return ent + n
+}
+
+// RunManyPacked computes Y[i] = B[i] + A[i][:]*X from the packed stream.
+func (k *SpMVPlusCSR) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
+	for o, v := range iters {
+		i := int(v & IterMask)
+		n := int(s.Len[it+o])
+		vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+		ent += n
+		sum := k.B[i]
+		for c := 0; c < n; c++ {
+			sum += vs[c] * k.X[is[c]]
+		}
+		k.Y[i] = sum
+	}
+}
+
+// ---- SpTRSV-CSR ----
+
+func (k *SpTRSVCSR) AppendStream(i int, s *PackedStream) { s.appendCSR(k.L.P, k.L.I, k.L.X, i) }
+func (k *SpTRSVCSR) PackedSource() []float64             { return k.L.X }
+
+// packedIter solves one packed row (diagonal last); shared with the fused
+// pair bodies.
+func (k *SpTRSVCSR) packedIter(i int, s *PackedStream, ent, it int) int {
+	n := int(s.Len[it])
+	vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+	xi := k.B[i]
+	for c := 0; c < n-1; c++ {
+		xi -= vs[c] * k.X[is[c]]
+	}
+	k.X[i] = xi / vs[n-1]
+	return ent + n
+}
+
+// RunManyPacked solves the packed rows in stream order.
+func (k *SpTRSVCSR) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
+	for o, v := range iters {
+		i := int(v & IterMask)
+		n := int(s.Len[it+o])
+		vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+		ent += n
+		xi := k.B[i]
+		for c := 0; c < n-1; c++ {
+			xi -= vs[c] * k.X[is[c]]
+		}
+		k.X[i] = xi / vs[n-1]
+	}
+}
+
+// ---- SpTRSV-CSC ----
+
+func (k *SpTRSVCSC) AppendStream(j int, s *PackedStream) { s.appendCSR(k.L.P, k.L.I, k.L.X, j) }
+func (k *SpTRSVCSC) PackedSource() []float64             { return k.L.X }
+
+// packedIter finalizes and scatters one packed column (diagonal first);
+// shared with the fused pair bodies.
+func (k *SpTRSVCSC) packedIter(j int, s *PackedStream, ent, it int) int {
+	n := int(s.Len[it])
+	vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+	xj := (k.B[j] + k.X[j]) / vs[0]
+	k.X[j] = xj
+	if k.Atomic {
+		for c := 1; c < n; c++ {
+			atomicf.Add(&k.X[is[c]], -vs[c]*xj)
+		}
+	} else {
+		for c := 1; c < n; c++ {
+			k.X[is[c]] -= vs[c] * xj
+		}
+	}
+	return ent + n
+}
+
+// RunManyPacked finalizes and scatters the packed columns in stream order;
+// the Atomic flag is hoisted out of the per-entry loop.
+func (k *SpTRSVCSC) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
+	if k.Atomic {
+		for o, v := range iters {
+			j := int(v & IterMask)
+			n := int(s.Len[it+o])
+			vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+			ent += n
+			xj := (k.B[j] + k.X[j]) / vs[0]
+			k.X[j] = xj
+			for c := 1; c < n; c++ {
+				atomicf.Add(&k.X[is[c]], -vs[c]*xj)
+			}
+		}
+		return
+	}
+	for o, v := range iters {
+		j := int(v & IterMask)
+		n := int(s.Len[it+o])
+		vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+		ent += n
+		xj := (k.B[j] + k.X[j]) / vs[0]
+		k.X[j] = xj
+		for c := 1; c < n; c++ {
+			k.X[is[c]] -= vs[c] * xj
+		}
+	}
+}
+
+// ---- SpTRSV-trans-CSC ----
+
+// AppendStream packs column j = Cols-1-i, the column iteration i solves.
+func (k *SpTRSVTransCSC) AppendStream(i int, s *PackedStream) {
+	s.appendCSR(k.L.P, k.L.I, k.L.X, k.L.Cols-1-i)
+}
+func (k *SpTRSVTransCSC) PackedSource() []float64 { return k.L.X }
+
+// packedIter solves one packed column of L' (diagonal first); shared with
+// the fused pair bodies.
+func (k *SpTRSVTransCSC) packedIter(i int, s *PackedStream, ent, it int) int {
+	n := int(s.Len[it])
+	vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+	j := k.L.Cols - 1 - i
+	diag := vs[0]
+	xj := k.B[j]
+	for c := 1; c < n; c++ {
+		xj -= vs[c] * k.X[is[c]]
+	}
+	k.X[j] = xj / diag
+	return ent + n
+}
+
+// RunManyPacked solves the packed columns of L' in stream order.
+func (k *SpTRSVTransCSC) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
+	for o, v := range iters {
+		i := int(v & IterMask)
+		n := int(s.Len[it+o])
+		vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+		ent += n
+		j := k.L.Cols - 1 - i
+		diag := vs[0]
+		xj := k.B[j]
+		for c := 1; c < n; c++ {
+			xj -= vs[c] * k.X[is[c]]
+		}
+		k.X[j] = xj / diag
+	}
+}
+
+// ---- SpTRSV-unitL-CSR ----
+
+// AppendStream packs only the strictly-lower prefix of row i — the entries
+// Run actually reads — so the packed stream is denser than the source row.
+func (k *SpTRSVUnitLowerCSR) AppendStream(i int, s *PackedStream) {
+	lu := k.LU
+	lo := lu.P[i]
+	hi := lo
+	for hi < lu.P[i+1] && lu.I[hi] < i {
+		hi++
+	}
+	for q := lo; q < hi; q++ {
+		s.Idx = append(s.Idx, int32(lu.I[q]))
+	}
+	s.Val = append(s.Val, lu.X[lo:hi]...)
+	s.Len = append(s.Len, int32(hi-lo))
+}
+func (k *SpTRSVUnitLowerCSR) PackedSource() []float64 { return k.LU.X }
+
+// RunManyPacked solves the packed unit-lower rows in stream order.
+func (k *SpTRSVUnitLowerCSR) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
+	for o, v := range iters {
+		i := int(v & IterMask)
+		n := int(s.Len[it+o])
+		vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+		ent += n
+		xi := k.B[i]
+		for c := 0; c < n; c++ {
+			xi -= vs[c] * k.X[is[c]]
+		}
+		k.X[i] = xi
+	}
+}
+
+// ---- DSCAL ----
+
+// AppendStream packs row i of the replayable input values (the a0 snapshot —
+// A.X itself may hold a previous run's in-place output until Prepare restores
+// it) plus the row's original value position for the Out.X writes.
+func (k *DScalCSR) AppendStream(i int, s *PackedStream) {
+	s.appendCSR(k.A.P, k.A.I, k.a0, i)
+	s.Pos = append(s.Pos, int32(k.A.P[i]))
+}
+func (k *DScalCSR) PackedSource() []float64 { return k.a0 }
+
+// RunManyPacked scales the packed rows, writing Out.X at the original matrix
+// positions.
+func (k *DScalCSR) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
+	for o, v := range iters {
+		i := int(v & IterMask)
+		n := int(s.Len[it+o])
+		vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+		ent += n
+		p0 := int(s.Pos[it+o])
+		out := k.Out.X[p0 : p0+n]
+		di := k.D[i]
+		for c := 0; c < n; c++ {
+			out[c] = di * vs[c] * k.D[is[c]]
+		}
+	}
+}
+
+// AppendStream packs column j of the replayable input values plus the
+// column's original value position.
+func (k *DScalCSC) AppendStream(j int, s *PackedStream) {
+	s.appendCSR(k.A.P, k.A.I, k.a0, j)
+	s.Pos = append(s.Pos, int32(k.A.P[j]))
+}
+func (k *DScalCSC) PackedSource() []float64 { return k.a0 }
+
+// RunManyPacked scales the packed columns, writing Out.X at the original
+// matrix positions.
+func (k *DScalCSC) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
+	for o, v := range iters {
+		j := int(v & IterMask)
+		n := int(s.Len[it+o])
+		vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+		ent += n
+		p0 := int(s.Pos[it+o])
+		out := k.Out.X[p0 : p0+n]
+		dj := k.D[j]
+		for c := 0; c < n; c++ {
+			out[c] = k.D[is[c]] * vs[c] * dj
+		}
+	}
+}
+
+// FusePackedPair returns the packed-stream body for a fused two-kernel span:
+// the same producer-consumer specializations as FusePair, but with each
+// kernel's per-iteration body reading the schedule-order streams through its
+// own entry/occurrence cursor pair. ok=false when the pair has no
+// specialization; callers fall back to the unpacked pair body then.
+func FusePackedPair(k1, k2 Kernel, loop1, loop2 int) (fn PackedPairRunner, ok bool) {
+	t1 := int32(loop1) << LoopShift
+	tagMask := ^IterMask
+	switch a := k1.(type) {
+	case *SpTRSVCSR:
+		switch b := k2.(type) {
+		case *SpMVCSC: // TRSV-MV (Table 1 row 3), PCG matvec feed
+			return func(iters []int32, s1, s2 *PackedStream, e1, i1, e2, i2 int) {
+				for _, v := range iters {
+					i := int(v & IterMask)
+					if v&tagMask == t1 {
+						e1 = a.packedIter(i, s1, e1, i1)
+						i1++
+					} else {
+						e2 = b.packedIter(i, s2, e2, i2)
+						i2++
+					}
+				}
+			}, true
+		case *SpMVPlusCSR: // sweep s TRSV -> sweep s+1 SpMV+b (Gauss-Seidel)
+			return func(iters []int32, s1, s2 *PackedStream, e1, i1, e2, i2 int) {
+				for _, v := range iters {
+					i := int(v & IterMask)
+					if v&tagMask == t1 {
+						e1 = a.packedIter(i, s1, e1, i1)
+						i1++
+					} else {
+						e2 = b.packedIter(i, s2, e2, i2)
+						i2++
+					}
+				}
+			}, true
+		case *SpTRSVCSR: // TRSV-TRSV (Table 1 row 1)
+			return func(iters []int32, s1, s2 *PackedStream, e1, i1, e2, i2 int) {
+				for _, v := range iters {
+					i := int(v & IterMask)
+					if v&tagMask == t1 {
+						e1 = a.packedIter(i, s1, e1, i1)
+						i1++
+					} else {
+						e2 = b.packedIter(i, s2, e2, i2)
+						i2++
+					}
+				}
+			}, true
+		}
+	case *SpMVPlusCSR: // SpMV+b -> TRSV inside one Gauss-Seidel sweep
+		if b, ok := k2.(*SpTRSVCSR); ok {
+			return func(iters []int32, s1, s2 *PackedStream, e1, i1, e2, i2 int) {
+				for _, v := range iters {
+					i := int(v & IterMask)
+					if v&tagMask == t1 {
+						e1 = a.packedIter(i, s1, e1, i1)
+						i1++
+					} else {
+						e2 = b.packedIter(i, s2, e2, i2)
+						i2++
+					}
+				}
+			}, true
+		}
+	case *SpTRSVCSC: // forward solve -> backward solve (IC0 preconditioner)
+		if b, ok := k2.(*SpTRSVTransCSC); ok {
+			return func(iters []int32, s1, s2 *PackedStream, e1, i1, e2, i2 int) {
+				for _, v := range iters {
+					i := int(v & IterMask)
+					if v&tagMask == t1 {
+						e1 = a.packedIter(i, s1, e1, i1)
+						i1++
+					} else {
+						e2 = b.packedIter(i, s2, e2, i2)
+						i2++
+					}
+				}
+			}, true
+		}
+	}
+	return nil, false
+}
+
+// Compile-time checks that every batchable kernel also supports the packed
+// layout end to end.
+var (
+	_ StreamPacker = (*SpMVCSR)(nil)
+	_ StreamPacker = (*SpMVCSC)(nil)
+	_ StreamPacker = (*SpMVPlusCSR)(nil)
+	_ StreamPacker = (*SpTRSVCSR)(nil)
+	_ StreamPacker = (*SpTRSVCSC)(nil)
+	_ StreamPacker = (*SpTRSVTransCSC)(nil)
+	_ StreamPacker = (*SpTRSVUnitLowerCSR)(nil)
+	_ StreamPacker = (*DScalCSR)(nil)
+	_ StreamPacker = (*DScalCSC)(nil)
+
+	_ PackedRunner = (*SpMVCSR)(nil)
+	_ PackedRunner = (*SpMVCSC)(nil)
+	_ PackedRunner = (*SpMVPlusCSR)(nil)
+	_ PackedRunner = (*SpTRSVCSR)(nil)
+	_ PackedRunner = (*SpTRSVCSC)(nil)
+	_ PackedRunner = (*SpTRSVTransCSC)(nil)
+	_ PackedRunner = (*SpTRSVUnitLowerCSR)(nil)
+	_ PackedRunner = (*DScalCSR)(nil)
+	_ PackedRunner = (*DScalCSC)(nil)
+)

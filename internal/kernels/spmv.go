@@ -18,11 +18,7 @@ type SpMVCSR struct {
 
 // NewSpMVCSR builds the kernel. X and Y must have length A.Cols and A.Rows.
 func NewSpMVCSR(a *sparse.CSR, x, y []float64) *SpMVCSR {
-	w := make([]int, a.Rows)
-	for r := 0; r < a.Rows; r++ {
-		w[r] = a.P[r+1] - a.P[r]
-	}
-	return &SpMVCSR{A: a, X: x, Y: y, g: dag.Parallel(a.Rows, w)}
+	return &SpMVCSR{A: a, X: x, Y: y, g: dag.ParallelCSR(a.P, 0)}
 }
 
 func (k *SpMVCSR) Name() string    { return "SpMV-CSR" }
@@ -69,11 +65,7 @@ type SpMVCSC struct {
 
 // NewSpMVCSC builds the kernel. X and Y must have length A.Cols and A.Rows.
 func NewSpMVCSC(a *sparse.CSC, x, y []float64) *SpMVCSC {
-	w := make([]int, a.Cols)
-	for c := 0; c < a.Cols; c++ {
-		w[c] = a.P[c+1] - a.P[c]
-	}
-	return &SpMVCSC{A: a, X: x, Y: y, g: dag.Parallel(a.Cols, w)}
+	return &SpMVCSC{A: a, X: x, Y: y, g: dag.ParallelCSR(a.P, 0)}
 }
 
 func (k *SpMVCSC) Name() string    { return "SpMV-CSC" }
@@ -121,11 +113,7 @@ type SpMVPlusCSR struct {
 
 // NewSpMVPlusCSR builds the kernel; all vectors have length A.Rows (= Cols).
 func NewSpMVPlusCSR(a *sparse.CSR, x, b, y []float64) *SpMVPlusCSR {
-	w := make([]int, a.Rows)
-	for r := 0; r < a.Rows; r++ {
-		w[r] = a.P[r+1] - a.P[r] + 1
-	}
-	return &SpMVPlusCSR{A: a, X: x, B: b, Y: y, g: dag.Parallel(a.Rows, w)}
+	return &SpMVPlusCSR{A: a, X: x, B: b, Y: y, g: dag.ParallelCSR(a.P, 1)}
 }
 
 func (k *SpMVPlusCSR) Name() string    { return "SpMV+b-CSR" }

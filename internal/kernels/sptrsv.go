@@ -71,23 +71,8 @@ type SpTRSVCSC struct {
 func NewSpTRSVCSC(l *sparse.CSC, b, x []float64) *SpTRSVCSC {
 	// The dependence pattern of CSC TRSV is the lower-triangular pattern
 	// itself: edge j -> i for every sub-diagonal entry of column j, with
-	// weight = column length.
-	n := l.Cols
-	var edges []dag.Edge
-	w := make([]int, n)
-	for j := 0; j < n; j++ {
-		w[j] = l.P[j+1] - l.P[j]
-		for p := l.P[j]; p < l.P[j+1]; p++ {
-			if i := l.I[p]; i > j {
-				edges = append(edges, dag.Edge{Src: j, Dst: i})
-			}
-		}
-	}
-	g, err := dag.FromEdges(n, edges, w)
-	if err != nil {
-		panic(err) // indices come from a validated matrix
-	}
-	return &SpTRSVCSC{L: l, B: b, X: x, g: g}
+	// weight = column length — exactly dag.FromLowerCSC.
+	return &SpTRSVCSC{L: l, B: b, X: x, g: dag.FromLowerCSC(l)}
 }
 
 func (k *SpTRSVCSC) Name() string    { return "SpTRSV-CSC" }

@@ -27,20 +27,36 @@ type SpTRSVTransCSC struct {
 func NewSpTRSVTransCSC(l *sparse.CSC, b, x []float64) *SpTRSVTransCSC {
 	n := l.Cols
 	// Column j depends on every column i > j with L[i][j] != 0 (the solve
-	// reads X[i]); in iteration space: edge (n-1-i) -> (n-1-j).
-	var edges []dag.Edge
-	w := make([]int, n)
+	// reads X[i]); in iteration space: edge (n-1-i) -> (n-1-j). Counting
+	// build: tally successors per source, prefix-sum, then fill scanning
+	// columns last to first so each source's successor list comes out in
+	// ascending destination order — the same adjacency FromEdges produced,
+	// without the edge list or the sort.
+	g := &dag.Graph{N: n, P: make([]int, n+1), W: make([]int, n)}
 	for j := 0; j < n; j++ {
-		w[n-1-j] = l.P[j+1] - l.P[j]
+		g.W[n-1-j] = l.P[j+1] - l.P[j]
 		for p := l.P[j]; p < l.P[j+1]; p++ {
 			if i := l.I[p]; i > j {
-				edges = append(edges, dag.Edge{Src: n - 1 - i, Dst: n - 1 - j})
+				g.P[n-i]++ // slot src+1 with src = n-1-i
 			}
 		}
 	}
-	g, err := dag.FromEdges(n, edges, w)
-	if err != nil {
-		panic(err) // indices come from a validated matrix
+	for v := 0; v < n; v++ {
+		g.P[v+1] += g.P[v]
+	}
+	g.I = make([]int, g.P[n])
+	nextp := getInts(n)
+	defer putInts(nextp)
+	next := *nextp
+	copy(next, g.P[:n])
+	for j := n - 1; j >= 0; j-- {
+		for p := l.P[j]; p < l.P[j+1]; p++ {
+			if i := l.I[p]; i > j {
+				s := n - 1 - i
+				g.I[next[s]] = n - 1 - j
+				next[s]++
+			}
+		}
 	}
 	return &SpTRSVTransCSC{L: l, B: b, X: x, g: g}
 }

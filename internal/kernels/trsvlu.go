@@ -19,20 +19,18 @@ type SpTRSVUnitLowerCSR struct {
 }
 
 // NewSpTRSVUnitLowerCSR builds the kernel over the combined factor pattern.
+// The strictly-lower entries of LU are the dependence edges (dag.FromLowerCSR
+// ignores the U part); only the weights differ from the default — the solve
+// reads just the L prefix of each row, so w[i] = 1 + #strictly-lower entries
+// rather than the full row length.
 func NewSpTRSVUnitLowerCSR(lu *sparse.CSR, b, x []float64) *SpTRSVUnitLowerCSR {
-	n := lu.Rows
-	var edges []dag.Edge
-	w := make([]int, n)
-	for i := 0; i < n; i++ {
-		w[i] = 1
+	g := dag.FromLowerCSR(lu)
+	for i := 0; i < lu.Rows; i++ {
+		c := 1
 		for p := lu.P[i]; p < lu.P[i+1] && lu.I[p] < i; p++ {
-			edges = append(edges, dag.Edge{Src: lu.I[p], Dst: i})
-			w[i]++
+			c++
 		}
-	}
-	g, err := dag.FromEdges(n, edges, w)
-	if err != nil {
-		panic(err) // indices come from a validated matrix
+		g.W[i] = c
 	}
 	return &SpTRSVUnitLowerCSR{LU: lu, B: b, X: x, g: g}
 }
