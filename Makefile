@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test race bench bench-inspector check-inspector check-exec
+.PHONY: build test race fuzz bench bench-inspector check-inspector check-exec
+
+# FUZZTIME bounds each fuzz target's wall-clock budget (go test -fuzztime).
+FUZZTIME ?= 15s
 
 build:
 	$(GO) build ./...
@@ -10,6 +13,14 @@ test:
 
 race:
 	$(GO) test -race ./internal/exec/... ./internal/core/... ./internal/dag/... ./internal/lbc/...
+
+# fuzz smoke-runs the native Go fuzz targets on the two untrusted-input
+# parsers: the binary schedule loader and the Matrix Market reader. Each
+# target gets FUZZTIME of coverage-guided input generation on top of its
+# committed seed corpus.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadSchedule$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzReadMatrixMarket$$' -fuzztime $(FUZZTIME) ./internal/sparse
 
 # bench regenerates BENCH_exec.json: compiled-vs-legacy executor timings and
 # spin-barrier throughput on fixed-seed synthetic fixtures.

@@ -81,7 +81,10 @@ func benchPhases(b *testing.B, id combos.ID, set func(*core.Params, bool), phase
 			b.ResetTimer()
 			var last exec.Stats
 			for i := 0; i < b.N; i++ {
-				last = exec.RunFused(in.Kernels, sched, th)
+				var err error
+				if last, err = exec.RunFused(in.Kernels, sched, th); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(float64(last.Barriers), "barriers")
 			b.ReportMetric(float64(last.PotentialGain.Nanoseconds()), "wait-ns")

@@ -156,7 +156,10 @@ func BenchmarkFig6(b *testing.B) {
 	})
 	b.Run("potential-gain", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			st := exec.RunFused(in.Kernels, sched, th)
+			st, err := exec.RunFused(in.Kernels, sched, th)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ReportMetric(float64(st.PotentialGain.Nanoseconds()), "wait-ns")
 		}
 	})
@@ -327,7 +330,10 @@ func BenchmarkPublicAPI(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep := op.Run()
+		rep, err := op.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if rep.Time <= 0 {
 			b.Fatal("empty report")
 		}

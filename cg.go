@@ -1,9 +1,11 @@
 package sparsefusion
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
+	"sparsefusion/internal/kernels"
 	"sparsefusion/internal/sparse"
 )
 
@@ -56,11 +58,22 @@ func (m *Matrix) SolveCG(b []float64, opts CGOptions) ([]float64, int, error) {
 		return pre.Apply(r, z)
 	}
 
+	// cgDiag turns a preconditioner failure into the solver's diagnostic:
+	// a numerical breakdown in the fused solves means the Krylov iteration
+	// cannot continue on this matrix, which the message says outright.
+	cgDiag := func(it int, err error) error {
+		var brk *kernels.BreakdownError
+		if errors.As(err, &brk) {
+			return fmt.Errorf("sparsefusion: CG broke down at iteration %d (%s, row %d); is the matrix SPD?: %w", it, brk.Kernel, brk.Row, err)
+		}
+		return err
+	}
+
 	x := make([]float64, n)
 	r := append([]float64(nil), b...)
 	z, err := apply(r, nil)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, cgDiag(0, err)
 	}
 	p := append([]float64(nil), z...)
 	rz := sparse.Dot(r, z)
@@ -85,7 +98,7 @@ func (m *Matrix) SolveCG(b []float64, opts CGOptions) ([]float64, int, error) {
 		}
 		z, err = apply(r, z)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, cgDiag(it, err)
 		}
 		rzNew := sparse.Dot(r, z)
 		beta := rzNew / rz

@@ -443,7 +443,7 @@ func fixtureMatrix(n int) *sparse.CSR {
 	for (side+1)*(side+1) <= n {
 		side++
 	}
-	return sparse.Laplacian2D(side)
+	return sparse.Must(sparse.Laplacian2D(side))
 }
 
 // gsPair is the Gauss-Seidel/PCG pair — SpTRSV-CSR feeding SpMV+b CSR, both

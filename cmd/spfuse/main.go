@@ -82,7 +82,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		_, spans := exec.RunFusedTraced(in.Kernels, sched, *threads)
+		_, spans, err := exec.RunFusedTraced(in.Kernels, sched, *threads)
+		if err != nil {
+			log.Fatal(err)
+		}
 		f, err := os.Create(*trace)
 		if err != nil {
 			log.Fatal(err)
@@ -95,7 +98,10 @@ func main() {
 		}
 		fmt.Printf("wrote trace to %s (open in chrome://tracing)\n\n", *trace)
 	}
-	seq := in.RunSequential()
+	seq, err := in.RunSequential()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%-18s %12s %12s %9s %9s\n", "implementation", "inspect", "execute", "gflops", "barriers")
 	fmt.Printf("%-18s %12s %12v %9.3f %9s\n", "sequential", "-", seq,
 		metrics.GFlops(in.FlopCount(), seq), "-")

@@ -41,7 +41,9 @@ func main() {
 
 	failures := 0
 	check := func(in *combos.Instance, impls []*combos.Impl) {
-		in.RunSequential()
+		if _, err := in.RunSequential(); err != nil {
+			log.Fatalf("sequential reference failed on %s: %v", in.Name, err)
+		}
 		want := in.Snapshot()
 		for _, im := range impls {
 			if err := im.Inspect(); err != nil {

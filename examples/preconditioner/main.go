@@ -31,7 +31,10 @@ func main() {
 		}
 		var best sparsefusion.Report
 		for run := 0; run < 5; run++ {
-			rep := op.Run()
+			rep, err := op.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
 			if best.Time == 0 || rep.Time < best.Time {
 				best = rep
 			}

@@ -45,7 +45,10 @@ func main() {
 	}
 	var best time.Duration
 	for run := 0; run < 5; run++ {
-		rep := op.Run()
+		rep, err := op.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
 		if best == 0 || rep.Time < best {
 			best = rep.Time
 		}

@@ -1,0 +1,214 @@
+package sparsefusion
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"sparsefusion/internal/core"
+	"sparsefusion/internal/exec"
+	"sparsefusion/internal/kernels"
+)
+
+// The degradation ladder under test: construction-time attach failures and
+// run-time executor faults demote an Operation packed -> compiled -> legacy,
+// each step re-validating the schedule, leaving the operation usable and its
+// results bit-identical to the reference executor. Numerical breakdowns, by
+// contrast, never demote — they are a property of the data, not the rung.
+
+// watchdog fails the test when fn does not return within the deadline — a
+// worker fault must never hang a barrier, whatever the worker count.
+func watchdog(t *testing.T, d time.Duration, fn func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		t.Fatalf("did not return within %v: executor hang", d)
+		return nil
+	}
+}
+
+func TestCorruptSavedScheduleRejected(t *testing.T) {
+	m := RandomSPD(300, 4, 7)
+	for th := 1; th <= 8; th++ {
+		op, err := NewOperation(TrsvTrsv, m, Options{Threads: th})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := op.SaveSchedule(&buf); err != nil {
+			t.Fatal(err)
+		}
+		// Corrupt the saved schedule's iteration indices: re-decode, point an
+		// iteration far out of range, re-encode. The loader must reject it
+		// with a typed validation error, not execute it.
+		sched, err := core.ReadSchedule(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := sched.S[len(sched.S)-1]
+		wp := sp[len(sp)-1]
+		wp[len(wp)-1].Idx = 1 << 20
+		var corrupt bytes.Buffer
+		if _, err := sched.WriteTo(&corrupt); err != nil {
+			t.Fatal(err)
+		}
+		err = watchdog(t, 10*time.Second, func() error {
+			badOp, err := NewOperationFromSchedule(TrsvTrsv, m, bytes.NewReader(corrupt.Bytes()), Options{Threads: th})
+			if err != nil {
+				return err
+			}
+			_, err = badOp.Run()
+			return err
+		})
+		if err == nil {
+			t.Fatalf("threads=%d: corrupt schedule was accepted and executed", th)
+		}
+
+		// The untouched serialized schedule still loads, and the loaded
+		// operation's Run is bit-identical to the reference executor.
+		good, err := NewOperationFromSchedule(TrsvTrsv, m, bytes.NewReader(buf.Bytes()), Options{Threads: th})
+		if err != nil {
+			t.Fatalf("threads=%d: valid schedule rejected: %v", th, err)
+		}
+		if err := watchdog(t, 10*time.Second, func() error { _, err := good.Run(); return err }); err != nil {
+			t.Fatalf("threads=%d: valid run failed: %v", th, err)
+		}
+		ref, err := NewOperation(TrsvTrsv, m, Options{Threads: th})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := exec.RunFusedLegacy(ref.inst.Kernels, ref.sched, th); err != nil {
+			t.Fatal(err)
+		}
+		got, want := good.Output(), ref.inst.Snapshot()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("threads=%d: output[%d] = %v, reference %v", th, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunFaultDemotesDownTheLadder(t *testing.T) {
+	m := RandomSPD(300, 4, 9)
+	for th := 1; th <= 8; th++ {
+		op, err := NewOperation(TrsvTrsv, m, Options{Threads: th})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.Mode() != ModePacked {
+			t.Fatalf("threads=%d: TrsvTrsv starts on %s, want packed", th, op.Mode())
+		}
+		// Corrupt the compiled program shared by the packed and compiled
+		// rungs. The schedule itself stays valid, so the ladder demotes twice
+		// and the legacy rung — which walks the schedule, not the program —
+		// completes the run.
+		prog := op.runner.Program()
+		prog.Iters[len(prog.Iters)-1] = kernels.PackIter(0, 1<<20)
+		err = watchdog(t, 10*time.Second, func() error { _, err := op.Run(); return err })
+		if err != nil {
+			t.Fatalf("threads=%d: ladder did not absorb the fault: %v", th, err)
+		}
+		h := op.Health()
+		if h.Mode != ModeLegacy {
+			t.Fatalf("threads=%d: mode %s after double fault, want legacy", th, h.Mode)
+		}
+		if len(h.Demotions) != 2 {
+			t.Fatalf("threads=%d: %d demotions recorded, want 2: %+v", th, len(h.Demotions), h.Demotions)
+		}
+		if h.Demotions[0].From != ModePacked || h.Demotions[0].To != ModeCompiled ||
+			h.Demotions[1].From != ModeCompiled || h.Demotions[1].To != ModeLegacy {
+			t.Fatalf("threads=%d: demotion chain %+v", th, h.Demotions)
+		}
+
+		// The demoted operation's subsequent valid Run is bit-identical to
+		// the reference executor on a fresh instance.
+		if _, err := op.Run(); err != nil {
+			t.Fatalf("threads=%d: demoted operation unusable: %v", th, err)
+		}
+		ref, err := NewOperation(TrsvTrsv, m, Options{Threads: th})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := exec.RunFusedLegacy(ref.inst.Kernels, ref.sched, th); err != nil {
+			t.Fatal(err)
+		}
+		got, want := op.Output(), ref.inst.Snapshot()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("threads=%d: output[%d] = %v, reference %v", th, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestUnpackableChainRecordsConstructionDemotion(t *testing.T) {
+	// DscalIlu0 has no packed layout; the operation must start on the
+	// compiled rung with the construction demotion on record.
+	op, err := NewOperation(DscalIlu0, RandomSPD(200, 4, 3), Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := op.Health()
+	if h.Mode != ModeCompiled {
+		t.Fatalf("mode %s, want compiled", h.Mode)
+	}
+	if len(h.Demotions) != 1 || h.Demotions[0].From != ModePacked || h.Demotions[0].To != ModeCompiled {
+		t.Fatalf("demotions %+v, want one packed->compiled", h.Demotions)
+	}
+	if _, err := op.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownDoesNotDemote(t *testing.T) {
+	// An indefinite matrix breaks down IC0. That is a property of the
+	// numbers: the ladder must surface the typed error without demoting.
+	m := RandomSPD(150, 4, 21)
+	for p := m.csr.P[80]; p < m.csr.P[81]; p++ {
+		if m.csr.I[p] == 80 {
+			m.csr.X[p] = -5
+		}
+	}
+	op, err := NewOperation(Ic0Trsv, m, Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := op.Health()
+	_, err = op.Run()
+	if err == nil {
+		t.Fatal("IC0 on an indefinite matrix ran without error")
+	}
+	var bd *kernels.BreakdownError
+	if !errors.As(err, &bd) {
+		t.Fatalf("error %T does not unwrap to a BreakdownError: %v", err, err)
+	}
+	after := op.Health()
+	if after.Mode != before.Mode || len(after.Demotions) != len(before.Demotions) {
+		t.Fatalf("breakdown changed health %+v -> %+v", before, after)
+	}
+}
+
+func TestPreconditionerTranslatesBreakdown(t *testing.T) {
+	// The solver-facing wrapper must name the kernel and row in its message
+	// and keep the BreakdownError reachable through errors.As.
+	m := RandomSPD(100, 3, 2)
+	for p := m.csr.P[40]; p < m.csr.P[41]; p++ {
+		if m.csr.I[p] == 40 {
+			m.csr.X[p] = -3
+		}
+	}
+	_, err := NewIC0Preconditioner(m, Options{Threads: 2})
+	if err == nil {
+		t.Fatal("IC0 preconditioner setup accepted an indefinite matrix")
+	}
+	var bd *kernels.BreakdownError
+	if !errors.As(err, &bd) {
+		t.Fatalf("setup error %T hides the BreakdownError: %v", err, err)
+	}
+}

@@ -1,6 +1,7 @@
 package sparsefusion
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -105,10 +106,23 @@ func (g *GaussSeidel) Solve(b []float64, tol float64, maxSweeps int) ([]float64,
 	ax := make([]float64, n)
 	sweeps := 0
 	for sweeps < maxSweeps {
+		var err error
 		if g.run != nil {
-			g.run.Run(g.th)
+			_, err = g.run.Run(g.th)
 		} else {
-			exec.RunFusedLegacy(g.ks, g.sch, g.th)
+			_, err = exec.RunFusedLegacy(g.ks, g.sch, g.th)
+		}
+		if err != nil {
+			out := make([]float64, n)
+			copy(out, g.x0)
+			// A zero diagonal in L stops the sweep with a typed breakdown;
+			// translate it into the solver's vocabulary while keeping the
+			// kernel error reachable through errors.As.
+			var brk *kernels.BreakdownError
+			if errors.As(err, &brk) {
+				return out, sweeps, fmt.Errorf("sparsefusion: Gauss-Seidel sweep broke down (%s, row %d): %w", brk.Kernel, brk.Row, err)
+			}
+			return out, sweeps, fmt.Errorf("sparsefusion: Gauss-Seidel sweep failed: %w", err)
 		}
 		sweeps += g.SweepsPerFusion
 		copy(g.x0, g.xEnd)

@@ -78,7 +78,7 @@ func TestMeasureFusedVsUnfusedLocality(t *testing.T) {
 	// sharing L), the fused interleaved schedule has lower average memory
 	// latency than the unfused kernel-at-a-time execution, because the
 	// second kernel re-reads L while it is still resident.
-	a := sparse.Laplacian2D(60) // 3600 rows; L exceeds L1, fits LLC
+	a := sparse.Must(sparse.Laplacian2D(60)) // 3600 rows; L exceeds L1, fits LLC
 	in, err := combos.Build(combos.TrsvTrsv, a)
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +113,7 @@ func TestMeasureFusedVsUnfusedLocality(t *testing.T) {
 }
 
 func TestMeasureJointRuns(t *testing.T) {
-	a := sparse.RandomSPD(300, 5, 3)
+	a := sparse.Must(sparse.RandomSPD(300, 5, 3))
 	in, err := combos.Build(combos.TrsvMv, a)
 	if err != nil {
 		t.Fatal(err)

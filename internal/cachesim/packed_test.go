@@ -20,7 +20,7 @@ import (
 // replay pays for pointer-chasing P[i] into arrays laid out in a different
 // order than the schedule visits them.
 func TestMeasurePackedImprovesLocality(t *testing.T) {
-	a := sparse.Laplacian2D(100) // 10000 rows; operands exceed L1, fit LLC
+	a := sparse.Must(sparse.Laplacian2D(100)) // 10000 rows; operands exceed L1, fit LLC
 	for _, tc := range []struct {
 		name  string
 		id    combos.ID
@@ -77,7 +77,7 @@ func TestMeasurePackedImprovesLocality(t *testing.T) {
 // TestMeasurePackedRejectsUntraceableKernel mirrors the relayout guard:
 // factor kernels have no packed streams to trace.
 func TestMeasurePackedRejectsUntraceableKernel(t *testing.T) {
-	a := sparse.RandomSPD(200, 5, 3)
+	a := sparse.Must(sparse.RandomSPD(200, 5, 3))
 	in, err := combos.Build(combos.TrsvMv, a)
 	if err != nil {
 		t.Fatal(err)

@@ -114,6 +114,10 @@ func BuildWorkers(id ID, a *sparse.CSR, workers int) (*Instance, error) {
 		build1, build2 func() kernels.Kernel
 		buildF         func() *sparse.CSR
 		finish         func(k1, k2 kernels.Kernel)
+		// buildErr collects a constructor failure (e.g. SpILU0 on a matrix
+		// with a missing diagonal). At most one build stage per combination
+		// can fail, so a single slot needs no synchronization beyond par.Do.
+		buildErr error
 	)
 	switch id {
 	case TrsvTrsv:
@@ -129,7 +133,14 @@ func BuildWorkers(id ID, a *sparse.CSR, workers int) (*Instance, error) {
 		work := a.Clone()
 		d := kernels.JacobiScaling(a)
 		build1 = func() kernels.Kernel { return kernels.NewDScalCSR(work, d, work) }
-		build2 = func() kernels.Kernel { return kernels.NewSpILU0CSR(work) }
+		build2 = func() kernels.Kernel {
+			k, err := kernels.NewSpILU0CSR(work)
+			if err != nil {
+				buildErr = err
+				return nil
+			}
+			return k
+		}
 		buildF = func() *sparse.CSR { return core.FDiagonal(n) }
 		finish = func(_, k2 kernels.Kernel) {
 			// DSCAL rewrites every entry of work on each run, so it owns the
@@ -162,7 +173,14 @@ func BuildWorkers(id ID, a *sparse.CSR, workers int) (*Instance, error) {
 	case Ilu0Trsv:
 		work := a.Clone()
 		b, y := vec(1), make([]float64, n)
-		build1 = func() kernels.Kernel { return kernels.NewSpILU0CSR(work) }
+		build1 = func() kernels.Kernel {
+			k, err := kernels.NewSpILU0CSR(work)
+			if err != nil {
+				buildErr = err
+				return nil
+			}
+			return k
+		}
 		build2 = func() kernels.Kernel { return kernels.NewSpTRSVUnitLowerCSR(work, b, y) }
 		buildF = func() *sparse.CSR { return core.FDiagonal(n) }
 		in.Snapshot = snap(y)
@@ -196,6 +214,9 @@ func BuildWorkers(id ID, a *sparse.CSR, workers int) (*Instance, error) {
 		func() { k1 = build1() },
 		func() { k2 = build2() },
 	)
+	if buildErr != nil {
+		return nil, buildErr
+	}
 	in.Kernels = []kernels.Kernel{k1, k2}
 	var f *sparse.CSR
 	par.Do(workers,
@@ -280,12 +301,15 @@ func snap(v []float64) func() []float64 {
 
 // RunSequential executes the kernels back to back, single-threaded, and
 // returns the elapsed time. This is the baseline of the paper's NER metric.
-func (in *Instance) RunSequential() time.Duration {
+// A numerical breakdown stops the chain and is returned.
+func (in *Instance) RunSequential() (time.Duration, error) {
 	t0 := time.Now()
 	for _, k := range in.Kernels {
-		kernels.RunSeq(k)
+		if err := kernels.RunSeq(k); err != nil {
+			return time.Since(t0), err
+		}
 	}
-	return time.Since(t0)
+	return time.Since(t0), nil
 }
 
 // Impl is one schedulable implementation of an instance. Inspect must be
@@ -294,7 +318,7 @@ type Impl struct {
 	Name        string
 	InspectTime time.Duration
 	inspect     func() error
-	execute     func() exec.Stats
+	execute     func() (exec.Stats, error)
 	inspected   bool
 }
 
@@ -314,7 +338,7 @@ func (im *Impl) Execute() (exec.Stats, error) {
 			return exec.Stats{}, err
 		}
 	}
-	return im.execute(), nil
+	return im.execute()
 }
 
 // SparseFusion is the paper's contribution: ICO over the instance's DAGs.
@@ -336,7 +360,7 @@ func (in *Instance) SparseFusion(threads int, lp lbc.Params) *Impl {
 			runner, _ = exec.CompileFused(in.Kernels, sched)
 			return nil
 		},
-		execute: func() exec.Stats {
+		execute: func() (exec.Stats, error) {
 			if runner != nil {
 				return runner.Run(threads)
 			}
@@ -357,7 +381,7 @@ func (in *Instance) SparseFusionLegacy(threads int, lp lbc.Params) *Impl {
 			sched, err = core.ICO(in.Loops, core.Params{Threads: threads, ReuseRatio: in.Reuse, LBC: lp})
 			return err
 		},
-		execute: func() exec.Stats { return exec.RunFusedLegacy(in.Kernels, sched, threads) },
+		execute: func() (exec.Stats, error) { return exec.RunFusedLegacy(in.Kernels, sched, threads) },
 	}
 }
 
@@ -380,7 +404,7 @@ func (in *Instance) UnfusedParSy(threads int, lp lbc.Params) *Impl {
 			}
 			return nil
 		},
-		execute: func() exec.Stats { return exec.RunChainCompiled(in.Kernels, rs, ps, threads) },
+		execute: func() (exec.Stats, error) { return exec.RunChainCompiled(in.Kernels, rs, ps, threads) },
 	}
 }
 
@@ -418,7 +442,7 @@ func (in *Instance) UnfusedMKL(threads int) *Impl {
 			}
 			return nil
 		},
-		execute: func() exec.Stats { return exec.RunChainCompiled(in.Kernels, rs, ps, threads) },
+		execute: func() (exec.Stats, error) { return exec.RunChainCompiled(in.Kernels, rs, ps, threads) },
 	}
 }
 
@@ -453,7 +477,7 @@ func (in *Instance) jointImpl(name string, threads int, schedule func(*dag.Graph
 			r, _ = exec.CompileJoint(in.Kernels[0], in.Kernels[1], p)
 			return nil
 		},
-		execute: func() exec.Stats {
+		execute: func() (exec.Stats, error) {
 			if r != nil {
 				return r.Run(threads)
 			}
@@ -507,7 +531,7 @@ func (in *Instance) UnfusedHDagg(threads int) *Impl {
 			}
 			return nil
 		},
-		execute: func() exec.Stats { return exec.RunChainCompiled(in.Kernels, rs, ps, threads) },
+		execute: func() (exec.Stats, error) { return exec.RunChainCompiled(in.Kernels, rs, ps, threads) },
 	}
 }
 

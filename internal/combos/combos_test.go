@@ -33,8 +33,8 @@ func allImpls(in *Instance) []*Impl {
 
 func TestAllCombosAllImplsAgree(t *testing.T) {
 	for _, a := range []*sparse.CSR{
-		sparse.RandomSPD(250, 5, 1),
-		sparse.Laplacian2D(16),
+		sparse.Must(sparse.RandomSPD(250, 5, 1)),
+		sparse.Must(sparse.Laplacian2D(16)),
 	} {
 		for _, id := range All {
 			in, err := Build(id, a)
@@ -61,7 +61,7 @@ func TestAllCombosAllImplsAgree(t *testing.T) {
 }
 
 func TestMvMvImplsAgree(t *testing.T) {
-	a := sparse.RandomSPD(300, 5, 2)
+	a := sparse.Must(sparse.RandomSPD(300, 5, 2))
 	in, err := Build(MvMv, a)
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +79,7 @@ func TestMvMvImplsAgree(t *testing.T) {
 }
 
 func TestGSChainAgrees(t *testing.T) {
-	a := sparse.RandomSPD(200, 5, 3)
+	a := sparse.Must(sparse.RandomSPD(200, 5, 3))
 	for _, sweeps := range []int{1, 2, 3} {
 		in, err := BuildGS(a, sweeps)
 		if err != nil {
@@ -109,7 +109,7 @@ func TestGSConverges(t *testing.T) {
 	// Gauss-Seidel on a diagonally dominant SPD system must reduce the
 	// residual monotonically; 8 fused sweeps should shrink it well below
 	// the initial norm.
-	a := sparse.RandomSPD(150, 4, 4)
+	a := sparse.Must(sparse.RandomSPD(150, 4, 4))
 	in, err := BuildGS(a, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -133,7 +133,7 @@ func TestGSConverges(t *testing.T) {
 }
 
 func TestReuseClassificationMatchesTable1(t *testing.T) {
-	a := sparse.RandomSPD(300, 5, 5)
+	a := sparse.Must(sparse.RandomSPD(300, 5, 5))
 	wantGE1 := map[ID]bool{TrsvTrsv: true, DscalIlu0: true, TrsvMv: false, Ic0Trsv: true, Ilu0Trsv: true, DscalIc0: true}
 	for id, ge1 := range wantGE1 {
 		in, err := Build(id, a)
@@ -150,7 +150,7 @@ func TestReuseClassificationMatchesTable1(t *testing.T) {
 }
 
 func TestFlopCountsPositive(t *testing.T) {
-	a := sparse.RandomSPD(100, 4, 6)
+	a := sparse.Must(sparse.RandomSPD(100, 4, 6))
 	for _, id := range append(append([]ID{}, All...), MvMv) {
 		in, err := Build(id, a)
 		if err != nil {
@@ -167,16 +167,16 @@ func TestBuildRejectsBadInput(t *testing.T) {
 	if _, err := Build(TrsvTrsv, rect); err == nil {
 		t.Fatal("rectangular matrix accepted")
 	}
-	if _, err := Build(ID(99), sparse.Laplacian2D(3)); err == nil {
+	if _, err := Build(ID(99), sparse.Must(sparse.Laplacian2D(3))); err == nil {
 		t.Fatal("unknown combo accepted")
 	}
-	if _, err := BuildGS(sparse.Laplacian2D(3), 0); err == nil {
+	if _, err := BuildGS(sparse.Must(sparse.Laplacian2D(3)), 0); err == nil {
 		t.Fatal("zero sweeps accepted")
 	}
 }
 
 func TestInspectTimesRecorded(t *testing.T) {
-	a := sparse.RandomSPD(200, 5, 7)
+	a := sparse.Must(sparse.RandomSPD(200, 5, 7))
 	in, err := Build(TrsvMv, a)
 	if err != nil {
 		t.Fatal(err)
@@ -191,7 +191,7 @@ func TestInspectTimesRecorded(t *testing.T) {
 }
 
 func TestJointRejectsMultiLoop(t *testing.T) {
-	a := sparse.RandomSPD(100, 4, 8)
+	a := sparse.Must(sparse.RandomSPD(100, 4, 8))
 	in, err := BuildGS(a, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -202,7 +202,7 @@ func TestJointRejectsMultiLoop(t *testing.T) {
 }
 
 func TestHDaggImplsAgree(t *testing.T) {
-	a := sparse.RandomSPD(250, 5, 44)
+	a := sparse.Must(sparse.RandomSPD(250, 5, 44))
 	for _, id := range []ID{TrsvTrsv, Ic0Trsv, TrsvMv} {
 		in, err := Build(id, a)
 		if err != nil {
@@ -225,7 +225,7 @@ func TestHDaggImplsAgree(t *testing.T) {
 // observationally identical to serial — same DAGs, F matrices, reuse ratio,
 // and (through ICO) the same schedule bytes.
 func TestBuildWorkersDeterministic(t *testing.T) {
-	a := sparse.RandomSPD(300, 5, 17)
+	a := sparse.Must(sparse.RandomSPD(300, 5, 17))
 	for _, id := range append(append([]ID(nil), All...), MvMv) {
 		want, err := Build(id, a)
 		if err != nil {

@@ -25,7 +25,7 @@ func randomLoops(rng *rand.Rand, n int) *Loops {
 			}
 			loops.G = append(loops.G, dag.Parallel(n, w))
 		} else {
-			a := sparse.RandomSPD(n, 2+rng.Intn(5), rng.Int63())
+			a := sparse.Must(sparse.RandomSPD(n, 2+rng.Intn(5), rng.Int63()))
 			loops.G = append(loops.G, dag.FromLowerCSR(a.Lower()))
 		}
 		if k > 0 {
@@ -143,7 +143,7 @@ func TestICODegenerateShapes(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Single loop (no fusion): still a valid schedule of that loop.
-	solo := &Loops{G: []*dag.Graph{dag.FromLowerCSR(sparse.RandomSPD(50, 4, 1).Lower())}}
+	solo := &Loops{G: []*dag.Graph{dag.FromLowerCSR(sparse.Must(sparse.RandomSPD(50, 4, 1)).Lower())}}
 	sched, err = ICO(solo, Params{Threads: 3})
 	if err != nil {
 		t.Fatal(err)

@@ -31,7 +31,7 @@ func parallelDAG(a *sparse.CSR) *dag.Graph {
 // comboCDPar: loop 1 carried-dependence (TRSV), loop 2 parallel (SpMV),
 // diagonal F. Table 1 row 3. Head must be G1 (G2 edge-free).
 func comboCDPar(seed int64, n int) *Loops {
-	a := sparse.RandomSPD(n, 5, seed)
+	a := sparse.Must(sparse.RandomSPD(n, 5, seed))
 	return &Loops{
 		G: []*dag.Graph{trsvDAG(a), parallelDAG(a)},
 		F: []*sparse.CSR{FTrsvToMVCSC(a.ToCSC())},
@@ -41,7 +41,7 @@ func comboCDPar(seed int64, n int) *Loops {
 // comboCDCD: both loops carried-dependence (TRSV-TRSV), diagonal F.
 // Table 1 rows 1, 4, 5. Head is G2.
 func comboCDCD(seed int64, n int) *Loops {
-	a := sparse.RandomSPD(n, 5, seed)
+	a := sparse.Must(sparse.RandomSPD(n, 5, seed))
 	return &Loops{
 		G: []*dag.Graph{trsvDAG(a), trsvDAG(a)},
 		F: []*sparse.CSR{FDiagonal(n)},
@@ -51,7 +51,7 @@ func comboCDCD(seed int64, n int) *Loops {
 // comboParCD: loop 1 parallel (DSCAL), loop 2 carried-dependence (ILU0),
 // diagonal F. Table 1 rows 2, 6. Head is G2.
 func comboParCD(seed int64, n int) *Loops {
-	a := sparse.RandomSPD(n, 5, seed)
+	a := sparse.Must(sparse.RandomSPD(n, 5, seed))
 	return &Loops{
 		G: []*dag.Graph{parallelDAG(a), trsvDAG(a)},
 		F: []*sparse.CSR{FDiagonal(n)},
@@ -62,8 +62,8 @@ func comboParCD(seed int64, n int) *Loops {
 // stressing non-diagonal cross dependencies.
 func comboRandomF(seed int64, n int) *Loops {
 	rng := rand.New(rand.NewSource(seed))
-	a := sparse.RandomSPD(n, 4, seed)
-	b := sparse.RandomSPD(n, 4, seed+1000)
+	a := sparse.Must(sparse.RandomSPD(n, 4, seed))
+	b := sparse.Must(sparse.RandomSPD(n, 4, seed+1000))
 	var ts []sparse.Triplet
 	for i := 0; i < n; i++ {
 		for d := 0; d < 1+rng.Intn(3); d++ {
@@ -80,7 +80,7 @@ func comboRandomF(seed int64, n int) *Loops {
 // comboGS6: six loops alternating parallel SpMV and CD TRSV, F alternating
 // pattern/diagonal — the Gauss-Seidel multi-loop shape (paper section 4.3).
 func comboGS6(seed int64, n int) *Loops {
-	a := sparse.RandomSPD(n, 4, seed)
+	a := sparse.Must(sparse.RandomSPD(n, 4, seed))
 	gT, gM := trsvDAG(a), parallelDAG(a)
 	fDiag, fPat := FDiagonal(n), FPattern(a.StrictUpper())
 	return &Loops{
@@ -142,7 +142,7 @@ func TestICOHeadSelection(t *testing.T) {
 	// head is G2 (reversed). Both must produce valid schedules; this pins
 	// the dispatch rule itself.
 	n := 80
-	a := sparse.RandomSPD(n, 5, 7)
+	a := sparse.Must(sparse.RandomSPD(n, 5, 7))
 	forward := &Loops{G: []*dag.Graph{trsvDAG(a), parallelDAG(a)}, F: []*sparse.CSR{FDiagonal(n)}}
 	reversed := &Loops{G: []*dag.Graph{parallelDAG(a), trsvDAG(a)}, F: []*sparse.CSR{FDiagonal(n)}}
 	for name, loops := range map[string]*Loops{"forward": forward, "reversed": reversed} {
@@ -192,7 +192,7 @@ func TestICOFewerSyncsThanJointWavefront(t *testing.T) {
 }
 
 func TestICORejectsBadShapes(t *testing.T) {
-	a := sparse.RandomSPD(20, 3, 1)
+	a := sparse.Must(sparse.RandomSPD(20, 3, 1))
 	g := trsvDAG(a)
 	if _, err := ICO(&Loops{G: []*dag.Graph{g, g}, F: nil}, testParams(2)); err == nil {
 		t.Fatal("missing F accepted")
@@ -432,7 +432,7 @@ func TestMergeReducesBarriers(t *testing.T) {
 
 func TestReuseRatioTable1(t *testing.T) {
 	n := 64
-	a := sparse.RandomSPD(n, 4, 77)
+	a := sparse.Must(sparse.RandomSPD(n, 4, 77))
 	l := a.Lower()
 	lc := l.ToCSC()
 	x, y, z, b := make([]float64, n), make([]float64, n), make([]float64, n), sparse.RandomVec(n, 1)
@@ -460,7 +460,10 @@ func TestReuseRatioTable1(t *testing.T) {
 	// then ILU0 on the same storage: reuse >= 1.
 	work := a.Clone()
 	k6 := kernels.NewDScalCSR(work, d, work)
-	k7 := kernels.NewSpILU0CSR(work)
+	k7, err := kernels.NewSpILU0CSR(work)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r := ReuseRatio(k6, k7); r < 1 {
 		t.Fatalf("DSCAL-ILU0 reuse = %v, want >= 1", r)
 	}
@@ -468,7 +471,7 @@ func TestReuseRatioTable1(t *testing.T) {
 
 func TestReuseRatioChain(t *testing.T) {
 	n := 32
-	a := sparse.RandomSPD(n, 4, 78)
+	a := sparse.Must(sparse.RandomSPD(n, 4, 78))
 	l := a.Lower()
 	b, x, z := sparse.RandomVec(n, 2), make([]float64, n), make([]float64, n)
 	k1 := kernels.NewSpTRSVCSR(l, b, x)
@@ -510,7 +513,7 @@ func TestFTrsvToMVCSCSkipsEmptyColumns(t *testing.T) {
 }
 
 func TestFPattern(t *testing.T) {
-	a := sparse.RandomSPD(20, 3, 79).StrictUpper()
+	a := sparse.Must(sparse.RandomSPD(20, 3, 79)).StrictUpper()
 	f := FPattern(a)
 	if f.NNZ() != a.NNZ() {
 		t.Fatal("FPattern changed nnz")
@@ -527,7 +530,7 @@ func TestFPattern(t *testing.T) {
 func TestICOMultiLoopCounts(t *testing.T) {
 	for _, nLoops := range []int{3, 4, 5, 6} {
 		n := 80
-		a := sparse.RandomSPD(n, 4, int64(nLoops))
+		a := sparse.Must(sparse.RandomSPD(n, 4, int64(nLoops)))
 		gT, gM := trsvDAG(a), parallelDAG(a)
 		loops := &Loops{}
 		for k := 0; k < nLoops; k++ {

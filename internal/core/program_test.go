@@ -12,7 +12,7 @@ import (
 
 func programLoops(t *testing.T, n int, seed int64) (*Loops, []kernels.Kernel) {
 	t.Helper()
-	a := sparse.RandomSPD(n, 5, seed)
+	a := sparse.Must(sparse.RandomSPD(n, 5, seed))
 	l := a.Lower()
 	ac := a.ToCSC()
 	x := sparse.RandomVec(n, seed+1)

@@ -110,46 +110,53 @@ func ReadSchedule(r io.Reader) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	const maxLen = 1 << 32 // sanity bound against corrupt files
-	if nS > maxLen {
+	// Length headers are only sanity-checked here; the real bound on memory
+	// is that every slice below grows by append as its elements are actually
+	// decoded, so a hostile file claiming 2^31 partitions in a 40-byte body
+	// fails with an EOF after allocating O(file size), not O(claimed size).
+	// capHint caps the pre-sized capacity an honest header may reserve.
+	const maxLen = 1 << 32
+	const capHint = 1 << 12
+	if nS >= maxLen {
 		return nil, fmt.Errorf("core: corrupt schedule: %d s-partitions", nS)
 	}
 	s := &Schedule{
 		Interleaved: flags&1 != 0,
 		ReuseRatio:  math.Float64frombits(reuseBits),
-		S:           make([][][]Iter, nS),
+		S:           make([][][]Iter, 0, min(nS, capHint)),
 	}
-	for si := range s.S {
+	for si := uint64(0); si < nS; si++ {
 		nW, err := read()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("core: truncated schedule in s-partition %d: %w", si, err)
 		}
-		if nW > maxLen {
+		if nW >= maxLen {
 			return nil, fmt.Errorf("core: corrupt schedule: %d w-partitions", nW)
 		}
-		s.S[si] = make([][]Iter, nW)
-		for wi := range s.S[si] {
+		sp := make([][]Iter, 0, min(nW, capHint))
+		for wi := uint64(0); wi < nW; wi++ {
 			nI, err := read()
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("core: truncated schedule in w-partition %d: %w", wi, err)
 			}
-			if nI > maxLen {
+			if nI >= maxLen {
 				return nil, fmt.Errorf("core: corrupt schedule: %d iterations", nI)
 			}
-			wp := make([]Iter, nI)
-			for k := range wp {
+			wp := make([]Iter, 0, min(nI, capHint))
+			for k := uint64(0); k < nI; k++ {
 				loop, err := read()
 				if err != nil {
-					return nil, err
+					return nil, fmt.Errorf("core: truncated schedule at iteration %d: %w", k, err)
 				}
 				idx, err := read()
 				if err != nil {
-					return nil, err
+					return nil, fmt.Errorf("core: truncated schedule at iteration %d: %w", k, err)
 				}
-				wp[k] = Iter{Loop: int(loop), Idx: int(idx)}
+				wp = append(wp, Iter{Loop: int(loop), Idx: int(idx)})
 			}
-			s.S[si][wi] = wp
+			sp = append(sp, wp)
 		}
+		s.S = append(s.S, sp)
 	}
 	return s, nil
 }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"testing"
+)
+
+// tinySchedule is a hand-built two-round schedule for serialization tests.
+func tinySchedule() *Schedule {
+	return &Schedule{
+		Interleaved: true,
+		ReuseRatio:  1.25,
+		S: [][][]Iter{
+			{{{Loop: 0, Idx: 0}, {Loop: 1, Idx: 0}}, {{Loop: 0, Idx: 1}}},
+			{{{Loop: 1, Idx: 1}, {Loop: 1, Idx: 2}}},
+		},
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	s := tinySchedule()
+	b := s.Bytes()
+	got, err := ReadSchedule(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), b) {
+		t.Fatal("round trip changed the serialized form")
+	}
+}
+
+// hostileHeader builds a syntactically valid 40-byte schedule prefix whose
+// header claims `claimed` s-partitions but carries no body.
+func hostileHeader(claimed uint64) []byte {
+	var buf bytes.Buffer
+	w := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf.Write(b[:])
+	}
+	w(scheduleMagic)
+	w(0)       // flags
+	w(0)       // reuse ratio bits
+	w(claimed) // s-partition count
+	w(claimed) // first (truncated) w-partition count
+	return buf.Bytes()
+}
+
+// TestReadScheduleBoundedAllocation: a 40-byte file claiming 2^31 partitions
+// must fail with a truncation error after allocating memory proportional to
+// the bytes actually read, not to the claimed sizes.
+func TestReadScheduleBoundedAllocation(t *testing.T) {
+	hostile := hostileHeader(1 << 31)
+	if len(hostile) != 40 {
+		t.Fatalf("hostile header is %d bytes, want 40", len(hostile))
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	s, err := ReadSchedule(bytes.NewReader(hostile))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatalf("hostile header parsed into %d s-partitions without error", len(s.S))
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 16<<20 {
+		t.Fatalf("parsing a 40-byte hostile file allocated %d bytes", grew)
+	}
+}
+
+func TestReadScheduleRejectsOversizedCounts(t *testing.T) {
+	if _, err := ReadSchedule(bytes.NewReader(hostileHeader(1 << 33))); err == nil {
+		t.Fatal("accepted an s-partition count beyond the format bound")
+	}
+}
+
+func TestReadScheduleRejectsBadMagic(t *testing.T) {
+	b := tinySchedule().Bytes()
+	b[0] ^= 0xff
+	if _, err := ReadSchedule(bytes.NewReader(b)); err == nil {
+		t.Fatal("accepted a stream with corrupt magic")
+	}
+}
+
+func TestReadScheduleTruncation(t *testing.T) {
+	b := tinySchedule().Bytes()
+	for cut := 1; cut < len(b); cut += 7 {
+		if _, err := ReadSchedule(bytes.NewReader(b[:cut])); err == nil {
+			t.Fatalf("accepted a stream truncated to %d bytes", cut)
+		}
+	}
+}
+
+// FuzzReadSchedule drives the binary schedule loader with arbitrary bytes.
+// It must never panic or over-allocate, and anything it does accept must
+// survive a serialize/deserialize round trip unchanged.
+func FuzzReadSchedule(f *testing.F) {
+	f.Add(tinySchedule().Bytes())
+	f.Add((&Schedule{}).Bytes())
+	f.Add(tinySchedule().Bytes()[:20])
+	f.Add(hostileHeader(1 << 31))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSchedule(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		b := s.Bytes()
+		s2, err := ReadSchedule(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("re-reading serialized accepted schedule failed: %v", err)
+		}
+		if !bytes.Equal(s2.Bytes(), b) {
+			t.Fatal("accepted schedule does not round-trip")
+		}
+	})
+}

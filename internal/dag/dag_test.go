@@ -127,7 +127,7 @@ func TestFromLowerCSR(t *testing.T) {
 }
 
 func TestFromLowerCSRMatchesLevelsOfTriangularSolve(t *testing.T) {
-	a := sparse.RandomSPD(80, 5, 2)
+	a := sparse.Must(sparse.RandomSPD(80, 5, 2))
 	l := a.Lower()
 	g := FromLowerCSR(l)
 	if !g.IsAcyclic() {

@@ -10,7 +10,7 @@ import (
 // randomFactorDAG builds a random lower-triangular-pattern DAG for property
 // tests (randomDAG in dag_test.go builds edge-list DAGs instead).
 func randomFactorDAG(rng *rand.Rand, n int) *Graph {
-	a := sparse.RandomSPD(n, 2+rng.Intn(6), rng.Int63())
+	a := sparse.Must(sparse.RandomSPD(n, 2+rng.Intn(6), rng.Int63()))
 	return FromLowerCSR(a.Lower())
 }
 

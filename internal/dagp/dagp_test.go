@@ -9,7 +9,7 @@ import (
 )
 
 func triangularDAG(seed int64, n, deg int) *dag.Graph {
-	a := sparse.RandomSPD(n, deg, seed)
+	a := sparse.Must(sparse.RandomSPD(n, deg, seed))
 	return dag.FromLowerCSR(a.Lower())
 }
 
@@ -122,7 +122,7 @@ func TestScheduleValid(t *testing.T) {
 }
 
 func TestScheduleOnJointDAG(t *testing.T) {
-	a := sparse.RandomSPD(120, 4, 21)
+	a := sparse.Must(sparse.RandomSPD(120, 4, 21))
 	g1 := dag.FromLowerCSR(a.Lower())
 	g2 := dag.Parallel(120, nil)
 	var ts []sparse.Triplet

@@ -112,8 +112,11 @@ func (r *Runner) Program() *core.Program { return r.prog }
 // Run executes the compiled schedule with the same semantics and Stats
 // accounting as RunFusedLegacy: Prepare in loop order, one barrier per
 // s-partition, atomic scatter mode iff the caller is multi-threaded and the
-// schedule is actually wide.
-func (r *Runner) Run(threads int) Stats {
+// schedule is actually wide. A worker-body panic — a kernel breakdown or an
+// out-of-range iteration in a corrupt program — abandons the remaining
+// s-partitions and returns as an *ExecError; the Runner itself stays usable
+// (the fault channel is re-armed, the pool torn down as always).
+func (r *Runner) Run(threads int) (Stats, error) {
 	p := r.prog
 	parallel := threads > 1 && p.MaxWidth > 1
 	setAtomics(r.ks, parallel)
@@ -143,9 +146,13 @@ func (r *Runner) Run(threads int) Stats {
 		}
 		pl.run(width, func(w int) { runBody(w0 + w) }, durs[:width])
 		accumulate(&st, durs[:width], threads)
+		if f := pl.takeFault(); f != nil {
+			st.Elapsed = time.Since(t0)
+			return st, f.execError(s, w0+f.worker)
+		}
 	}
 	st.Elapsed = time.Since(t0)
-	return st
+	return st, nil
 }
 
 // runW executes one w-partition, one dispatch per segment.
@@ -249,24 +256,29 @@ func BenchBarrier(workers, rounds int) time.Duration {
 // pre-compiled Runner. Entries with a nil runner fall back to the matching
 // partitioning (or run sequentially when that is nil too), mirroring
 // RunChain's accounting.
-func RunChainCompiled(ks []kernels.Kernel, rs []*Runner, ps []*partition.Partitioning, threads int) Stats {
+func RunChainCompiled(ks []kernels.Kernel, rs []*Runner, ps []*partition.Partitioning, threads int) (Stats, error) {
 	var st Stats
 	t0 := time.Now()
 	for i, k := range ks {
 		var s Stats
+		var err error
 		switch {
 		case rs[i] != nil:
-			s = rs[i].Run(threads)
+			s, err = rs[i].Run(threads)
 		case ps[i] == nil:
-			s = RunSequentialKernel(k)
+			s, err = RunSequentialKernel(k)
 		default:
-			s = RunPartitionedLegacy(k, ps[i], threads)
+			s, err = RunPartitionedLegacy(k, ps[i], threads)
 		}
 		st.Barriers += s.Barriers
 		st.PotentialGain += s.PotentialGain
+		if err != nil {
+			st.Elapsed = time.Since(t0)
+			return st, err
+		}
 	}
 	st.Elapsed = time.Since(t0)
-	return st
+	return st, nil
 }
 
 // RunFused executes the fused loops under a core.Schedule produced by ICO.
@@ -275,7 +287,7 @@ func RunChainCompiled(ks []kernels.Kernel, rs []*Runner, ps []*partition.Partiti
 // mode — the schedule's own w-partition structure decides actual
 // parallelism. The schedule is compiled on every call; callers that rerun
 // one schedule should compile once via CompileFused and Run the Runner.
-func RunFused(ks []kernels.Kernel, sched *core.Schedule, threads int) Stats {
+func RunFused(ks []kernels.Kernel, sched *core.Schedule, threads int) (Stats, error) {
 	if r, err := CompileFused(ks, sched); err == nil {
 		return r.Run(threads)
 	}
@@ -284,7 +296,7 @@ func RunFused(ks []kernels.Kernel, sched *core.Schedule, threads int) Stats {
 
 // RunPartitioned executes one kernel under a baseline partitioning
 // (wavefront, LBC or DAGP schedule of the kernel's own DAG).
-func RunPartitioned(k kernels.Kernel, p *partition.Partitioning, threads int) Stats {
+func RunPartitioned(k kernels.Kernel, p *partition.Partitioning, threads int) (Stats, error) {
 	if r, err := CompilePartitioned(k, p); err == nil {
 		return r.Run(threads)
 	}
@@ -293,7 +305,7 @@ func RunPartitioned(k kernels.Kernel, p *partition.Partitioning, threads int) St
 
 // RunJoint executes two kernels under a partitioning of their joint DAG:
 // the fused-wavefront / fused-LBC / fused-DAGP baselines.
-func RunJoint(k1, k2 kernels.Kernel, p *partition.Partitioning, threads int) Stats {
+func RunJoint(k1, k2 kernels.Kernel, p *partition.Partitioning, threads int) (Stats, error) {
 	if r, err := CompileJoint(k1, k2, p); err == nil {
 		return r.Run(threads)
 	}

@@ -25,13 +25,13 @@ func TestCompiledMatchesLegacyBitIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
-			stL := RunFusedLegacy(ks, sched, 1)
+			stL := mustRun(RunFusedLegacy(ks, sched, 1))
 			legacy := snap()
 			r, err := CompileFused(ks, sched)
 			if err != nil {
 				t.Fatalf("%s: compile: %v", name, err)
 			}
-			stC := r.Run(1)
+			stC := mustRun(r.Run(1))
 			compiled := snap()
 			for i := range legacy {
 				if compiled[i] != legacy[i] {
@@ -59,14 +59,14 @@ func TestCompiledMatchesLegacyParallel(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
-			stL := RunFusedLegacy(ks, sched, threads)
+			stL := mustRun(RunFusedLegacy(ks, sched, threads))
 			legacy := snap()
 			r, err := CompileFused(ks, sched)
 			if err != nil {
 				t.Fatalf("%s: compile: %v", name, err)
 			}
 			for rep := 0; rep < 3; rep++ {
-				stC := r.Run(threads)
+				stC := mustRun(r.Run(threads))
 				if e := sparse.RelErr(snap(), legacy); e > 1e-9 {
 					t.Fatalf("%s reuse %v rep %d: compiled diverges from legacy by %v", name, reuse, rep, e)
 				}
@@ -82,7 +82,7 @@ func TestCompiledMatchesLegacyParallel(t *testing.T) {
 // its per-row arithmetic order is fixed and even parallel partitioned runs
 // must be bit-identical to the legacy executor.
 func TestCompiledPartitionedMatchesLegacy(t *testing.T) {
-	a := sparse.RandomSPD(400, 5, 9)
+	a := sparse.Must(sparse.RandomSPD(400, 5, 9))
 	l := a.Lower()
 	b := sparse.RandomVec(400, 10)
 	x := make([]float64, 400)
@@ -91,9 +91,9 @@ func TestCompiledPartitionedMatchesLegacy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stL := RunPartitionedLegacy(k, lb, threads)
+	stL := mustRun(RunPartitionedLegacy(k, lb, threads))
 	legacy := append([]float64(nil), x...)
-	stC := RunPartitioned(k, lb, threads)
+	stC := mustRun(RunPartitioned(k, lb, threads))
 	for i := range legacy {
 		if x[i] != legacy[i] {
 			t.Fatalf("x[%d] = %v, legacy %v", i, x[i], legacy[i])
@@ -114,9 +114,9 @@ func TestCompiledJointMatchesLegacy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stL := RunJointLegacy(ks[0], ks[1], wf, threads)
+	stL := mustRun(RunJointLegacy(ks[0], ks[1], wf, threads))
 	legacy := snap()
-	stC := RunJoint(ks[0], ks[1], wf, threads)
+	stC := mustRun(RunJoint(ks[0], ks[1], wf, threads))
 	if e := sparse.RelErr(snap(), legacy); e > 1e-9 {
 		t.Fatalf("joint compiled diverges from legacy by %v", e)
 	}
@@ -163,7 +163,7 @@ func TestRunnerSegmentsPaired(t *testing.T) {
 // ICO for 8 w-partitions.
 func benchFused(b testing.TB, n int, reuse float64) ([]kernels.Kernel, *core.Schedule) {
 	b.Helper()
-	a := sparse.BandedSPD(n, 1, 0.4, 1)
+	a := sparse.Must(sparse.BandedSPD(n, 1, 0.4, 1))
 	l := a.Lower()
 	x := sparse.RandomVec(n, 2)
 	rhs := sparse.RandomVec(n, 3)
@@ -231,4 +231,14 @@ func BenchmarkPoolBarrier(b *testing.B) {
 			}
 		})
 	}
+}
+
+// mustRun unwraps an executor result, panicking on error (which fails the
+// test with a stack), keeping single-assignment call sites readable now that
+// executors report faults.
+func mustRun(st Stats, err error) Stats {
+	if err != nil {
+		panic(err)
+	}
+	return st
 }

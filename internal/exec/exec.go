@@ -68,8 +68,10 @@ func accumulate(st *Stats, durs []time.Duration, threads int) {
 // core.Schedule directly, dispatching every iteration through the Kernel
 // interface. It is the reference implementation the compiled path
 // (CompileFused) is cross-checked against, and the fallback when a schedule
-// does not fit the packed Program representation.
-func RunFusedLegacy(ks []kernels.Kernel, sched *core.Schedule, threads int) Stats {
+// does not fit the packed Program representation. A worker-body panic (kernel
+// breakdown or corrupt schedule) abandons the remaining s-partitions and is
+// returned as an *ExecError.
+func RunFusedLegacy(ks []kernels.Kernel, sched *core.Schedule, threads int) (Stats, error) {
 	parallel := threads > 1 && sched.MaxWidth() > 1
 	setAtomics(ks, parallel)
 	defer setAtomics(ks, false)
@@ -81,22 +83,26 @@ func RunFusedLegacy(ks []kernels.Kernel, sched *core.Schedule, threads int) Stat
 	pl := newPool(sched.MaxWidth())
 	defer pl.close()
 	durs := make([]time.Duration, sched.MaxWidth())
-	for _, sp := range sched.S {
+	for si, sp := range sched.S {
 		pl.run(len(sp), func(w int) {
 			for _, it := range sp[w] {
 				ks[it.Loop].Run(it.Idx)
 			}
 		}, durs[:len(sp)])
 		accumulate(&st, durs[:len(sp)], threads)
+		if f := pl.takeFault(); f != nil {
+			st.Elapsed = time.Since(t0)
+			return st, f.execError(si, -1)
+		}
 	}
 	st.Elapsed = time.Since(t0)
-	return st
+	return st, nil
 }
 
 // RunPartitionedLegacy executes one kernel under a baseline partitioning by
 // walking the partition slices directly; reference implementation and
 // fallback for CompilePartitioned.
-func RunPartitionedLegacy(k kernels.Kernel, p *partition.Partitioning, threads int) Stats {
+func RunPartitionedLegacy(k kernels.Kernel, p *partition.Partitioning, threads int) (Stats, error) {
 	parallel := threads > 1 && anyWide(p)
 	setAtomics([]kernels.Kernel{k}, parallel)
 	defer setAtomics([]kernels.Kernel{k}, false)
@@ -106,59 +112,74 @@ func RunPartitionedLegacy(k kernels.Kernel, p *partition.Partitioning, threads i
 	pl := newPool(maxWidth(p))
 	defer pl.close()
 	durs := make([]time.Duration, maxWidth(p))
-	for _, sp := range p.S {
+	for si, sp := range p.S {
 		pl.run(len(sp), func(w int) {
 			for _, v := range sp[w] {
 				k.Run(v)
 			}
 		}, durs[:len(sp)])
 		accumulate(&st, durs[:len(sp)], threads)
+		if f := pl.takeFault(); f != nil {
+			st.Elapsed = time.Since(t0)
+			return st, f.execError(si, -1)
+		}
 	}
 	st.Elapsed = time.Since(t0)
-	return st
+	return st, nil
 }
 
 // RunChain executes kernels one after another (unfused), each under its own
-// partitioning. Entries with a nil partitioning run sequentially.
-func RunChain(ks []kernels.Kernel, ps []*partition.Partitioning, threads int) Stats {
+// partitioning. Entries with a nil partitioning run sequentially. The first
+// kernel error abandons the rest of the chain.
+func RunChain(ks []kernels.Kernel, ps []*partition.Partitioning, threads int) (Stats, error) {
 	var st Stats
 	t0 := time.Now()
 	for i, k := range ks {
 		var s Stats
+		var err error
 		if ps[i] == nil {
-			s = RunSequentialKernel(k)
+			s, err = RunSequentialKernel(k)
 		} else {
-			s = RunPartitioned(k, ps[i], threads)
+			s, err = RunPartitioned(k, ps[i], threads)
 		}
 		st.Barriers += s.Barriers
 		st.PotentialGain += s.PotentialGain
+		if err != nil {
+			st.Elapsed = time.Since(t0)
+			return st, err
+		}
 	}
 	st.Elapsed = time.Since(t0)
-	return st
+	return st, nil
 }
 
 // RunChainLegacy is RunChain over the slice-walking partitioned executor.
-func RunChainLegacy(ks []kernels.Kernel, ps []*partition.Partitioning, threads int) Stats {
+func RunChainLegacy(ks []kernels.Kernel, ps []*partition.Partitioning, threads int) (Stats, error) {
 	var st Stats
 	t0 := time.Now()
 	for i, k := range ks {
 		var s Stats
+		var err error
 		if ps[i] == nil {
-			s = RunSequentialKernel(k)
+			s, err = RunSequentialKernel(k)
 		} else {
-			s = RunPartitionedLegacy(k, ps[i], threads)
+			s, err = RunPartitionedLegacy(k, ps[i], threads)
 		}
 		st.Barriers += s.Barriers
 		st.PotentialGain += s.PotentialGain
+		if err != nil {
+			st.Elapsed = time.Since(t0)
+			return st, err
+		}
 	}
 	st.Elapsed = time.Since(t0)
-	return st
+	return st, nil
 }
 
 // RunJointLegacy executes two kernels under a partitioning of their joint
 // DAG by testing v < n1 on every vertex; reference implementation and
 // fallback for CompileJoint.
-func RunJointLegacy(k1, k2 kernels.Kernel, p *partition.Partitioning, threads int) Stats {
+func RunJointLegacy(k1, k2 kernels.Kernel, p *partition.Partitioning, threads int) (Stats, error) {
 	n1 := k1.Iterations()
 	parallel := threads > 1 && anyWide(p)
 	setAtomics([]kernels.Kernel{k1, k2}, parallel)
@@ -170,7 +191,7 @@ func RunJointLegacy(k1, k2 kernels.Kernel, p *partition.Partitioning, threads in
 	pl := newPool(maxWidth(p))
 	defer pl.close()
 	durs := make([]time.Duration, maxWidth(p))
-	for _, sp := range p.S {
+	for si, sp := range p.S {
 		pl.run(len(sp), func(w int) {
 			for _, v := range sp[w] {
 				if v < n1 {
@@ -181,17 +202,23 @@ func RunJointLegacy(k1, k2 kernels.Kernel, p *partition.Partitioning, threads in
 			}
 		}, durs[:len(sp)])
 		accumulate(&st, durs[:len(sp)], threads)
+		if f := pl.takeFault(); f != nil {
+			st.Elapsed = time.Since(t0)
+			return st, f.execError(si, -1)
+		}
 	}
 	st.Elapsed = time.Since(t0)
-	return st
+	return st, nil
 }
 
 // RunSequentialKernel runs a kernel in plain iteration order, the baseline
-// the paper's amortization metric divides by (figure 7).
-func RunSequentialKernel(k kernels.Kernel) Stats {
+// the paper's amortization metric divides by (figure 7). A numerical
+// breakdown is returned as the *kernels.BreakdownError itself (there is no
+// worker to attribute).
+func RunSequentialKernel(k kernels.Kernel) (Stats, error) {
 	t0 := time.Now()
-	kernels.RunSeq(k)
-	return Stats{Elapsed: time.Since(t0)}
+	err := kernels.RunSeq(k)
+	return Stats{Elapsed: time.Since(t0)}, err
 }
 
 func maxWidth(p *partition.Partitioning) int {

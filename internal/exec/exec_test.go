@@ -24,7 +24,7 @@ func icoParams() core.Params {
 // fusedTrsvMv builds the paper's running combination (Table 1 row 3):
 // y = L \ x, then z = A*y with CSC SpMV.
 func fusedTrsvMv(n int, seed int64) (*core.Loops, []kernels.Kernel, func() []float64) {
-	a := sparse.RandomSPD(n, 5, seed)
+	a := sparse.Must(sparse.RandomSPD(n, 5, seed))
 	l := a.Lower()
 	ac := a.ToCSC()
 	x := sparse.RandomVec(n, seed+1)
@@ -41,7 +41,7 @@ func fusedTrsvMv(n int, seed int64) (*core.Loops, []kernels.Kernel, func() []flo
 
 // fusedTrsvTrsv: x = L \ b, z = L \ x (Table 1 row 1).
 func fusedTrsvTrsv(n int, seed int64) (*core.Loops, []kernels.Kernel, func() []float64) {
-	a := sparse.RandomSPD(n, 5, seed)
+	a := sparse.Must(sparse.RandomSPD(n, 5, seed))
 	l := a.Lower()
 	b := sparse.RandomVec(n, seed+1)
 	x := make([]float64, n)
@@ -57,7 +57,7 @@ func fusedTrsvTrsv(n int, seed int64) (*core.Loops, []kernels.Kernel, func() []f
 
 // fusedIC0Trsv: L*L' ~= A, then y = L \ b, both CSC (Table 1 row 4).
 func fusedIC0Trsv(n int, seed int64) (*core.Loops, []kernels.Kernel, func() []float64) {
-	a := sparse.RandomSPD(n, 5, seed)
+	a := sparse.Must(sparse.RandomSPD(n, 5, seed))
 	lc := a.Lower().ToCSC()
 	b := sparse.RandomVec(n, seed+1)
 	y := make([]float64, n)
@@ -73,11 +73,14 @@ func fusedIC0Trsv(n int, seed int64) (*core.Loops, []kernels.Kernel, func() []fl
 // fusedDscalIlu0: scale A in place, then ILU0 factor it (Table 1 row 2).
 // The observable result is the factored value array.
 func fusedDscalIlu0(n int, seed int64) (*core.Loops, []kernels.Kernel, func() []float64) {
-	a := sparse.RandomSPD(n, 5, seed)
+	a := sparse.Must(sparse.RandomSPD(n, 5, seed))
 	work := a.Clone()
 	d := kernels.JacobiScaling(a)
 	k1 := kernels.NewDScalCSR(work, d, work)
-	k2 := kernels.NewSpILU0CSR(work)
+	k2, err := kernels.NewSpILU0CSR(work)
+	if err != nil {
+		panic(err)
+	}
 	loops := &core.Loops{
 		G: []*dag.Graph{k1.DAG(), k2.DAG()},
 		F: []*sparse.CSR{core.FDiagonal(n)},
@@ -124,7 +127,7 @@ func TestRunFusedMatchesSequentialAllCombos(t *testing.T) {
 				t.Fatalf("%s: %v", name, err)
 			}
 			for rep := 0; rep < 3; rep++ { // replay to catch races / Prepare bugs
-				st := RunFused(ks, sched, threads)
+				st := mustRun(RunFused(ks, sched, threads))
 				if got := snap(); sparse.RelErr(got, want) > 1e-9 {
 					t.Fatalf("%s reuse %v rep %d: fused result diverges by %v",
 						name, reuse, rep, sparse.RelErr(snap(), want))
@@ -138,7 +141,7 @@ func TestRunFusedMatchesSequentialAllCombos(t *testing.T) {
 }
 
 func TestRunPartitionedMatchesSequential(t *testing.T) {
-	a := sparse.RandomSPD(400, 5, 9)
+	a := sparse.Must(sparse.RandomSPD(400, 5, 9))
 	l := a.Lower()
 	b := sparse.RandomVec(400, 10)
 	x := make([]float64, 400)
@@ -161,9 +164,9 @@ func TestRunPartitionedMatchesSequential(t *testing.T) {
 		name string
 		st   Stats
 	}{
-		{"wavefront", RunPartitioned(k, wf, threads)},
-		{"lbc", RunPartitioned(k, lb, threads)},
-		{"dagp", RunPartitioned(k, dg, threads)},
+		{"wavefront", mustRun(RunPartitioned(k, wf, threads))},
+		{"lbc", mustRun(RunPartitioned(k, lb, threads))},
+		{"dagp", mustRun(RunPartitioned(k, dg, threads))},
 	} {
 		if got := append([]float64(nil), x...); sparse.RelErr(got, want) > 1e-9 {
 			t.Fatalf("%s: diverges", tc.name)
@@ -197,9 +200,9 @@ func TestRunJointMatchesSequential(t *testing.T) {
 		name string
 		st   Stats
 	}{
-		{"joint-wavefront", RunJoint(ks[0], ks[1], wf, threads)},
-		{"joint-lbc", RunJoint(ks[0], ks[1], lb, threads)},
-		{"joint-dagp", RunJoint(ks[0], ks[1], dg, threads)},
+		{"joint-wavefront", mustRun(RunJoint(ks[0], ks[1], wf, threads))},
+		{"joint-lbc", mustRun(RunJoint(ks[0], ks[1], lb, threads))},
+		{"joint-dagp", mustRun(RunJoint(ks[0], ks[1], dg, threads))},
 	} {
 		if got := snap(); sparse.RelErr(got, want) > 1e-9 {
 			t.Fatalf("%s: diverges by %v", tc.name, sparse.RelErr(snap(), want))
@@ -219,7 +222,7 @@ func TestRunChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats := RunChain(ks, []*partition.Partitioning{p1, p2}, threads)
+	stats := mustRun(RunChain(ks, []*partition.Partitioning{p1, p2}, threads))
 	if got := snap(); sparse.RelErr(got, want) > 1e-9 {
 		t.Fatal("chained execution diverges")
 	}
@@ -229,10 +232,10 @@ func TestRunChain(t *testing.T) {
 }
 
 func TestRunSequentialKernel(t *testing.T) {
-	a := sparse.RandomSPD(100, 4, 15)
+	a := sparse.Must(sparse.RandomSPD(100, 4, 15))
 	x, y := sparse.RandomVec(100, 16), make([]float64, 100)
 	k := kernels.NewSpMVCSR(a, x, y)
-	st := RunSequentialKernel(k)
+	st := mustRun(RunSequentialKernel(k))
 	if st.Elapsed <= 0 {
 		t.Fatal("no elapsed time")
 	}
@@ -265,7 +268,10 @@ func TestRunFusedTraced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, spans := RunFusedTraced(ks, sched, threads)
+	st, spans, err := RunFusedTraced(ks, sched, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := snap(); sparse.RelErr(got, want) > 1e-9 {
 		t.Fatal("traced run diverges")
 	}

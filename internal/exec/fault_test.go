@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sparsefusion/internal/core"
+	"sparsefusion/internal/dag"
+	"sparsefusion/internal/kernels"
+	"sparsefusion/internal/sparse"
+)
+
+// The fault-channel contract under test: a worker-body panic — whether an
+// out-of-bounds iteration from a corrupt schedule or a typed numerical
+// breakdown — must surface as an error from the executor, never as a hung
+// barrier or a crashed process, at any worker count, and the fixtures must
+// stay runnable afterwards.
+
+// watchdog runs fn and fails the test if it does not return within the
+// deadline — the symptom of a worker dying short of the barrier.
+func watchdog(t *testing.T, d time.Duration, fn func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		t.Fatalf("executor did not return within %v: barrier hang on worker fault", d)
+		return nil
+	}
+}
+
+var faultWorkerCounts = []int{1, 2, 4, 8}
+
+// corruptSchedule returns an ICO schedule for the combo with one iteration
+// index rewritten far out of the kernel's range, so the executor's dispatch
+// indexes out of bounds and panics inside a worker body.
+func corruptTrsvMv(t *testing.T, th int) (*core.Schedule, []kernels.Kernel) {
+	t.Helper()
+	loops, ks, _ := fusedTrsvMv(300, int64(th))
+	p := icoParams()
+	p.Threads = th
+	sched, err := core.ICO(loops, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the last s-partition so earlier rounds run normally first: the
+	// fault must propagate through barriers that have already succeeded.
+	sp := sched.S[len(sched.S)-1]
+	wp := sp[len(sp)-1]
+	wp[len(wp)-1].Idx = 1 << 20 // far beyond the 300-row fixture
+	return sched, ks
+}
+
+func TestLegacyExecutorSurvivesCorruptSchedule(t *testing.T) {
+	for _, th := range faultWorkerCounts {
+		sched, ks := corruptTrsvMv(t, th)
+		err := watchdog(t, 10*time.Second, func() error {
+			_, err := RunFusedLegacy(ks, sched, th)
+			return err
+		})
+		if err == nil {
+			t.Fatalf("threads=%d: corrupt schedule executed without error", th)
+		}
+		var ee *ExecError
+		if !errors.As(err, &ee) {
+			t.Fatalf("threads=%d: error %T is not *ExecError: %v", th, err, err)
+		}
+		if ee.Breakdown() != nil {
+			t.Fatalf("threads=%d: out-of-bounds fault misreported as breakdown", th)
+		}
+		if len(ee.Stack) == 0 {
+			t.Fatalf("threads=%d: fault carries no stack", th)
+		}
+	}
+}
+
+func TestCompiledExecutorSurvivesCorruptProgram(t *testing.T) {
+	for _, th := range faultWorkerCounts {
+		loops, ks, _ := fusedTrsvMv(300, int64(th))
+		p := icoParams()
+		p.Threads = th
+		sched, err := core.ICO(loops, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := CompileFused(ks, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := r.Program()
+		last := len(prog.Iters) - 1
+		saved := prog.Iters[last]
+		prog.Iters[last] = kernels.PackIter(0, 1<<20)
+		err = watchdog(t, 10*time.Second, func() error {
+			_, err := r.Run(th)
+			return err
+		})
+		if err == nil {
+			t.Fatalf("threads=%d: corrupt program executed without error", th)
+		}
+		var ee *ExecError
+		if !errors.As(err, &ee) {
+			t.Fatalf("threads=%d: error %T is not *ExecError: %v", th, err, err)
+		}
+		if ee.WPartition < 0 {
+			t.Fatalf("threads=%d: compiled path lost the w-partition attribution", th)
+		}
+
+		// The Runner must be re-armed: restoring the program makes the same
+		// Runner produce a clean run again.
+		prog.Iters[last] = saved
+		if _, err := r.Run(th); err != nil {
+			t.Fatalf("threads=%d: runner unusable after fault: %v", th, err)
+		}
+	}
+}
+
+func TestFaultAbandonsRemainingRounds(t *testing.T) {
+	// Corrupt the FIRST s-partition; iterations of later rounds must not run.
+	loops, ks, _ := fusedTrsvTrsv(300, 5)
+	p := icoParams()
+	sched, err := core.ICO(loops, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.S) < 2 {
+		t.Skip("schedule has a single s-partition")
+	}
+	sched.S[0][0][0].Idx = 1 << 20
+	st, err := RunFusedLegacy(ks, sched, threads)
+	if err == nil {
+		t.Fatal("corrupt first round executed without error")
+	}
+	if st.Barriers != 1 {
+		t.Fatalf("executor ran %d barriers after a first-round fault, want 1", st.Barriers)
+	}
+	_ = loops
+}
+
+func TestBreakdownSurfacesThroughParallelExecutor(t *testing.T) {
+	// A zero diagonal makes SpTRSV breakdown; through the fused executor the
+	// error must arrive as *ExecError wrapping the *kernels.BreakdownError.
+	a := sparse.Must(sparse.RandomSPD(200, 4, 77))
+	l := a.Lower()
+	// Zero a late diagonal so several rounds complete first.
+	row := 190
+	for p := l.P[row]; p < l.P[row+1]; p++ {
+		if l.I[p] == row {
+			l.X[p] = 0
+		}
+	}
+	b := sparse.RandomVec(200, 3)
+	x := make([]float64, 200)
+	k := kernels.NewSpTRSVCSR(l, b, x)
+	loops := &core.Loops{G: []*dag.Graph{k.DAG()}}
+	sched, err := core.ICO(loops, icoParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range faultWorkerCounts {
+		err := watchdog(t, 10*time.Second, func() error {
+			_, err := RunFusedLegacy([]kernels.Kernel{k}, sched, th)
+			return err
+		})
+		if err == nil {
+			t.Fatalf("threads=%d: zero-diagonal TRSV ran without error", th)
+		}
+		var bd *kernels.BreakdownError
+		if !errors.As(err, &bd) {
+			t.Fatalf("threads=%d: error does not unwrap to BreakdownError: %v", th, err)
+		}
+		if bd.Row != row {
+			t.Fatalf("threads=%d: breakdown at row %d, want %d", th, bd.Row, row)
+		}
+		var ee *ExecError
+		if !errors.As(err, &ee) {
+			t.Fatalf("threads=%d: breakdown not carried by *ExecError: %v", th, err)
+		}
+	}
+}

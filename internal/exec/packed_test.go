@@ -28,7 +28,7 @@ func TestPackedMatchesLegacyBitIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
-			stL := RunFusedLegacy(ks, sched, 1)
+			stL := mustRun(RunFusedLegacy(ks, sched, 1))
 			legacy := snap()
 			r, lay, err := CompileFusedPacked(ks, sched)
 			if err != nil {
@@ -40,7 +40,7 @@ func TestPackedMatchesLegacyBitIdentical(t *testing.T) {
 			if lay.Words() == 0 {
 				t.Fatalf("%s: empty layout", name)
 			}
-			stP := r.Run(1)
+			stP := mustRun(r.Run(1))
 			packed := snap()
 			for i := range legacy {
 				if packed[i] != legacy[i] {
@@ -82,14 +82,14 @@ func TestPackedMatchesLegacyParallel(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
-			stL := RunFusedLegacy(ks, sched, threads)
+			stL := mustRun(RunFusedLegacy(ks, sched, threads))
 			legacy := snap()
 			r, _, err := CompileFusedPacked(ks, sched)
 			if err != nil {
 				t.Fatalf("%s: compile packed: %v", name, err)
 			}
 			for rep := 0; rep < 3; rep++ {
-				stP := r.Run(threads)
+				stP := mustRun(r.Run(threads))
 				if e := sparse.RelErr(snap(), legacy); e > 1e-9 {
 					t.Fatalf("%s reuse %v rep %d: packed diverges from legacy by %v", name, reuse, rep, e)
 				}

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,13 @@ type pool struct {
 	// atomic store to word and stable until every participant has arrived.
 	body func(int)
 	durs []time.Duration
+
+	// fault holds the first panic recovered from a worker body this run.
+	// Every body call goes through invoke, which recovers into this pointer
+	// and lets the worker arrive at the barrier normally, so a panicking
+	// body can never leave the caller spinning in awaitArrived. Executors
+	// collect it with takeFault after each round.
+	fault atomic.Pointer[workerFault]
 
 	park []parkSlot // slot 0 is the caller, slots 1.. the workers
 	wg   sync.WaitGroup
@@ -93,8 +101,9 @@ func (p *pool) run(parts int, body func(w int), durs []time.Duration) {
 		panic(fmt.Sprintf("exec: pool.run called with %d parts on a pool of %d workers", parts, p.workers))
 	}
 	if parts == 1 {
+		p.body = body
 		t0 := time.Now()
-		body(0)
+		p.invoke(0)
 		durs[0] = time.Since(t0)
 		return
 	}
@@ -107,9 +116,33 @@ func (p *pool) run(parts int, body func(w int), durs []time.Duration) {
 		p.release(w)
 	}
 	t0 := time.Now()
-	body(0)
+	p.invoke(0)
 	durs[0] = time.Since(t0)
 	p.awaitArrived(int32(parts - 1))
+}
+
+// invoke runs the current round's body for worker slot w under a recover
+// shield: any panic is recorded as the run's fault (first writer wins) and
+// the call returns normally, so the slot still arrives at the barrier and no
+// goroutine — caller or worker — can hang on a panicking body.
+func (p *pool) invoke(w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.fault.CompareAndSwap(nil, &workerFault{worker: w, recovered: r, stack: debug.Stack()})
+		}
+	}()
+	p.body(w)
+}
+
+// takeFault returns the fault recorded since the last call (nil if none) and
+// re-arms the channel so the pool — and the Runner holding it — stays usable
+// for subsequent runs.
+func (p *pool) takeFault() *workerFault {
+	f := p.fault.Load()
+	if f != nil {
+		p.fault.Store(nil)
+	}
+	return f
 }
 
 // close stops the workers and waits for them to exit.
@@ -143,7 +176,7 @@ func (p *pool) worker(w int) {
 			continue // idle this round; the width came from the same word
 		}
 		t0 := time.Now()
-		p.body(w)
+		p.invoke(w)
 		p.durs[w] = time.Since(t0)
 		if p.arrived.Add(1) == int32(parts-1) {
 			p.release(0) // last arriver wakes the caller if it parked

@@ -19,8 +19,10 @@ type Span struct {
 }
 
 // RunFusedTraced executes like RunFused while recording one Span per
-// w-partition, for schedule visualization (cmd/spfuse -trace).
-func RunFusedTraced(ks []kernels.Kernel, sched *core.Schedule, threads int) (Stats, []Span) {
+// w-partition, for schedule visualization (cmd/spfuse -trace). On a worker
+// fault the spans recorded so far are returned alongside the error — the
+// partial timeline is exactly what explains the fault.
+func RunFusedTraced(ks []kernels.Kernel, sched *core.Schedule, threads int) (Stats, []Span, error) {
 	parallel := threads > 1 && sched.MaxWidth() > 1
 	setAtomics(ks, parallel)
 	defer setAtomics(ks, false)
@@ -48,9 +50,13 @@ func RunFusedTraced(ks []kernels.Kernel, sched *core.Schedule, threads int) (Sta
 				Start: starts[w], Duration: durs[w], Iters: len(sp[w]),
 			})
 		}
+		if f := pl.takeFault(); f != nil {
+			st.Elapsed = time.Since(t0)
+			return st, spans, f.execError(si, -1)
+		}
 	}
 	st.Elapsed = time.Since(t0)
-	return st, spans
+	return st, spans, nil
 }
 
 // WriteChromeTrace emits the spans in the Chrome trace-event format

@@ -200,9 +200,13 @@ func RunFig6(a *sparse.CSR, threads int) ([]Fig6Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		gainSF := medianGain(func() time.Duration {
-			return exec.RunFused(in.Kernels, sched, threads).PotentialGain
+		gainSF, err := medianGain(func() (time.Duration, error) {
+			st, err := exec.RunFused(in.Kernels, sched, threads)
+			return st.PotentialGain, err
 		})
+		if err != nil {
+			return nil, err
+		}
 
 		// Unfused ParSy: LBC per kernel.
 		var ps []*partition.Partitioning
@@ -217,9 +221,13 @@ func RunFig6(a *sparse.CSR, threads int) ([]Fig6Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		gainPS := medianGain(func() time.Duration {
-			return exec.RunChain(in.Kernels, ps, threads).PotentialGain
+		gainPS, err := medianGain(func() (time.Duration, error) {
+			st, err := exec.RunChain(in.Kernels, ps, threads)
+			return st.PotentialGain, err
 		})
+		if err != nil {
+			return nil, err
+		}
 
 		// Fused LBC on the joint DAG.
 		joint, err := in.JointGraph()
@@ -234,9 +242,13 @@ func RunFig6(a *sparse.CSR, threads int) ([]Fig6Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		gainJL := medianGain(func() time.Duration {
-			return exec.RunJoint(in.Kernels[0], in.Kernels[1], jp, threads).PotentialGain
+		gainJL, err := medianGain(func() (time.Duration, error) {
+			st, err := exec.RunJoint(in.Kernels[0], in.Kernels[1], jp, threads)
+			return st.PotentialGain, err
 		})
+		if err != nil {
+			return nil, err
+		}
 
 		base := latPS.AvgLatency()
 		gBase := gainPS
@@ -268,14 +280,18 @@ func RunFig6(a *sparse.CSR, threads int) ([]Fig6Row, error) {
 }
 
 // medianGain reduces scheduler noise in the potential-gain measurement by
-// taking the median of five runs.
-func medianGain(run func() time.Duration) time.Duration {
+// taking the median of five runs; the first executor error aborts.
+func medianGain(run func() (time.Duration, error)) (time.Duration, error) {
 	var ds []time.Duration
 	for i := 0; i < 5; i++ {
-		ds = append(ds, run())
+		d, err := run()
+		if err != nil {
+			return 0, err
+		}
+		ds = append(ds, d)
 	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
-	return ds[2]
+	return ds[2], nil
 }
 
 // ---------------------------------------------------------------- figure 7
@@ -300,7 +316,10 @@ func RunFig7(entries []suite.Entry, threads int) ([]Fig7Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			baseline := in.RunSequential()
+			baseline, err := in.RunSequential()
+			if err != nil {
+				return nil, err
+			}
 			impls := []*combos.Impl{
 				in.SparseFusion(threads, PaperLBC()),
 				in.UnfusedParSy(threads, PaperLBC()),

@@ -15,13 +15,13 @@ const threads = 4
 // tiny is a fast suite for the figure harness tests.
 func tiny() []suite.Entry {
 	return []suite.Entry{
-		{Name: "lap2d-24", Gen: func() *sparse.CSR { return sparse.Laplacian2D(24) }},
-		{Name: "rand-800", Gen: func() *sparse.CSR { return sparse.RandomSPD(800, 6, 9) }},
+		{Name: "lap2d-24", Gen: func() *sparse.CSR { return sparse.Must(sparse.Laplacian2D(24)) }},
+		{Name: "rand-800", Gen: func() *sparse.CSR { return sparse.Must(sparse.RandomSPD(800, 6, 9)) }},
 	}
 }
 
 func TestFig1Shape(t *testing.T) {
-	f, err := RunFig1(sparse.Laplacian3D(10))
+	f, err := RunFig1(sparse.Must(sparse.Laplacian3D(10)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestFig5Complete(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
-	rows, err := RunFig6(sparse.Laplacian2D(40), threads)
+	rows, err := RunFig6(sparse.Must(sparse.Laplacian2D(40)), threads)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestFig7InspectionOrdering(t *testing.T) {
 	// inspector (one DAG partitioned at a time) is cheaper than fused-LBC's
 	// (joint DAG + chordalization). NER itself needs executor wins that only
 	// appear at the paper's matrix sizes, so compare inspection directly.
-	a := sparse.RandomSPD(8000, 8, 17)
+	a := sparse.Must(sparse.RandomSPD(8000, 8, 17))
 	in, err := combos.Build(combos.TrsvMv, a)
 	if err != nil {
 		t.Fatal(err)
@@ -177,7 +177,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestTable1Classification(t *testing.T) {
-	rows, err := RunTable1(sparse.RandomSPD(500, 6, 3))
+	rows, err := RunTable1(sparse.Must(sparse.RandomSPD(500, 6, 3)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestTable1Classification(t *testing.T) {
 }
 
 func TestRunGSUnknownVariant(t *testing.T) {
-	if _, _, err := runGS(sparse.Laplacian2D(5), 2, 1e-6, 10, 1, "bogus"); err == nil {
+	if _, _, err := runGS(sparse.Must(sparse.Laplacian2D(5)), 2, 1e-6, 10, 1, "bogus"); err == nil {
 		t.Fatal("unknown variant accepted")
 	}
 }

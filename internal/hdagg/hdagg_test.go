@@ -10,7 +10,7 @@ import (
 )
 
 func triangularDAG(seed int64, n, deg int) *dag.Graph {
-	a := sparse.RandomSPD(n, deg, seed)
+	a := sparse.Must(sparse.RandomSPD(n, deg, seed))
 	return dag.FromLowerCSR(a.Lower())
 }
 
@@ -31,7 +31,7 @@ func TestScheduleValidProperty(t *testing.T) {
 func TestScheduleCoversAndBounds(t *testing.T) {
 	for _, mk := range []func() *dag.Graph{
 		func() *dag.Graph { return triangularDAG(1, 400, 6) },
-		func() *dag.Graph { return dag.FromLowerCSR(sparse.Laplacian2D(25).Lower()) },
+		func() *dag.Graph { return dag.FromLowerCSR(sparse.Must(sparse.Laplacian2D(25)).Lower()) },
 		func() *dag.Graph { return dag.Parallel(200, nil) },
 	} {
 		g := mk()

@@ -18,7 +18,7 @@ import (
 // so they rightly count as one allocation, not workspace.
 func TestConstructorAllocsBounded(t *testing.T) {
 	const n = 2000
-	a := sparse.RandomSPD(n, 8, 5)
+	a := sparse.Must(sparse.RandomSPD(n, 8, 5))
 	l := a.Lower()
 	lc := l.ToCSC()
 	ac := a.ToCSC()
@@ -64,18 +64,18 @@ func benchConstructor(b *testing.B, f func()) {
 }
 
 func BenchmarkNewSpIC0CSC(b *testing.B) {
-	a := sparse.RandomSPD(20000, 8, 5)
+	a := sparse.Must(sparse.RandomSPD(20000, 8, 5))
 	lc := a.Lower().ToCSC()
 	benchConstructor(b, func() { NewSpIC0CSC(lc) })
 }
 
 func BenchmarkNewSpILU0CSR(b *testing.B) {
-	a := sparse.RandomSPD(20000, 8, 5)
+	a := sparse.Must(sparse.RandomSPD(20000, 8, 5))
 	benchConstructor(b, func() { NewSpILU0CSR(a) })
 }
 
 func BenchmarkNewSpTRSVCSC(b *testing.B) {
-	a := sparse.RandomSPD(20000, 8, 5)
+	a := sparse.Must(sparse.RandomSPD(20000, 8, 5))
 	lc := a.Lower().ToCSC()
 	b1 := sparse.RandomVec(20000, 6)
 	x := make([]float64, 20000)

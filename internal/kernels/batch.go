@@ -200,7 +200,11 @@ func (k *SpTRSVCSR) RunMany(iters []int32) {
 		for p := l.P[i]; p < end; p++ {
 			xi -= l.X[p] * k.X[l.I[p]]
 		}
-		k.X[i] = xi / l.X[end]
+		d := l.X[end]
+		if d == 0 {
+			breakdown(k.Name(), i, "zero diagonal")
+		}
+		k.X[i] = xi / d
 	}
 }
 
@@ -212,7 +216,11 @@ func (k *SpTRSVCSC) RunMany(iters []int32) {
 		for _, v := range iters {
 			j := int(v & IterMask)
 			p := l.P[j]
-			xj := (k.B[j] + k.X[j]) / l.X[p]
+			d := l.X[p]
+			if d == 0 {
+				breakdown(k.Name(), j, "zero diagonal")
+			}
+			xj := (k.B[j] + k.X[j]) / d
 			k.X[j] = xj
 			for p++; p < l.P[j+1]; p++ {
 				atomicf.Add(&k.X[l.I[p]], -l.X[p]*xj)
@@ -223,7 +231,11 @@ func (k *SpTRSVCSC) RunMany(iters []int32) {
 	for _, v := range iters {
 		j := int(v & IterMask)
 		p := l.P[j]
-		xj := (k.B[j] + k.X[j]) / l.X[p]
+		d := l.X[p]
+		if d == 0 {
+			breakdown(k.Name(), j, "zero diagonal")
+		}
+		xj := (k.B[j] + k.X[j]) / d
 		k.X[j] = xj
 		for p++; p < l.P[j+1]; p++ {
 			k.X[l.I[p]] -= l.X[p] * xj
@@ -239,6 +251,9 @@ func (k *SpTRSVTransCSC) RunMany(iters []int32) {
 		j := l.Cols - 1 - it
 		p := l.P[j]
 		diag := l.X[p]
+		if diag == 0 {
+			breakdown(k.Name(), it, "zero diagonal in column %d", j)
+		}
 		xj := k.B[j]
 		for p++; p < l.P[j+1]; p++ {
 			xj -= l.X[p] * k.X[l.I[p]]
@@ -260,6 +275,9 @@ func (k *SpTRSVUnitLowerCSR) RunMany(iters []int32) {
 			}
 			xi -= lu.X[p] * k.X[j]
 		}
+		if xi-xi != 0 {
+			breakdown(k.Name(), i, "non-finite solution %v", xi)
+		}
 		k.X[i] = xi
 	}
 }
@@ -270,6 +288,9 @@ func (k *DScalCSR) RunMany(iters []int32) {
 	for _, v := range iters {
 		i := int(v & IterMask)
 		di := k.D[i]
+		if di-di != 0 {
+			breakdown(k.Name(), i, "non-finite scale %v", di)
+		}
 		for p := a.P[i]; p < a.P[i+1]; p++ {
 			k.Out.X[p] = di * a.X[p] * k.D[a.I[p]]
 		}
@@ -282,6 +303,9 @@ func (k *DScalCSC) RunMany(iters []int32) {
 	for _, v := range iters {
 		j := int(v & IterMask)
 		dj := k.D[j]
+		if dj-dj != 0 {
+			breakdown(k.Name(), j, "non-finite scale %v", dj)
+		}
 		for p := a.P[j]; p < a.P[j+1]; p++ {
 			k.Out.X[p] = k.D[a.I[p]] * a.X[p] * dj
 		}

@@ -31,7 +31,7 @@ func TestPackIterRoundTrip(t *testing.T) {
 // bit-identical results against the per-iteration Run path in the same order.
 func TestRunManyMatchesRun(t *testing.T) {
 	const n = 200
-	a := sparse.RandomSPD(n, 5, 31)
+	a := sparse.Must(sparse.RandomSPD(n, 5, 31))
 	l := a.Lower()
 	lc := l.ToCSC()
 	ac := a.ToCSC()
@@ -111,7 +111,7 @@ func TestRunManyMatchesRun(t *testing.T) {
 // and asserts bit-identical results against running the kernels back to back.
 func TestFusePair(t *testing.T) {
 	const n = 150
-	a := sparse.RandomSPD(n, 4, 33)
+	a := sparse.Must(sparse.RandomSPD(n, 4, 33))
 	l := a.Lower()
 	lc := l.ToCSC()
 	ac := a.ToCSC()

@@ -1,0 +1,51 @@
+package kernels
+
+import "fmt"
+
+// Numerical breakdown reporting. A kernel body that hits a state it cannot
+// compute through — a non-positive pivot in IC0, a zero pivot in ILU0, a zero
+// diagonal in a triangular solve, a non-finite scaling factor in DSCAL —
+// must not keep going: the NaN/Inf it would produce propagates silently
+// through every downstream kernel and surfaces, if at all, as a corrupted
+// solver residual long after the cause is gone.
+//
+// Kernel bodies have no error return (Run/RunMany/RunManyPacked are the
+// executor's hot path), so a breakdown is reported by panicking with a typed
+// *BreakdownError. The panic travels the same fault channel as any other
+// worker panic: the executor pool's recover captures it, the round still
+// reaches its barrier, and the executor surfaces it as an *exec.ExecError
+// whose Unwrap yields the BreakdownError. Sequential drivers (RunSeq)
+// recover it directly. Either way the caller sees a typed error identifying
+// the kernel and the row that broke down instead of a poisoned result.
+
+// BreakdownError reports a numerical breakdown inside a kernel body.
+type BreakdownError struct {
+	// Kernel is the kernel's Name(), e.g. "SpIC0-CSC".
+	Kernel string
+	// Row is the outer-loop iteration (matrix row or column) that broke down.
+	Row int
+	// Reason describes the breakdown, e.g. "non-positive pivot 0".
+	Reason string
+}
+
+func (e *BreakdownError) Error() string {
+	return fmt.Sprintf("kernels: %s breakdown at row %d: %s", e.Kernel, e.Row, e.Reason)
+}
+
+// breakdown raises a typed breakdown through the panic fault channel.
+func breakdown(kernel string, row int, format string, args ...any) {
+	panic(&BreakdownError{Kernel: kernel, Row: row, Reason: fmt.Sprintf(format, args...)})
+}
+
+// RecoverBreakdown converts a recover() value into its *BreakdownError, or
+// re-panics when the value is any other fault: sequential drivers only want
+// to absorb typed breakdowns, not real bugs.
+func RecoverBreakdown(r any) *BreakdownError {
+	if r == nil {
+		return nil
+	}
+	if be, ok := r.(*BreakdownError); ok {
+		return be
+	}
+	panic(r)
+}

@@ -1,0 +1,188 @@
+package kernels
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"sparsefusion/internal/sparse"
+)
+
+// Breakdown guards under test: every kernel that can hit an uncomputable
+// state must raise a typed *BreakdownError naming the kernel and row, through
+// both the per-iteration Run path (via RunSeq) and the batch RunMany path the
+// compiled executor dispatches through.
+
+// lowerCSC builds a lower-triangular CSC from explicit triplets.
+func lowerCSC(t *testing.T, n int, ts []sparse.Triplet) *sparse.CSC {
+	t.Helper()
+	a, err := sparse.FromTriplets(n, n, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.ToCSC()
+}
+
+func zeroDiagLower(t *testing.T, n, row int) *sparse.CSR {
+	t.Helper()
+	a := Must(sparse.RandomSPD(n, 3, 11)).Lower()
+	zeroed := false
+	for p := a.P[row]; p < a.P[row+1]; p++ {
+		if a.I[p] == row {
+			a.X[p] = 0
+			zeroed = true
+		}
+	}
+	if !zeroed {
+		t.Fatalf("row %d has no stored diagonal", row)
+	}
+	return a
+}
+
+// Must re-exports sparse.Must under a shorter name for this file.
+func Must(a *sparse.CSR, err error) *sparse.CSR { return sparse.Must(a, err) }
+
+func wantBreakdown(t *testing.T, err error, kernel string, row int) *BreakdownError {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: expected breakdown, got nil error", kernel)
+	}
+	var b *BreakdownError
+	if !errors.As(err, &b) {
+		t.Fatalf("%s: error %T is not a BreakdownError: %v", kernel, err, err)
+	}
+	if b.Kernel != kernel {
+		t.Fatalf("breakdown names kernel %q, want %q", b.Kernel, kernel)
+	}
+	if row >= 0 && b.Row != row {
+		t.Fatalf("%s: breakdown at row %d, want %d", kernel, b.Row, row)
+	}
+	if !strings.Contains(b.Error(), kernel) {
+		t.Fatalf("%s: message %q does not name the kernel", kernel, b.Error())
+	}
+	return b
+}
+
+func TestTRSVZeroDiagonalBreakdown(t *testing.T) {
+	const n, row = 50, 37
+	l := zeroDiagLower(t, n, row)
+	b := sparse.RandomVec(n, 1)
+
+	k := NewSpTRSVCSR(l, b, make([]float64, n))
+	wantBreakdown(t, RunSeq(k), k.Name(), row)
+
+	kc := NewSpTRSVCSC(l.ToCSC(), b, make([]float64, n))
+	wantBreakdown(t, RunSeq(kc), kc.Name(), row)
+}
+
+func TestTRSVTransZeroDiagonalBreakdown(t *testing.T) {
+	const n, row = 50, 12
+	l := zeroDiagLower(t, n, row)
+	b := sparse.RandomVec(n, 2)
+	k := NewSpTRSVTransCSC(l.ToCSC(), b, make([]float64, n))
+	err := RunSeq(k)
+	bd := wantBreakdown(t, err, k.Name(), -1)
+	if !strings.Contains(bd.Reason, "zero diagonal") {
+		t.Fatalf("reason %q does not mention the zero diagonal", bd.Reason)
+	}
+}
+
+func TestIC0NonSPDBreakdown(t *testing.T) {
+	// [[1 2],[2 1]] is symmetric but indefinite: after l11 = 1, the second
+	// pivot is 1 - 2^2 < 0 and IC0 must refuse to take its square root.
+	lc := lowerCSC(t, 2, []sparse.Triplet{
+		{Row: 0, Col: 0, Val: 1},
+		{Row: 1, Col: 0, Val: 2},
+		{Row: 1, Col: 1, Val: 1},
+	})
+	k := NewSpIC0CSC(lc)
+	bd := wantBreakdown(t, RunSeq(k), k.Name(), 1)
+	if !strings.Contains(bd.Reason, "pivot") {
+		t.Fatalf("reason %q does not mention the pivot", bd.Reason)
+	}
+}
+
+func TestILU0ZeroPivotBreakdown(t *testing.T) {
+	// Full diagonal (so the constructor accepts it) with a zero pivot in the
+	// middle: elimination of row 2 divides by u11 = 0.
+	a, err := sparse.FromTriplets(3, 3, []sparse.Triplet{
+		{Row: 0, Col: 0, Val: 2},
+		{Row: 1, Col: 0, Val: 1},
+		{Row: 1, Col: 1, Val: 0},
+		{Row: 2, Col: 1, Val: 1},
+		{Row: 2, Col: 2, Val: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewSpILU0CSR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBreakdown(t, RunSeq(k), k.Name(), 2)
+}
+
+func TestILU0MissingDiagonalIsConstructorError(t *testing.T) {
+	a, err := sparse.FromTriplets(2, 2, []sparse.Triplet{
+		{Row: 0, Col: 0, Val: 1},
+		{Row: 1, Col: 0, Val: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSpILU0CSR(a); err == nil {
+		t.Fatal("ILU0 accepted a matrix with a structurally missing diagonal")
+	}
+}
+
+func TestDScalNonFiniteBreakdown(t *testing.T) {
+	a := Must(sparse.RandomSPD(20, 3, 5))
+	d := make([]float64, 20)
+	for i := range d {
+		d[i] = 1
+	}
+	d[13] = math.Inf(1)
+
+	k := NewDScalCSR(a, d, a.Clone())
+	wantBreakdown(t, RunSeq(k), k.Name(), 13)
+
+	kc := NewDScalCSC(a.ToCSC(), d, a.ToCSC())
+	wantBreakdown(t, RunSeq(kc), kc.Name(), 13)
+}
+
+func TestBreakdownThroughRunMany(t *testing.T) {
+	// The compiled executor dispatches through BatchRunner.RunMany; the guard
+	// must fire there too, not only in Run.
+	const n, row = 40, 25
+	l := zeroDiagLower(t, n, row)
+	b := sparse.RandomVec(n, 4)
+	k := NewSpTRSVCSR(l, b, make([]float64, n))
+	k.Prepare()
+	iters := make([]int32, n)
+	for i := range iters {
+		iters[i] = PackIter(0, i)
+	}
+	err := func() (err error) {
+		defer func() {
+			if bd := RecoverBreakdown(recover()); bd != nil {
+				err = bd
+			}
+		}()
+		k.RunMany(iters)
+		return nil
+	}()
+	wantBreakdown(t, err, k.Name(), row)
+}
+
+func TestRecoverBreakdownRepanicsOnForeignFault(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("RecoverBreakdown swallowed a non-breakdown panic")
+		}
+	}()
+	func() {
+		defer func() { RecoverBreakdown(recover()) }()
+		panic("real bug")
+	}()
+}

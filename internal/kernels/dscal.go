@@ -48,9 +48,14 @@ func (k *DScalCSR) DAG() *dag.Graph { return k.g }
 func (k *DScalCSR) Prepare() { copy(k.A.X, k.a0) }
 
 // Run scales row i: Out[i][j] = D[i]*A[i][j]*D[j].
+// A non-finite scale factor is a numerical breakdown: it would poison every
+// entry of the row (and, through the fused chain, whatever factors it next).
 func (k *DScalCSR) Run(i int) {
 	a := k.A
 	di := k.D[i]
+	if di-di != 0 {
+		breakdown(k.Name(), i, "non-finite scale %v", di)
+	}
 	for p := a.P[i]; p < a.P[i+1]; p++ {
 		k.Out.X[p] = di * a.X[p] * k.D[a.I[p]]
 	}
@@ -90,9 +95,13 @@ func (k *DScalCSC) DAG() *dag.Graph { return k.g }
 func (k *DScalCSC) Prepare() { copy(k.A.X, k.a0) }
 
 // Run scales column j: Out[i][j] = D[i]*A[i][j]*D[j].
+// A non-finite scale factor reports a typed breakdown, as in DScalCSR.
 func (k *DScalCSC) Run(j int) {
 	a := k.A
 	dj := k.D[j]
+	if dj-dj != 0 {
+		breakdown(k.Name(), j, "non-finite scale %v", dj)
+	}
 	for p := a.P[j]; p < a.P[j+1]; p++ {
 		k.Out.X[p] = k.D[a.I[p]] * a.X[p] * dj
 	}

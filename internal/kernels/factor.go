@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"fmt"
 	"math"
 
 	"sparsefusion/internal/dag"
@@ -130,7 +131,15 @@ func (k *SpIC0CSC) Run(j int) {
 			}
 		}
 	}
-	d := math.Sqrt(l.X[jStart])
+	dd := l.X[jStart]
+	// !(dd > 0) catches a zero, negative and NaN pivot in one compare; an
+	// infinite pivot is equally fatal (sqrt(+Inf) poisons the column). Any of
+	// them means the input was not SPD on this pattern: report a typed
+	// breakdown instead of letting NaN spread through the factor.
+	if !(dd > 0) || math.IsInf(dd, 0) {
+		breakdown(k.Name(), j, "non-positive pivot %v (matrix not SPD on this pattern?)", dd)
+	}
+	d := math.Sqrt(dd)
 	l.X[jStart] = d
 	for p := jStart + 1; p < jEnd; p++ {
 		l.X[p] /= d
@@ -172,12 +181,14 @@ type SpILU0CSR struct {
 	flops int64
 }
 
-// NewSpILU0CSR builds the kernel from a square matrix with a full diagonal.
-// The strictly-lower entries of A are exactly the dependence edges, so the
-// DAG comes from dag.FromLowerCSR directly (no edge list, no sort); the base
-// row-length weights it assigns are then augmented with the lengths of the
-// rows each iteration reads.
-func NewSpILU0CSR(a *sparse.CSR) *SpILU0CSR {
+// NewSpILU0CSR builds the kernel from a square matrix with a full diagonal;
+// a missing diagonal entry is reported as an error rather than a panic (the
+// matrix is caller input, not a programming invariant). The strictly-lower
+// entries of A are exactly the dependence edges, so the DAG comes from
+// dag.FromLowerCSR directly (no edge list, no sort); the base row-length
+// weights it assigns are then augmented with the lengths of the rows each
+// iteration reads.
+func NewSpILU0CSR(a *sparse.CSR) (*SpILU0CSR, error) {
 	n := a.Rows
 	k := &SpILU0CSR{A: a, A0: append([]float64(nil), a.X...), diag: make([]int, n)}
 	g := dag.FromLowerCSR(a)
@@ -193,12 +204,12 @@ func NewSpILU0CSR(a *sparse.CSR) *SpILU0CSR {
 			}
 		}
 		if k.diag[i] < 0 {
-			panic("kernels: SpILU0 requires a full diagonal")
+			return nil, fmt.Errorf("kernels: SpILU0 requires a full diagonal, row %d has none", i)
 		}
 	}
 	k.g = g
 	k.flops = k.countFlops()
-	return k
+	return k, nil
 }
 
 func (k *SpILU0CSR) Name() string    { return "SpILU0-CSR" }
@@ -226,6 +237,11 @@ func (k *SpILU0CSR) Run(i int) {
 	for p := a.P[i]; p < iEnd && a.I[p] < i; p++ {
 		kk := a.I[p]
 		pivot := a.X[k.diag[kk]]
+		// pivot-pivot != 0 catches Inf and NaN in one compare alongside the
+		// zero check: a dead pivot is a breakdown, not a silent Inf row.
+		if pivot == 0 || pivot-pivot != 0 {
+			breakdown(k.Name(), i, "unusable pivot %v at column %d", pivot, kk)
+		}
 		lik := a.X[p] / pivot
 		a.X[p] = lik
 		if lik == 0 {

@@ -70,13 +70,21 @@ type Kernel interface {
 
 // RunSeq executes a kernel sequentially in iteration order (the baseline
 // order; valid because every DAG in this package has edges from lower to
-// higher iteration indices).
-func RunSeq(k Kernel) {
+// higher iteration indices). A numerical breakdown inside the kernel body
+// (see BreakdownError) is recovered and returned as an error; any other
+// panic propagates unchanged.
+func RunSeq(k Kernel) (err error) {
+	defer func() {
+		if b := RecoverBreakdown(recover()); b != nil {
+			err = b
+		}
+	}()
 	k.Prepare()
 	n := k.Iterations()
 	for i := 0; i < n; i++ {
 		k.Run(i)
 	}
+	return nil
 }
 
 // TotalSize sums the footprint sizes of a kernel.

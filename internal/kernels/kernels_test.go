@@ -69,7 +69,7 @@ func denseLowerSolve(l *sparse.CSR, b []float64) []float64 {
 
 func TestSpMVCSRMatchesDense(t *testing.T) {
 	f := func(seed int64) bool {
-		a := sparse.RandomSPD(60, 5, seed)
+		a := sparse.Must(sparse.RandomSPD(60, 5, seed))
 		x := sparse.RandomVec(60, seed+1)
 		y := make([]float64, 60)
 		k := NewSpMVCSR(a, x, y)
@@ -82,7 +82,7 @@ func TestSpMVCSRMatchesDense(t *testing.T) {
 }
 
 func TestSpMVCSCMatchesCSR(t *testing.T) {
-	a := sparse.RandomSPD(80, 6, 3)
+	a := sparse.Must(sparse.RandomSPD(80, 6, 3))
 	x := sparse.RandomVec(80, 4)
 	y1, y2 := make([]float64, 80), make([]float64, 80)
 	RunSeq(NewSpMVCSR(a, x, y1))
@@ -93,7 +93,7 @@ func TestSpMVCSCMatchesCSR(t *testing.T) {
 }
 
 func TestSpMVCSCAtomicSameResult(t *testing.T) {
-	a := sparse.RandomSPD(50, 4, 9)
+	a := sparse.Must(sparse.RandomSPD(50, 4, 9))
 	x := sparse.RandomVec(50, 10)
 	y1, y2 := make([]float64, 50), make([]float64, 50)
 	k1 := NewSpMVCSC(a.ToCSC(), x, y1)
@@ -107,7 +107,7 @@ func TestSpMVCSCAtomicSameResult(t *testing.T) {
 }
 
 func TestSpMVPlusCSR(t *testing.T) {
-	a := sparse.RandomSPD(40, 4, 7)
+	a := sparse.Must(sparse.RandomSPD(40, 4, 7))
 	x, b := sparse.RandomVec(40, 1), sparse.RandomVec(40, 2)
 	y := make([]float64, 40)
 	RunSeq(NewSpMVPlusCSR(a, x, b, y))
@@ -120,7 +120,7 @@ func TestSpMVPlusCSR(t *testing.T) {
 
 func TestSpTRSVCSRMatchesDense(t *testing.T) {
 	f := func(seed int64) bool {
-		a := sparse.RandomSPD(70, 5, seed)
+		a := sparse.Must(sparse.RandomSPD(70, 5, seed))
 		l := a.Lower()
 		b := sparse.RandomVec(70, seed+2)
 		x := make([]float64, 70)
@@ -134,7 +134,7 @@ func TestSpTRSVCSRMatchesDense(t *testing.T) {
 }
 
 func TestSpTRSVCSRShuffledOrder(t *testing.T) {
-	a := sparse.RandomSPD(90, 5, 5)
+	a := sparse.Must(sparse.RandomSPD(90, 5, 5))
 	l := a.Lower()
 	b := sparse.RandomVec(90, 6)
 	x := make([]float64, 90)
@@ -149,7 +149,7 @@ func TestSpTRSVCSRShuffledOrder(t *testing.T) {
 }
 
 func TestSpTRSVCSCMatchesCSR(t *testing.T) {
-	a := sparse.RandomSPD(75, 5, 11)
+	a := sparse.Must(sparse.RandomSPD(75, 5, 11))
 	l := a.Lower()
 	b := sparse.RandomVec(75, 12)
 	x1, x2 := make([]float64, 75), make([]float64, 75)
@@ -171,7 +171,7 @@ func TestSpTRSVCSCMatchesCSR(t *testing.T) {
 
 func TestSpTRSVRoundTrip(t *testing.T) {
 	// Solve L x = L*ones: x must be ones.
-	a := sparse.RandomSPD(100, 6, 13)
+	a := sparse.Must(sparse.RandomSPD(100, 6, 13))
 	l := a.Lower()
 	ones := sparse.Ones(100)
 	b := make([]float64, 100)
@@ -208,14 +208,14 @@ func checkIC0(t *testing.T, a *sparse.CSR, l *sparse.CSC) {
 }
 
 func TestSpIC0Property(t *testing.T) {
-	a := sparse.RandomSPD(60, 4, 21)
+	a := sparse.Must(sparse.RandomSPD(60, 4, 21))
 	k := NewSpIC0CSC(a.Lower().ToCSC())
 	RunSeq(k)
 	checkIC0(t, a, k.L)
 }
 
 func TestSpIC0ShuffledOrder(t *testing.T) {
-	a := sparse.RandomSPD(50, 4, 23)
+	a := sparse.Must(sparse.RandomSPD(50, 4, 23))
 	k := NewSpIC0CSC(a.Lower().ToCSC())
 	for seed := int64(0); seed < 4; seed++ {
 		runTopoShuffled(t, k, seed)
@@ -224,7 +224,7 @@ func TestSpIC0ShuffledOrder(t *testing.T) {
 }
 
 func TestSpIC0OnLaplacian(t *testing.T) {
-	a := sparse.Laplacian2D(8)
+	a := sparse.Must(sparse.Laplacian2D(8))
 	k := NewSpIC0CSC(a.Lower().ToCSC())
 	RunSeq(k)
 	checkIC0(t, a, k.L)
@@ -281,17 +281,17 @@ func checkILU0(t *testing.T, a0 []float64, k *SpILU0CSR) {
 }
 
 func TestSpILU0Property(t *testing.T) {
-	a := sparse.RandomSPD(60, 4, 31)
+	a := sparse.Must(sparse.RandomSPD(60, 4, 31))
 	a0 := append([]float64(nil), a.X...)
-	k := NewSpILU0CSR(a)
+	k := mustILU0(a)
 	RunSeq(k)
 	checkILU0(t, a0, k)
 }
 
 func TestSpILU0ShuffledOrder(t *testing.T) {
-	a := sparse.RandomSPD(45, 4, 33)
+	a := sparse.Must(sparse.RandomSPD(45, 4, 33))
 	a0 := append([]float64(nil), a.X...)
-	k := NewSpILU0CSR(a)
+	k := mustILU0(a)
 	for seed := int64(0); seed < 4; seed++ {
 		runTopoShuffled(t, k, seed)
 		checkILU0(t, a0, k)
@@ -301,8 +301,8 @@ func TestSpILU0ShuffledOrder(t *testing.T) {
 func TestSpILU0SplitSolves(t *testing.T) {
 	// ILU0 of a diagonally dominant matrix approximates A well enough that
 	// solving L U x = b approximately solves A x = b.
-	a := sparse.RandomSPD(80, 3, 35)
-	k := NewSpILU0CSR(a.Clone())
+	a := sparse.Must(sparse.RandomSPD(80, 3, 35))
+	k := mustILU0(a.Clone())
 	RunSeq(k)
 	l, u := k.SplitILU()
 	if !l.IsLowerTriangular() {
@@ -327,7 +327,7 @@ func TestSpILU0SplitSolves(t *testing.T) {
 }
 
 func TestDScalCSR(t *testing.T) {
-	a := sparse.RandomSPD(50, 5, 41)
+	a := sparse.Must(sparse.RandomSPD(50, 5, 41))
 	d := JacobiScaling(a)
 	out := a.Clone()
 	k := NewDScalCSR(a, d, out)
@@ -350,7 +350,7 @@ func TestDScalCSR(t *testing.T) {
 }
 
 func TestDScalCSCMatchesCSR(t *testing.T) {
-	a := sparse.RandomSPD(40, 4, 43)
+	a := sparse.Must(sparse.RandomSPD(40, 4, 43))
 	d := JacobiScaling(a)
 	outR := a.Clone()
 	RunSeq(NewDScalCSR(a, d, outR))
@@ -366,7 +366,7 @@ func TestDScalCSCMatchesCSR(t *testing.T) {
 }
 
 func TestDScalInPlaceReplay(t *testing.T) {
-	a := sparse.RandomSPD(30, 4, 45)
+	a := sparse.Must(sparse.RandomSPD(30, 4, 45))
 	want := append([]float64(nil), a.X...)
 	d := JacobiScaling(a)
 	k := NewDScalCSR(a, d, a) // in place
@@ -388,7 +388,7 @@ func TestDScalInPlaceReplay(t *testing.T) {
 }
 
 func TestKernelMetadata(t *testing.T) {
-	a := sparse.RandomSPD(30, 4, 51)
+	a := sparse.Must(sparse.RandomSPD(30, 4, 51))
 	l := a.Lower()
 	x, y, b := make([]float64, 30), make([]float64, 30), sparse.RandomVec(30, 52)
 	ks := []Kernel{
@@ -398,7 +398,7 @@ func TestKernelMetadata(t *testing.T) {
 		NewSpTRSVCSR(l, b, x),
 		NewSpTRSVCSC(l.ToCSC(), b, x),
 		NewSpIC0CSC(l.ToCSC()),
-		NewSpILU0CSR(a.Clone()),
+		mustILU0(a.Clone()),
 		NewDScalCSR(a, JacobiScaling(a), a.Clone()),
 		NewDScalCSC(a.ToCSC(), JacobiScaling(a), a.ToCSC()),
 	}
@@ -428,7 +428,7 @@ func TestKernelMetadata(t *testing.T) {
 }
 
 func TestFootprintSharedKeys(t *testing.T) {
-	a := sparse.RandomSPD(20, 3, 61)
+	a := sparse.Must(sparse.RandomSPD(20, 3, 61))
 	l := a.Lower()
 	b, x, z := sparse.RandomVec(20, 1), make([]float64, 20), make([]float64, 20)
 	k1 := NewSpTRSVCSR(l, b, x) // produces x
@@ -455,7 +455,7 @@ func TestVecVarEmpty(t *testing.T) {
 }
 
 func TestSpTRSVTransMatchesDenseUpperSolve(t *testing.T) {
-	a := sparse.RandomSPD(70, 5, 61)
+	a := sparse.Must(sparse.RandomSPD(70, 5, 61))
 	lc := a.Lower().ToCSC()
 	b := sparse.RandomVec(70, 62)
 	x := make([]float64, 70)
@@ -477,7 +477,7 @@ func TestSpTRSVTransMatchesDenseUpperSolve(t *testing.T) {
 }
 
 func TestSpTRSVTransShuffledOrder(t *testing.T) {
-	a := sparse.RandomSPD(60, 4, 63)
+	a := sparse.Must(sparse.RandomSPD(60, 4, 63))
 	lc := a.Lower().ToCSC()
 	b := sparse.RandomVec(60, 64)
 	x := make([]float64, 60)
@@ -494,7 +494,7 @@ func TestSpTRSVTransShuffledOrder(t *testing.T) {
 
 func TestSpTRSVTransRoundTrip(t *testing.T) {
 	// L' \ (L' * ones) must be ones.
-	a := sparse.RandomSPD(90, 5, 65)
+	a := sparse.Must(sparse.RandomSPD(90, 5, 65))
 	lc := a.Lower().ToCSC()
 	lt := lc.ToCSR().Transpose() // L' in CSR (upper triangular)
 	ones := sparse.Ones(90)
@@ -505,4 +505,12 @@ func TestSpTRSVTransRoundTrip(t *testing.T) {
 	if sparse.RelErr(x, ones) > 1e-9 {
 		t.Fatal("L' \\ (L'*1) != 1")
 	}
+}
+
+func mustILU0(a *sparse.CSR) *SpILU0CSR {
+	k, err := NewSpILU0CSR(a)
+	if err != nil {
+		panic(err)
+	}
+	return k
 }

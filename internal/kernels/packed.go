@@ -201,7 +201,11 @@ func (k *SpTRSVCSR) packedIter(i int, s *PackedStream, ent, it int) int {
 	for c := 0; c < n-1; c++ {
 		xi -= vs[c] * k.X[is[c]]
 	}
-	k.X[i] = xi / vs[n-1]
+	d := vs[n-1]
+	if d == 0 {
+		breakdown(k.Name(), i, "zero diagonal")
+	}
+	k.X[i] = xi / d
 	return ent + n
 }
 
@@ -216,7 +220,11 @@ func (k *SpTRSVCSR) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
 		for c := 0; c < n-1; c++ {
 			xi -= vs[c] * k.X[is[c]]
 		}
-		k.X[i] = xi / vs[n-1]
+		d := vs[n-1]
+		if d == 0 {
+			breakdown(k.Name(), i, "zero diagonal")
+		}
+		k.X[i] = xi / d
 	}
 }
 
@@ -230,6 +238,9 @@ func (k *SpTRSVCSC) PackedSource() []float64             { return k.L.X }
 func (k *SpTRSVCSC) packedIter(j int, s *PackedStream, ent, it int) int {
 	n := int(s.Len[it])
 	vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
+	if vs[0] == 0 {
+		breakdown(k.Name(), j, "zero diagonal")
+	}
 	xj := (k.B[j] + k.X[j]) / vs[0]
 	k.X[j] = xj
 	if k.Atomic {
@@ -253,6 +264,9 @@ func (k *SpTRSVCSC) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
 			n := int(s.Len[it+o])
 			vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
 			ent += n
+			if vs[0] == 0 {
+				breakdown(k.Name(), j, "zero diagonal")
+			}
 			xj := (k.B[j] + k.X[j]) / vs[0]
 			k.X[j] = xj
 			for c := 1; c < n; c++ {
@@ -266,6 +280,9 @@ func (k *SpTRSVCSC) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
 		n := int(s.Len[it+o])
 		vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
 		ent += n
+		if vs[0] == 0 {
+			breakdown(k.Name(), j, "zero diagonal")
+		}
 		xj := (k.B[j] + k.X[j]) / vs[0]
 		k.X[j] = xj
 		for c := 1; c < n; c++ {
@@ -289,6 +306,9 @@ func (k *SpTRSVTransCSC) packedIter(i int, s *PackedStream, ent, it int) int {
 	vs, is := s.Val[ent:ent+n], s.Idx[ent:ent+n]
 	j := k.L.Cols - 1 - i
 	diag := vs[0]
+	if diag == 0 {
+		breakdown(k.Name(), i, "zero diagonal in column %d", j)
+	}
 	xj := k.B[j]
 	for c := 1; c < n; c++ {
 		xj -= vs[c] * k.X[is[c]]
@@ -306,6 +326,9 @@ func (k *SpTRSVTransCSC) RunManyPacked(iters []int32, s *PackedStream, ent, it i
 		ent += n
 		j := k.L.Cols - 1 - i
 		diag := vs[0]
+		if diag == 0 {
+			breakdown(k.Name(), i, "zero diagonal in column %d", j)
+		}
 		xj := k.B[j]
 		for c := 1; c < n; c++ {
 			xj -= vs[c] * k.X[is[c]]
@@ -344,6 +367,9 @@ func (k *SpTRSVUnitLowerCSR) RunManyPacked(iters []int32, s *PackedStream, ent, 
 		for c := 0; c < n; c++ {
 			xi -= vs[c] * k.X[is[c]]
 		}
+		if xi-xi != 0 {
+			breakdown(k.Name(), i, "non-finite solution %v", xi)
+		}
 		k.X[i] = xi
 	}
 }
@@ -370,6 +396,9 @@ func (k *DScalCSR) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
 		p0 := int(s.Pos[it+o])
 		out := k.Out.X[p0 : p0+n]
 		di := k.D[i]
+		if di-di != 0 {
+			breakdown(k.Name(), i, "non-finite scale %v", di)
+		}
 		for c := 0; c < n; c++ {
 			out[c] = di * vs[c] * k.D[is[c]]
 		}
@@ -395,6 +424,9 @@ func (k *DScalCSC) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
 		p0 := int(s.Pos[it+o])
 		out := k.Out.X[p0 : p0+n]
 		dj := k.D[j]
+		if dj-dj != 0 {
+			breakdown(k.Name(), j, "non-finite scale %v", dj)
+		}
 		for c := 0; c < n; c++ {
 			out[c] = k.D[is[c]] * vs[c] * dj
 		}

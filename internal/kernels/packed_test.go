@@ -22,7 +22,7 @@ func packedKernelCases(n int, seed int64) []struct {
 	name string
 	mk   func() (Kernel, func() []float64)
 } {
-	a := sparse.RandomSPD(n, 5, seed)
+	a := sparse.Must(sparse.RandomSPD(n, 5, seed))
 	l := a.Lower()
 	lc := l.ToCSC()
 	ac := a.ToCSC()
@@ -124,7 +124,7 @@ func TestRunManyPackedMatchesRun(t *testing.T) {
 // the stale-value hazard the a0 snapshot exists to avoid.
 func TestPackedSourceSnapshotsReplayValues(t *testing.T) {
 	const n = 40
-	a := sparse.RandomSPD(n, 4, 73)
+	a := sparse.Must(sparse.RandomSPD(n, 4, 73))
 	d := JacobiScaling(a)
 	k := NewDScalCSR(a, d, a) // in place
 	RunSeq(k)
@@ -154,7 +154,7 @@ func snapshotRun(k Kernel, snap func() []float64) []float64 {
 // asserts bit-identical results.
 func TestFusePackedPairMatchesFusePair(t *testing.T) {
 	const n = 150
-	a := sparse.RandomSPD(n, 4, 75)
+	a := sparse.Must(sparse.RandomSPD(n, 4, 75))
 	l := a.Lower()
 	lc := l.ToCSC()
 	ac := a.ToCSC()
@@ -263,8 +263,8 @@ func TestFusePackedPairMatchesFusePair(t *testing.T) {
 // which pairs are specialized.
 func TestFusePairAllCombos(t *testing.T) {
 	const n = 120
-	a1 := sparse.RandomSPD(n, 4, 81)
-	a2 := sparse.RandomSPD(n, 4, 82)
+	a1 := sparse.Must(sparse.RandomSPD(n, 4, 81))
+	a2 := sparse.Must(sparse.RandomSPD(n, 4, 82))
 	l1, l2 := a1.Lower(), a2.Lower()
 
 	// Each builder returns a fresh kernel over its own operands (independent

@@ -35,6 +35,8 @@ func (k *SpTRSVCSR) Prepare() {}
 // B[i] is read here — not bulk-copied up front — so a fused schedule may
 // start row i as soon as the producer of B[i] finishes (the diagonal F of
 // Table 1). Column indices are ascending, so the diagonal is the last entry.
+// A zero diagonal is a numerical breakdown (typed *BreakdownError through
+// the fault channel) rather than a silent Inf/NaN.
 func (k *SpTRSVCSR) Run(i int) {
 	l := k.L
 	xi := k.B[i]
@@ -42,7 +44,11 @@ func (k *SpTRSVCSR) Run(i int) {
 	for p := l.P[i]; p < end; p++ {
 		xi -= l.X[p] * k.X[l.I[p]]
 	}
-	k.X[i] = xi / l.X[end]
+	d := l.X[end]
+	if d == 0 {
+		breakdown(k.Name(), i, "zero diagonal")
+	}
+	k.X[i] = xi / d
 }
 
 func (k *SpTRSVCSR) Footprint() []Var {
@@ -97,7 +103,11 @@ func (k *SpTRSVCSC) Run(j int) {
 	l := k.L
 	p := l.P[j]
 	// Diagonal first (ascending row indices in a lower-triangular column).
-	xj := (k.B[j] + k.X[j]) / l.X[p]
+	d := l.X[p]
+	if d == 0 {
+		breakdown(k.Name(), j, "zero diagonal")
+	}
+	xj := (k.B[j] + k.X[j]) / d
 	k.X[j] = xj
 	for p++; p < l.P[j+1]; p++ {
 		if k.Atomic {

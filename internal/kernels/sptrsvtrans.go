@@ -68,11 +68,15 @@ func (k *SpTRSVTransCSC) Prepare()        {}
 
 // Run processes iteration it (column j = n-1-it):
 // X[j] = (B[j] - sum_{i>j} L[i][j]*X[i]) / L[j][j].
+// A zero diagonal reports a typed breakdown instead of emitting Inf/NaN.
 func (k *SpTRSVTransCSC) Run(it int) {
 	l := k.L
 	j := l.Cols - 1 - it
 	p := l.P[j]
 	diag := l.X[p]
+	if diag == 0 {
+		breakdown(k.Name(), it, "zero diagonal in column %d", j)
+	}
 	xj := k.B[j]
 	for p++; p < l.P[j+1]; p++ {
 		xj -= l.X[p] * k.X[l.I[p]]

@@ -42,6 +42,10 @@ func (k *SpTRSVUnitLowerCSR) Prepare()        {}
 
 // Run solves row i with the implicit unit diagonal:
 // X[i] = B[i] - sum_{j<i} LU[i][j]*X[j].
+// The unit diagonal cannot divide by zero, but a non-finite factor entry
+// (a broken upstream factorization) would otherwise spread NaN through every
+// later row; the result is guarded so the poisoning surfaces as a typed
+// breakdown at the first affected row.
 func (k *SpTRSVUnitLowerCSR) Run(i int) {
 	lu := k.LU
 	xi := k.B[i]
@@ -51,6 +55,9 @@ func (k *SpTRSVUnitLowerCSR) Run(i int) {
 			break
 		}
 		xi -= lu.X[p] * k.X[j]
+	}
+	if xi-xi != 0 {
+		breakdown(k.Name(), i, "non-finite solution %v", xi)
 	}
 	k.X[i] = xi
 }

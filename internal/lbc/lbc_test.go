@@ -11,7 +11,7 @@ import (
 )
 
 func triangularDAG(seed int64, n, deg int) *dag.Graph {
-	a := sparse.RandomSPD(n, deg, seed)
+	a := sparse.Must(sparse.RandomSPD(n, deg, seed))
 	return dag.FromLowerCSR(a.Lower())
 }
 
@@ -211,7 +211,7 @@ func TestScheduleChordalValid(t *testing.T) {
 
 func TestScheduleChordalOnJointDAG(t *testing.T) {
 	// The fused-LBC baseline path: joint DAG of TRSV and a diagonal-F SpMV.
-	a := sparse.RandomSPD(100, 4, 41)
+	a := sparse.Must(sparse.RandomSPD(100, 4, 41))
 	g1 := dag.FromLowerCSR(a.Lower())
 	g2 := dag.Parallel(100, nil)
 	var ts []sparse.Triplet
@@ -253,9 +253,9 @@ func TestPackLPTOrdersByLevel(t *testing.T) {
 
 func TestScheduleStressMatrixShapes(t *testing.T) {
 	for name, a := range map[string]*sparse.CSR{
-		"laplacian2d": sparse.Laplacian2D(15),
-		"banded":      sparse.BandedSPD(200, 8, 0.6, 5),
-		"powerlaw":    sparse.PowerLawSPD(200, 3, 6),
+		"laplacian2d": sparse.Must(sparse.Laplacian2D(15)),
+		"banded":      sparse.Must(sparse.BandedSPD(200, 8, 0.6, 5)),
+		"powerlaw":    sparse.Must(sparse.PowerLawSPD(200, 3, 6)),
 	} {
 		g := dag.FromLowerCSR(a.Lower())
 		p, err := Schedule(g, 6, DefaultParams())

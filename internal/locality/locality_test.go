@@ -96,7 +96,7 @@ func TestInterleavedPackingImprovesReuseDistance(t *testing.T) {
 	// The locality claim behind figure 6, in machine-independent form: for
 	// TRSV-TRSV (reuse ratio >= 1, shared factor L), interleaved packing
 	// yields a smaller mean reuse distance than separated packing.
-	a := sparse.Laplacian2D(48)
+	a := sparse.Must(sparse.Laplacian2D(48))
 	in, err := combos.Build(combos.TrsvTrsv, a)
 	if err != nil {
 		t.Fatal(err)

@@ -9,9 +9,9 @@ import (
 
 func TestRCMIsPermutation(t *testing.T) {
 	for _, a := range []*sparse.CSR{
-		sparse.Laplacian2D(10),
-		sparse.RandomSPD(137, 5, 1),
-		sparse.PowerLawSPD(200, 3, 2),
+		sparse.Must(sparse.Laplacian2D(10)),
+		sparse.Must(sparse.RandomSPD(137, 5, 1)),
+		sparse.Must(sparse.PowerLawSPD(200, 3, 2)),
 	} {
 		p, err := RCM(a)
 		if err != nil {
@@ -24,7 +24,7 @@ func TestRCMIsPermutation(t *testing.T) {
 }
 
 func TestRCMReducesBandwidthOnShuffledLaplacian(t *testing.T) {
-	a := sparse.Laplacian2D(20)
+	a := sparse.Must(sparse.Laplacian2D(20))
 	rng := rand.New(rand.NewSource(5))
 	shuffled, err := sparse.PermuteSym(a, rng.Perm(a.Rows))
 	if err != nil {
@@ -69,9 +69,9 @@ func TestRCMRejectsRectangular(t *testing.T) {
 
 func TestNestedDissectionIsPermutation(t *testing.T) {
 	for _, a := range []*sparse.CSR{
-		sparse.Laplacian2D(17),
-		sparse.RandomSPD(211, 4, 3),
-		sparse.PowerLawSPD(300, 2, 4),
+		sparse.Must(sparse.Laplacian2D(17)),
+		sparse.Must(sparse.RandomSPD(211, 4, 3)),
+		sparse.Must(sparse.PowerLawSPD(300, 2, 4)),
 	} {
 		p, err := NestedDissection(a, 32)
 		if err != nil {
@@ -111,7 +111,7 @@ func TestNestedDissectionSeparatorLast(t *testing.T) {
 }
 
 func TestNestedDissectionSmallAndEdgeCases(t *testing.T) {
-	a := sparse.Laplacian2D(3)
+	a := sparse.Must(sparse.Laplacian2D(3))
 	p, err := NestedDissection(a, 64) // whole matrix fits in a leaf
 	if err != nil {
 		t.Fatal(err)

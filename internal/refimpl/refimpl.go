@@ -129,13 +129,17 @@ func (t *Trsv) Solve(threads int) {
 func (t *Trsv) Barriers() int { return len(t.levels) }
 
 // SequentialILU0 factors a in place (zero fill), the MKL dcsrilu0 analogue.
-func SequentialILU0(a *sparse.CSR) {
-	k := kernels.NewSpILU0CSR(a)
-	kernels.RunSeq(k)
+// It reports a missing diagonal or a numerical breakdown as an error.
+func SequentialILU0(a *sparse.CSR) error {
+	k, err := kernels.NewSpILU0CSR(a)
+	if err != nil {
+		return err
+	}
+	return kernels.RunSeq(k)
 }
 
-// SequentialIC0 factors the lower-triangular CSC pattern in place.
-func SequentialIC0(l *sparse.CSC) {
-	k := kernels.NewSpIC0CSC(l)
-	kernels.RunSeq(k)
+// SequentialIC0 factors the lower-triangular CSC pattern in place, reporting
+// a numerical breakdown (non-SPD input) as an error.
+func SequentialIC0(l *sparse.CSC) error {
+	return kernels.RunSeq(kernels.NewSpIC0CSC(l))
 }

@@ -25,7 +25,7 @@ func randomLoops(rng *rand.Rand, n int) *Loops {
 			}
 			loops.G = append(loops.G, dag.Parallel(n, w))
 		} else {
-			a := sparse.RandomSPD(n, 2+rng.Intn(5), rng.Int63())
+			a := sparse.Must(sparse.RandomSPD(n, 2+rng.Intn(5), rng.Int63()))
 			loops.G = append(loops.G, dag.FromLowerCSR(a.Lower()))
 		}
 		if k > 0 {
@@ -100,8 +100,8 @@ func TestReferenceMatchesOptimizedReversedHead(t *testing.T) {
 	rng := rand.New(rand.NewSource(123))
 	for trial := 0; trial < 15; trial++ {
 		n := 30 + rng.Intn(100)
-		a := sparse.RandomSPD(n, 3, rng.Int63())
-		b := sparse.RandomSPD(n, 4, rng.Int63())
+		a := sparse.Must(sparse.RandomSPD(n, 3, rng.Int63()))
+		b := sparse.Must(sparse.RandomSPD(n, 4, rng.Int63()))
 		g1 := dag.FromLowerCSR(a.Lower())
 		g2 := dag.FromLowerCSR(b.Lower())
 		var ts []sparse.Triplet

@@ -15,7 +15,7 @@ import (
 // segments. Build does not need the schedule to be dependency-valid.
 func buildGSProgram(t *testing.T, n int) (*core.Program, []kernels.Kernel, *sparse.CSR) {
 	t.Helper()
-	a := sparse.RandomSPD(n, 5, 17)
+	a := sparse.Must(sparse.RandomSPD(n, 5, 17))
 	l := a.Lower()
 	b := sparse.RandomVec(n, 18)
 	y := make([]float64, n)
@@ -177,7 +177,7 @@ func TestBuildAlignment(t *testing.T) {
 // pack (they mutate their matrix mid-run) and do not implement StreamPacker.
 func TestBuildRejectsUnsupportedKernel(t *testing.T) {
 	const n = 60
-	a := sparse.RandomSPD(n, 4, 19)
+	a := sparse.Must(sparse.RandomSPD(n, 4, 19))
 	lc := a.Lower().ToCSC()
 	b := sparse.RandomVec(n, 20)
 	y := make([]float64, n)
@@ -216,7 +216,7 @@ func TestBuildRejectsUnsupportedKernel(t *testing.T) {
 // mid-execution; Build must refuse such layouts.
 func TestBuildRejectsStaleSource(t *testing.T) {
 	const n = 60
-	a := sparse.RandomSPD(n, 4, 21)
+	a := sparse.Must(sparse.RandomSPD(n, 4, 21))
 	work := a.Clone()
 	d := kernels.JacobiScaling(a)
 	x := sparse.RandomVec(n, 22)
@@ -253,7 +253,7 @@ func TestBuildRejectsStaleSource(t *testing.T) {
 // metadata (hand-assembled outside ProgramBuilder) cannot align streams.
 func TestBuildRejectsMissingSegIter(t *testing.T) {
 	const n = 30
-	a := sparse.RandomSPD(n, 4, 23)
+	a := sparse.Must(sparse.RandomSPD(n, 4, 23))
 	l := a.Lower()
 	b := sparse.RandomVec(n, 24)
 	y := make([]float64, n)

@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -10,10 +11,26 @@ import (
 // span the structural axes that matter to the schedulers: regular narrow-band
 // DAGs (Laplacians, banded), irregular DAGs (random SPD) and skewed-degree
 // DAGs with long critical paths (power law).
+//
+// Generators return errors rather than panicking: a bad size parameter is
+// caller input, not a library invariant. Must converts for call sites (tests,
+// package defaults) whose arguments are compile-time constants.
+
+// Must unwraps a generator result, panicking on error. Use only where the
+// arguments are known-good constants (tests, examples).
+func Must(a *CSR, err error) *CSR {
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
 
 // Laplacian2D returns the 5-point finite-difference Laplacian on a k-by-k
 // grid: an SPD matrix with n = k*k rows and at most five entries per row.
-func Laplacian2D(k int) *CSR {
+func Laplacian2D(k int) (*CSR, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sparse: Laplacian2D needs k >= 1, got %d", k)
+	}
 	n := k * k
 	var ts []Triplet
 	idx := func(i, j int) int { return i*k + j }
@@ -35,15 +52,14 @@ func Laplacian2D(k int) *CSR {
 			}
 		}
 	}
-	a, err := FromTriplets(n, n, ts)
-	if err != nil {
-		panic(err) // indices are constructed in bounds
-	}
-	return a
+	return FromTriplets(n, n, ts)
 }
 
 // Laplacian3D returns the 7-point finite-difference Laplacian on a k^3 grid.
-func Laplacian3D(k int) *CSR {
+func Laplacian3D(k int) (*CSR, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sparse: Laplacian3D needs k >= 1, got %d", k)
+	}
 	n := k * k * k
 	var ts []Triplet
 	idx := func(i, j, l int) int { return (i*k+j)*k + l }
@@ -73,18 +89,17 @@ func Laplacian3D(k int) *CSR {
 			}
 		}
 	}
-	a, err := FromTriplets(n, n, ts)
-	if err != nil {
-		panic(err)
-	}
-	return a
+	return FromTriplets(n, n, ts)
 }
 
 // RandomSPD returns an n-by-n SPD matrix with roughly deg off-diagonal
 // entries per row placed uniformly at random (symmetrized), made positive
 // definite by diagonal dominance. The same seed always yields the same
 // matrix.
-func RandomSPD(n, deg int, seed int64) *CSR {
+func RandomSPD(n, deg int, seed int64) (*CSR, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sparse: RandomSPD needs n >= 1, got %d", n)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	return spdFromPattern(n, func(emit func(r, c int)) {
 		for r := 0; r < n; r++ {
@@ -101,7 +116,10 @@ func RandomSPD(n, deg int, seed int64) *CSR {
 // BandedSPD returns an n-by-n SPD matrix whose off-diagonal entries are
 // confined to a band of half-width band, with fill controlling the fraction
 // of in-band positions that are nonzero (0 < fill <= 1).
-func BandedSPD(n, band int, fill float64, seed int64) *CSR {
+func BandedSPD(n, band int, fill float64, seed int64) (*CSR, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sparse: BandedSPD needs n >= 1, got %d", n)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	return spdFromPattern(n, func(emit func(r, c int)) {
 		for r := 0; r < n; r++ {
@@ -118,7 +136,10 @@ func BandedSPD(n, band int, fill float64, seed int64) *CSR {
 // a preferential-attachment (scale-free) degree distribution, producing the
 // skewed wavefront widths that stress load balancing. deg is the number of
 // attachments per new vertex.
-func PowerLawSPD(n, deg int, seed int64) *CSR {
+func PowerLawSPD(n, deg int, seed int64) (*CSR, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sparse: PowerLawSPD needs n >= 1, got %d", n)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	// Repeated-vertex preferential attachment: targets are drawn from the
 	// endpoint list so far, so high-degree vertices keep attracting edges.
@@ -140,7 +161,7 @@ func PowerLawSPD(n, deg int, seed int64) *CSR {
 // spdFromPattern symmetrizes the emitted pattern, assigns random values in
 // [-1, 0) to off-diagonals and sets each diagonal to (row degree + 1) so the
 // matrix is strictly diagonally dominant, hence SPD.
-func spdFromPattern(n int, gen func(emit func(r, c int)), rng *rand.Rand) *CSR {
+func spdFromPattern(n int, gen func(emit func(r, c int)), rng *rand.Rand) (*CSR, error) {
 	type key struct{ r, c int }
 	type entry struct {
 		key
@@ -168,9 +189,5 @@ func spdFromPattern(n int, gen func(emit func(r, c int)), rng *rand.Rand) *CSR {
 	for r := 0; r < n; r++ {
 		ts = append(ts, Triplet{r, r, rowAbs[r] + 1})
 	}
-	a, err := FromTriplets(n, n, ts)
-	if err != nil {
-		panic(err)
-	}
-	return a
+	return FromTriplets(n, n, ts)
 }

@@ -47,6 +47,14 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	if rows < 0 || cols < 0 || nnz < 0 {
 		return nil, fmt.Errorf("sparse: negative dimensions in size line (%d %d %d)", rows, cols, nnz)
 	}
+	// CSR storage needs rows+1 pointers regardless of how many entries the
+	// body actually carries, so a hostile size line could otherwise drive a
+	// multi-gigabyte allocation from a few bytes of input. 2^27 rows is far
+	// beyond every SuiteSparse matrix this repo targets.
+	const maxDim = 1 << 27
+	if rows > maxDim || cols > maxDim {
+		return nil, fmt.Errorf("sparse: matrix market size %dx%d exceeds the supported bound (%d)", rows, cols, maxDim)
+	}
 	// Preallocate from the declared count, but don't trust it blindly: a
 	// corrupt header must not drive a huge allocation.
 	capHint := nnz

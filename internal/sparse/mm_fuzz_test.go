@@ -1,0 +1,50 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket drives the Matrix Market parser with arbitrary text.
+// The parser must return a matrix or an error — never panic, and never let a
+// hostile size line drive an allocation unrelated to the input size.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 4.0\n2 2 4.0\n2 1 -1.0\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 4\n1 1 2.0\n2 2 2.0\n3 3 2.0\n3 1 -1.0\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n2 1\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n% comment\n\n2 2 0\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n999999999999 999999999999 10\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 3\n9 9 1.0\n")
+	f.Add("not a matrix market file")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		a, err := ReadMatrixMarket(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if a == nil {
+			t.Fatal("nil matrix without error")
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("parser produced invalid matrix: %v", err)
+		}
+		// Structural invariants of anything the parser accepts.
+		if len(a.P) != a.Rows+1 {
+			t.Fatalf("row pointer length %d for %d rows", len(a.P), a.Rows)
+		}
+		if a.P[a.Rows] != a.NNZ() || len(a.I) != a.NNZ() || len(a.X) != a.NNZ() {
+			t.Fatal("inconsistent CSR arrays")
+		}
+		for i := 0; i < a.Rows; i++ {
+			if a.P[i] > a.P[i+1] {
+				t.Fatalf("row pointers not monotone at row %d", i)
+			}
+		}
+		for _, j := range a.I {
+			if j < 0 || j >= a.Cols {
+				t.Fatalf("column index %d out of range [0,%d)", j, a.Cols)
+			}
+		}
+	})
+}

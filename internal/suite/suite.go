@@ -41,11 +41,11 @@ func nd(gen func() *sparse.CSR) func() *sparse.CSR {
 // Small is a fast suite for tests and smoke runs (about 1e4-1e5 nonzeros).
 func Small() []Entry {
 	return []Entry{
-		{"lap2d-40", nd(func() *sparse.CSR { return sparse.Laplacian2D(40) })},
-		{"lap3d-12", nd(func() *sparse.CSR { return sparse.Laplacian3D(12) })},
-		{"rand-2k", nd(func() *sparse.CSR { return sparse.RandomSPD(2000, 8, 11) })},
-		{"band-3k", nd(func() *sparse.CSR { return sparse.BandedSPD(3000, 12, 0.5, 12) })},
-		{"pow-3k", nd(func() *sparse.CSR { return sparse.PowerLawSPD(3000, 3, 13) })},
+		{"lap2d-40", nd(func() *sparse.CSR { return sparse.Must(sparse.Laplacian2D(40)) })},
+		{"lap3d-12", nd(func() *sparse.CSR { return sparse.Must(sparse.Laplacian3D(12)) })},
+		{"rand-2k", nd(func() *sparse.CSR { return sparse.Must(sparse.RandomSPD(2000, 8, 11)) })},
+		{"band-3k", nd(func() *sparse.CSR { return sparse.Must(sparse.BandedSPD(3000, 12, 0.5, 12)) })},
+		{"pow-3k", nd(func() *sparse.CSR { return sparse.Must(sparse.PowerLawSPD(3000, 3, 13)) })},
 	}
 }
 
@@ -53,22 +53,24 @@ func Small() []Entry {
 // range figure 5 sweeps.
 func Standard() []Entry {
 	return []Entry{
-		{"lap2d-150", nd(func() *sparse.CSR { return sparse.Laplacian2D(150) })},             // ~112K nnz
-		{"band-20k", nd(func() *sparse.CSR { return sparse.BandedSPD(20000, 14, 0.5, 21) })}, // ~300K
-		{"rand-30k", nd(func() *sparse.CSR { return sparse.RandomSPD(30000, 10, 22) })},      // ~330K
-		{"pow-40k", nd(func() *sparse.CSR { return sparse.PowerLawSPD(40000, 4, 23) })},      // ~360K
-		{"lap3d-40", nd(func() *sparse.CSR { return sparse.Laplacian3D(40) })},               // ~440K
-		{"lap2d-500", nd(func() *sparse.CSR { return sparse.Laplacian2D(500) })},             // ~1.25M
-		{"rand-150k", nd(func() *sparse.CSR { return sparse.RandomSPD(150000, 10, 24) })},    // ~1.65M
-		{"lap3d-80", nd(func() *sparse.CSR { return sparse.Laplacian3D(80) })},               // ~3.5M
-		{"lap2d-1200", nd(func() *sparse.CSR { return sparse.Laplacian2D(1200) })},           // ~7.2M
+		{"lap2d-150", nd(func() *sparse.CSR { return sparse.Must(sparse.Laplacian2D(150)) })},             // ~112K nnz
+		{"band-20k", nd(func() *sparse.CSR { return sparse.Must(sparse.BandedSPD(20000, 14, 0.5, 21)) })}, // ~300K
+		{"rand-30k", nd(func() *sparse.CSR { return sparse.Must(sparse.RandomSPD(30000, 10, 22)) })},      // ~330K
+		{"pow-40k", nd(func() *sparse.CSR { return sparse.Must(sparse.PowerLawSPD(40000, 4, 23)) })},      // ~360K
+		{"lap3d-40", nd(func() *sparse.CSR { return sparse.Must(sparse.Laplacian3D(40)) })},               // ~440K
+		{"lap2d-500", nd(func() *sparse.CSR { return sparse.Must(sparse.Laplacian2D(500)) })},             // ~1.25M
+		{"rand-150k", nd(func() *sparse.CSR { return sparse.Must(sparse.RandomSPD(150000, 10, 24)) })},    // ~1.65M
+		{"lap3d-80", nd(func() *sparse.CSR { return sparse.Must(sparse.Laplacian3D(80)) })},               // ~3.5M
+		{"lap2d-1200", nd(func() *sparse.CSR { return sparse.Must(sparse.Laplacian2D(1200)) })},           // ~7.2M
 	}
 }
 
 // Bone010Standin is the stand-in for bone010 (the figure 1 / figure 6
 // matrix): a 3D Laplacian whose factor working set exceeds L1 and stresses
 // the LLC, scaled to run on a laptop, reordered like the rest of the suite.
-func Bone010Standin() *sparse.CSR { return nd(func() *sparse.CSR { return sparse.Laplacian3D(48) })() }
+func Bone010Standin() *sparse.CSR {
+	return nd(func() *sparse.CSR { return sparse.Must(sparse.Laplacian3D(48)) })()
+}
 
 // Parse builds a matrix from a specification:
 //
@@ -113,13 +115,13 @@ func parse(spec string) (*sparse.CSR, error) {
 		if err != nil {
 			return nil, err
 		}
-		return sparse.Laplacian2D(k), nil
+		return sparse.Laplacian2D(k)
 	case "lap3d":
 		k, err := arg(1)
 		if err != nil {
 			return nil, err
 		}
-		return sparse.Laplacian3D(k), nil
+		return sparse.Laplacian3D(k)
 	case "rand":
 		n, err := arg(1)
 		if err != nil {
@@ -129,7 +131,7 @@ func parse(spec string) (*sparse.CSR, error) {
 		if err != nil {
 			return nil, err
 		}
-		return sparse.RandomSPD(n, d, 1), nil
+		return sparse.RandomSPD(n, d, 1)
 	case "band":
 		n, err := arg(1)
 		if err != nil {
@@ -139,7 +141,7 @@ func parse(spec string) (*sparse.CSR, error) {
 		if err != nil {
 			return nil, err
 		}
-		return sparse.BandedSPD(n, w, 0.5, 1), nil
+		return sparse.BandedSPD(n, w, 0.5, 1)
 	case "pow":
 		n, err := arg(1)
 		if err != nil {
@@ -149,7 +151,7 @@ func parse(spec string) (*sparse.CSR, error) {
 		if err != nil {
 			return nil, err
 		}
-		return sparse.PowerLawSPD(n, d, 1), nil
+		return sparse.PowerLawSPD(n, d, 1)
 	}
 	return nil, fmt.Errorf("suite: unknown matrix spec %q", spec)
 }

@@ -37,7 +37,7 @@ func TestParseErrors(t *testing.T) {
 func TestParseMtxFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.mtx")
-	a := sparse.Laplacian2D(5)
+	a := sparse.Must(sparse.Laplacian2D(5))
 	if err := sparse.WriteMatrixMarketFile(path, a); err != nil {
 		t.Fatal(err)
 	}

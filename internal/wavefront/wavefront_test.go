@@ -10,7 +10,7 @@ import (
 
 func TestScheduleValidProperty(t *testing.T) {
 	f := func(seed int64) bool {
-		a := sparse.RandomSPD(100, 4, seed)
+		a := sparse.Must(sparse.RandomSPD(100, 4, seed))
 		g := dag.FromLowerCSR(a.Lower())
 		p, err := Schedule(g, 4)
 		if err != nil {
@@ -24,7 +24,7 @@ func TestScheduleValidProperty(t *testing.T) {
 }
 
 func TestScheduleOneSPartitionPerWavefront(t *testing.T) {
-	a := sparse.RandomSPD(150, 5, 3)
+	a := sparse.Must(sparse.RandomSPD(150, 5, 3))
 	g := dag.FromLowerCSR(a.Lower())
 	pg, _ := g.CriticalPath()
 	p, err := Schedule(g, 4)

@@ -1,6 +1,7 @@
 package sparsefusion
 
 import (
+	"errors"
 	"fmt"
 
 	"sparsefusion/internal/core"
@@ -38,7 +39,11 @@ func NewIC0Preconditioner(m *Matrix, opts Options) (*IC0Preconditioner, error) {
 	lc := a.Lower().ToCSC()
 	// Factor once at setup (the Ic0Trsv combination covers fusing the
 	// factorization itself; here the factor is reused across many applies).
-	kernels.RunSeq(kernels.NewSpIC0CSC(lc))
+	// A breakdown here means the matrix is not SPD on this pattern — a
+	// caller-input problem, reported as such rather than as NaN solves later.
+	if err := kernels.RunSeq(kernels.NewSpIC0CSC(lc)); err != nil {
+		return nil, fmt.Errorf("sparsefusion: IC0 factorization failed: %w", err)
+	}
 
 	n := a.Rows
 	p := &IC0Preconditioner{
@@ -76,16 +81,26 @@ func NewIC0Preconditioner(m *Matrix, opts Options) (*IC0Preconditioner, error) {
 }
 
 // Apply computes z = (L*L')^{-1} r into z (allocated when nil) and returns
-// it. r is not modified.
+// it. r is not modified. A numerical breakdown in the fused solves (a zero
+// diagonal in the factor) surfaces as an error that unwraps to the
+// *kernels.BreakdownError naming the kernel and row.
 func (p *IC0Preconditioner) Apply(r, z []float64) ([]float64, error) {
 	if len(r) != p.n {
 		return nil, fmt.Errorf("sparsefusion: apply length %d, want %d", len(r), p.n)
 	}
 	copy(p.r, r)
+	var err error
 	if p.run != nil {
-		p.run.Run(p.th)
+		_, err = p.run.Run(p.th)
 	} else {
-		exec.RunFusedLegacy(p.ks, p.sched, p.th)
+		_, err = exec.RunFusedLegacy(p.ks, p.sched, p.th)
+	}
+	if err != nil {
+		var b *kernels.BreakdownError
+		if errors.As(err, &b) {
+			return nil, fmt.Errorf("sparsefusion: preconditioner apply broke down (%s, row %d): %w", b.Kernel, b.Row, err)
+		}
+		return nil, fmt.Errorf("sparsefusion: preconditioner apply failed: %w", err)
 	}
 	if z == nil {
 		z = make([]float64, p.n)

@@ -19,6 +19,7 @@
 package sparsefusion
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -27,6 +28,7 @@ import (
 	"sparsefusion/internal/combos"
 	"sparsefusion/internal/core"
 	"sparsefusion/internal/exec"
+	"sparsefusion/internal/kernels"
 	"sparsefusion/internal/lbc"
 	"sparsefusion/internal/metrics"
 	"sparsefusion/internal/order"
@@ -69,17 +71,22 @@ func LoadMatrixMarket(path string) (*Matrix, error) {
 }
 
 // Laplacian2D returns the 5-point Laplacian on a k-by-k grid (SPD, n = k^2).
-func Laplacian2D(k int) *Matrix { return &Matrix{sparse.Laplacian2D(k)} }
+// k < 1 panics: grid sizes are compile-time choices, not runtime input.
+func Laplacian2D(k int) *Matrix { return &Matrix{sparse.Must(sparse.Laplacian2D(k))} }
 
 // Laplacian3D returns the 7-point Laplacian on a k^3 grid (SPD, n = k^3).
-func Laplacian3D(k int) *Matrix { return &Matrix{sparse.Laplacian3D(k)} }
+func Laplacian3D(k int) *Matrix { return &Matrix{sparse.Must(sparse.Laplacian3D(k))} }
 
 // RandomSPD returns a random SPD matrix with about deg off-diagonal entries
 // per row; deterministic in seed.
-func RandomSPD(n, deg int, seed int64) *Matrix { return &Matrix{sparse.RandomSPD(n, deg, seed)} }
+func RandomSPD(n, deg int, seed int64) *Matrix {
+	return &Matrix{sparse.Must(sparse.RandomSPD(n, deg, seed))}
+}
 
 // PowerLawSPD returns an SPD matrix with a scale-free degree distribution.
-func PowerLawSPD(n, deg int, seed int64) *Matrix { return &Matrix{sparse.PowerLawSPD(n, deg, seed)} }
+func PowerLawSPD(n, deg int, seed int64) *Matrix {
+	return &Matrix{sparse.Must(sparse.PowerLawSPD(n, deg, seed))}
+}
 
 // Rows returns the row count.
 func (m *Matrix) Rows() int { return m.csr.Rows }
@@ -168,19 +175,58 @@ type Report struct {
 	GFlops float64
 }
 
+// ExecMode names one rung of the executor ladder an Operation can run on,
+// from fastest to most conservative.
+type ExecMode string
+
+const (
+	// ModePacked executes the compiled schedule against schedule-order
+	// operand streams (the re-layout executor).
+	ModePacked ExecMode = "packed"
+	// ModeCompiled executes the schedule compiled to flat programs, reading
+	// operands in matrix order.
+	ModeCompiled ExecMode = "compiled"
+	// ModeLegacy walks the three-level schedule directly — the slice-walking
+	// reference executor, the last rung of the ladder.
+	ModeLegacy ExecMode = "legacy"
+)
+
+// Demotion records one step down the executor ladder: which rung was
+// abandoned, which replaced it, and why.
+type Demotion struct {
+	From, To ExecMode
+	Reason   string
+}
+
+// Health describes the executor state of an Operation: the rung it currently
+// runs on and every demotion taken since construction (at attach/compile time
+// or after a run-time executor fault).
+type Health struct {
+	Mode      ExecMode
+	Demotions []Demotion
+}
+
 // Operation is an inspected fused kernel combination. Inspection (DAG and
 // dependency-matrix construction plus ICO scheduling) happens once in
 // NewOperation; Run executes the fused code and may be called repeatedly —
 // the schedule stays valid while the sparsity pattern is unchanged, exactly
 // as in the paper's inspector-executor model.
+//
+// Execution degrades along a ladder: the packed (schedule-order stream)
+// executor where the chain supports it, the compiled flat-program executor
+// otherwise, and the slice-walking legacy executor as the last resort. A rung
+// that fails to build — or faults at run time while the schedule itself still
+// validates — is abandoned for the next one; Health reports where the
+// operation currently stands.
 type Operation struct {
 	inst  *combos.Instance
 	sched *core.Schedule
-	// runner is the schedule compiled to the flat executor form; nil when
-	// the schedule exceeds the packed representation, in which case Run
-	// falls back to the slice-walking reference executor.
-	runner *exec.Runner
-	th     int
+	// runner is the schedule compiled to the flat executor form (with packed
+	// streams attached while the operation is on the packed rung); nil once
+	// the operation has dropped to the legacy executor.
+	runner    *exec.Runner
+	th        int
+	demotions []Demotion
 }
 
 // NewOperation inspects combination c over the SPD matrix m.
@@ -194,8 +240,45 @@ func NewOperation(c Combination, m *Matrix, opts Options) (*Operation, error) {
 	if err != nil {
 		return nil, err
 	}
-	runner, _ := exec.CompileFused(inst.Kernels, sched)
-	return &Operation{inst: inst, sched: sched, runner: runner, th: th}, nil
+	op := &Operation{inst: inst, sched: sched, th: th}
+	op.buildRunner()
+	return op, nil
+}
+
+// buildRunner walks the construction half of the ladder: packed first, then
+// compiled, recording each rung that does not fit. A chain that supports
+// neither leaves runner nil — the legacy rung.
+func (op *Operation) buildRunner() {
+	if r, _, err := exec.CompileFusedPacked(op.inst.Kernels, op.sched); err == nil {
+		op.runner = r
+		return
+	} else {
+		op.demotions = append(op.demotions, Demotion{From: ModePacked, To: ModeCompiled, Reason: err.Error()})
+	}
+	if r, err := exec.CompileFused(op.inst.Kernels, op.sched); err == nil {
+		op.runner = r
+		return
+	} else {
+		op.demotions = append(op.demotions, Demotion{From: ModeCompiled, To: ModeLegacy, Reason: err.Error()})
+	}
+}
+
+// Mode returns the executor rung the operation currently runs on.
+func (op *Operation) Mode() ExecMode {
+	switch {
+	case op.runner == nil:
+		return ModeLegacy
+	case op.runner.Packed():
+		return ModePacked
+	default:
+		return ModeCompiled
+	}
+}
+
+// Health reports the current executor rung and the demotions taken to reach
+// it (empty for an operation still on its best available rung).
+func (op *Operation) Health() Health {
+	return Health{Mode: op.Mode(), Demotions: append([]Demotion(nil), op.demotions...)}
 }
 
 // SetInput overwrites the operation's input vector. Matrix-only combinations
@@ -225,17 +308,60 @@ func (op *Operation) Interleaved() bool { return op.sched.Interleaved }
 func (op *Operation) Barriers() int { return op.sched.NumSPartitions() }
 
 // Run executes the fused schedule once.
-func (op *Operation) Run() Report {
-	var st exec.Stats
-	if op.runner != nil {
-		st = op.runner.Run(op.th)
-	} else {
-		st = exec.RunFusedLegacy(op.inst.Kernels, op.sched, op.th)
-	}
+//
+// Errors are typed: a numerical breakdown inside a kernel (zero pivot,
+// non-SPD input, ...) surfaces as a *kernels.BreakdownError wrapped in an
+// *exec.ExecError — reach it with errors.As. A non-numerical executor fault
+// (a panic out of a worker body, e.g. from a corrupted compiled program)
+// demotes the operation one ladder rung — packed to compiled, compiled to
+// legacy — after re-validating the schedule, and retries; only a fault on the
+// last rung, or a schedule that no longer validates, is returned. The
+// operation stays usable after any error.
+func (op *Operation) Run() (Report, error) {
+	st, err := op.runLadder()
 	return Report{
 		Time:     st.Elapsed,
 		Barriers: st.Barriers,
 		GFlops:   metrics.GFlops(op.inst.FlopCount(), st.Elapsed),
+	}, err
+}
+
+// runLadder executes on the current rung, demoting and retrying on
+// non-numerical executor faults.
+func (op *Operation) runLadder() (exec.Stats, error) {
+	for {
+		var st exec.Stats
+		var err error
+		if op.runner != nil {
+			st, err = op.runner.Run(op.th)
+		} else {
+			st, err = exec.RunFusedLegacy(op.inst.Kernels, op.sched, op.th)
+		}
+		if err == nil {
+			return st, nil
+		}
+		// A breakdown is a property of the numbers, not the executor: every
+		// rung computes the same values, so demoting would only repeat it.
+		var b *kernels.BreakdownError
+		if errors.As(err, &b) {
+			return st, err
+		}
+		if op.runner == nil {
+			return st, err // already on the last rung
+		}
+		// The fault came from the packed or compiled artifacts. If the
+		// schedule itself no longer validates, no rung can run it — report
+		// both facts instead of retrying.
+		if verr := op.inst.Loops.Validate(op.sched); verr != nil {
+			return st, fmt.Errorf("sparsefusion: executor fault (%v) and schedule invalid: %w", err, verr)
+		}
+		if op.runner.Packed() {
+			op.runner.DetachLayout()
+			op.demotions = append(op.demotions, Demotion{From: ModePacked, To: ModeCompiled, Reason: err.Error()})
+			continue
+		}
+		op.runner = nil
+		op.demotions = append(op.demotions, Demotion{From: ModeCompiled, To: ModeLegacy, Reason: err.Error()})
 	}
 }
 
@@ -263,6 +389,7 @@ func NewOperationFromSchedule(c Combination, m *Matrix, r io.Reader, opts Option
 	if err := inst.Loops.Validate(sched); err != nil {
 		return nil, fmt.Errorf("sparsefusion: saved schedule does not match this matrix: %w", err)
 	}
-	runner, _ := exec.CompileFused(inst.Kernels, sched)
-	return &Operation{inst: inst, sched: sched, runner: runner, th: opts.threads()}, nil
+	op := &Operation{inst: inst, sched: sched, th: opts.threads()}
+	op.buildRunner()
+	return op, nil
 }

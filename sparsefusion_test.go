@@ -16,12 +16,18 @@ func TestOperationAllCombinations(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", c, err)
 		}
-		rep := op.Run()
+		rep, err := op.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
 		if rep.Time <= 0 || rep.GFlops <= 0 {
 			t.Fatalf("%s: empty report %+v", c, rep)
 		}
 		out1 := op.Output()
-		rep2 := op.Run()
+		rep2, err := op.Run()
+		if err != nil {
+			t.Fatalf("%s: replay: %v", c, err)
+		}
 		out2 := op.Output()
 		if sparse.RelErr(out1, out2) > 1e-12 {
 			t.Fatalf("%s: replay changed the result", c)
