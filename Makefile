@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-inspector check-inspector check-exec
+.PHONY: build test race fuzz bench bench-inspector bench-serve check-inspector check-exec check-serve
 
 # FUZZTIME bounds each fuzz target's wall-clock budget (go test -fuzztime).
 FUZZTIME ?= 15s
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/exec/... ./internal/core/... ./internal/dag/... ./internal/lbc/...
+	$(GO) test -race . ./internal/exec/... ./internal/core/... ./internal/dag/... ./internal/lbc/... ./internal/cache/... ./internal/serve/...
 
 # fuzz smoke-runs the native Go fuzz targets on the two untrusted-input
 # parsers: the binary schedule loader and the Matrix Market reader. Each
@@ -42,3 +42,18 @@ check-inspector:
 # ns/run must stay within 25% of the committed numbers.
 check-exec:
 	$(GO) run ./cmd/spbench -mode exec -check -out BENCH_exec.json
+
+# bench-serve regenerates BENCH_serve.json: cold vs warm first-solve latency
+# through the content-addressed schedule cache, warm steady-state solves vs
+# the inspect-per-request baseline, concurrent serving throughput/latency
+# through the bounded server, and the thundering-herd duplicate-inspection
+# count. The run itself hard-fails if the warm solve is not >= 10x faster
+# than inspect-per-request or if a cold-start herd runs a duplicate
+# inspection.
+bench-serve:
+	$(GO) run ./cmd/spbench -mode serve -out BENCH_serve.json
+
+# check-serve re-measures and fails (exit 1) if the warm solve or p99 served
+# latency regressed more than 25% against the committed BENCH_serve.json.
+check-serve:
+	$(GO) run ./cmd/spbench -mode serve -check -out BENCH_serve.json

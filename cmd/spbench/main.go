@@ -8,6 +8,13 @@
 //	                   serial reference (internal/refinspect), with
 //	                   per-stage timings and the break-even run count
 //	                   (BENCH_inspector.json)
+//	-mode serve      — the fusion-as-a-service path: cold vs warm first
+//	                   solves through the content-addressed schedule cache,
+//	                   warm steady-state solves vs inspect-per-request,
+//	                   concurrent serving throughput and latency through the
+//	                   bounded server, cache hit rate, and the cold-start
+//	                   thundering-herd duplicate-inspection count
+//	                   (BENCH_serve.json)
 //
 // Fixtures are deterministic, so reruns on one machine are comparable; each
 // file records the machine shape alongside the numbers. -check re-measures
@@ -24,7 +31,11 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
 	"time"
+
+	sf "sparsefusion"
 
 	"sparsefusion/internal/core"
 	"sparsefusion/internal/dag"
@@ -115,6 +126,42 @@ type inspectorResult struct {
 	BreakEvenRuns float64 `json:"break_even_runs"`
 }
 
+// serveResult is one subject of the -mode serve suite: the economics of the
+// content-addressed schedule cache and the bounded serving layer.
+type serveResult struct {
+	Name          string `json:"name"`
+	N             int    `json:"n"`
+	Clients       int    `json:"clients"`
+	MaxConcurrent int    `json:"max_concurrent"`
+	// First-operation economics. Cold is the first request for a pattern on
+	// an empty cache: full inspection plus one solve. Warm is the same
+	// request against the populated cache (kernel construction + artifact
+	// binding + one solve, no inspection). InspectPerRequest is the
+	// no-cache baseline a service without schedule reuse would pay per
+	// request.
+	ColdFirstSolveNs    int64 `json:"cold_first_solve_ns"`
+	WarmFirstSolveNs    int64 `json:"warm_first_solve_ns"`
+	InspectPerRequestNs int64 `json:"inspect_per_request_ns"`
+	// WarmSolveNs is the steady-state hot path: one session solving on the
+	// shared cached artifacts. SpeedupWarmVsInspect is InspectPerRequest
+	// over WarmSolve — the factor the cache buys a pattern-stable tenant.
+	WarmSolveNs          int64   `json:"warm_solve_ns"`
+	SpeedupWarmVsInspect float64 `json:"speedup_warm_solve_vs_inspect_per_request"`
+	// Concurrent serving: Clients sessions solving through a server bounded
+	// at MaxConcurrent, for the measuring window.
+	Solves       int64   `json:"solves"`
+	SolvesPerSec float64 `json:"solves_per_sec"`
+	P50Ns        int64   `json:"latency_p50_ns"`
+	P99Ns        int64   `json:"latency_p99_ns"`
+	ServerQueued int64   `json:"server_queued"`
+	// CacheHitRate is the fraction of operation constructions served without
+	// inspection; HerdDuplicateInspections counts inspections beyond the
+	// first under a cold-start thundering herd — the singleflight contract
+	// says it is always 0, and the benchmark aborts otherwise.
+	CacheHitRate             float64 `json:"cache_hit_rate"`
+	HerdDuplicateInspections int64   `json:"herd_duplicate_inspections"`
+}
+
 type report struct {
 	GoVersion  string            `json:"go_version"`
 	GOOS       string            `json:"goos"`
@@ -126,6 +173,7 @@ type report struct {
 	Executor   []executorResult  `json:"executor,omitempty"`
 	Barrier    []barrierResult   `json:"barrier,omitempty"`
 	Inspector  []inspectorResult `json:"inspector,omitempty"`
+	Serve      []serveResult     `json:"serve,omitempty"`
 }
 
 type fixture struct {
@@ -141,7 +189,7 @@ var fixtures = []fixture{
 }
 
 func main() {
-	mode := flag.String("mode", "exec", "benchmark suite: exec or inspector")
+	mode := flag.String("mode", "exec", "benchmark suite: exec, inspector or serve")
 	out := flag.String("out", "", "output file (default BENCH_<mode>.json)")
 	threads := flag.Int("threads", 8, "schedule width r (and inspector workers)")
 	n := flag.Int("n", 40000, "fixture size")
@@ -166,8 +214,10 @@ func main() {
 		runExec(&rep, *threads, *n, *minTime)
 	case "inspector":
 		runInspector(&rep, *threads, *n, *minTime)
+	case "serve":
+		runServe(&rep, *threads, *n, *minTime)
 	default:
-		log.Fatalf("unknown -mode %q (want exec or inspector)", *mode)
+		log.Fatalf("unknown -mode %q (want exec, inspector or serve)", *mode)
 	}
 
 	if *check {
@@ -345,6 +395,162 @@ func runInspector(rep *report, threads, n int, minTime time.Duration) {
 	}
 }
 
+// runServe measures the fusion-as-a-service path through the public facade:
+// the schedule cache's first-solve economics, the warm steady-state solve
+// against the inspect-per-request baseline, concurrent serving throughput
+// and latency through the bounded server, and the cold-start thundering-herd
+// guarantee. Two invariants are enforced unconditionally (write and -check
+// mode alike): the warm solve must beat inspect-per-request by at least 10x,
+// and a cold-start herd must run exactly one inspection.
+func runServe(rep *report, threads, n int, minTime time.Duration) {
+	side := 1
+	for (side+1)*(side+1) <= n {
+		side++
+	}
+	m := sf.Laplacian2D(side)
+	const name = "trsv-trsv/laplacian"
+	opts := func(sc *sf.ScheduleCache) sf.Options {
+		return sf.Options{Threads: threads, LBCInitialCut: 3, LBCAgg: 8, Cache: sc}
+	}
+
+	// Cold: the first request for this pattern on an empty cache pays the
+	// inspection. One-shot by nature, so a single timed sample.
+	sc := sf.NewScheduleCache(sf.CacheConfig{})
+	t0 := time.Now()
+	op, err := sf.NewOperation(sf.TrsvTrsv, m, opts(sc))
+	if err != nil {
+		log.Fatalf("%s: cold operation: %v", name, err)
+	}
+	if _, err := op.Run(); err != nil {
+		log.Fatalf("%s: cold solve: %v", name, err)
+	}
+	cold := time.Since(t0)
+
+	// Warm first solve: a fresh operation against the populated cache.
+	warmFirst := measure(minTime, func() {
+		wop, err := sf.NewOperation(sf.TrsvTrsv, m, opts(sc))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := wop.Run(); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	// Baseline: a service without schedule reuse inspects on every request.
+	inspectPer := measure(minTime, func() {
+		bop, err := sf.NewOperation(sf.TrsvTrsv, m, opts(nil))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := bop.Run(); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	// Steady state: one session solving on the shared artifacts.
+	sess, err := op.NewSession()
+	if err != nil {
+		log.Fatalf("%s: session: %v", name, err)
+	}
+	warmSolve := measure(minTime, func() {
+		if _, err := sess.Run(); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	// Concurrent serving: clients sessions hammer a bounded server until the
+	// deadline; wall clock over completed solves is the throughput.
+	const clients = 8
+	const maxConcurrent = 2
+	sv := sf.NewServer(sf.ServerConfig{MaxConcurrent: maxConcurrent, Width: threads})
+	var mu sync.Mutex
+	var lats []time.Duration
+	deadline := time.Now().Add(minTime)
+	var wg sync.WaitGroup
+	tServe := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := op.NewSession()
+			if err != nil {
+				log.Fatalf("%s: client session: %v", name, err)
+			}
+			var mine []time.Duration
+			for time.Now().Before(deadline) {
+				t := time.Now()
+				if _, err := s.RunOn(sv); err != nil {
+					log.Fatalf("%s: served solve: %v", name, err)
+				}
+				mine = append(mine, time.Since(t))
+			}
+			mu.Lock()
+			lats = append(lats, mine...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(tServe)
+	queued := sv.Stats().Queued
+	sv.Close()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) int64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(p*float64(len(lats)-1))].Nanoseconds()
+	}
+	solves := int64(len(lats))
+
+	// Cold-start thundering herd on a fresh cache: every tenant arrives at
+	// once, exactly one inspection may run.
+	herd := sf.NewScheduleCache(sf.CacheConfig{})
+	var hwg sync.WaitGroup
+	for i := 0; i < 2*clients; i++ {
+		hwg.Add(1)
+		go func() {
+			defer hwg.Done()
+			if _, err := sf.NewOperation(sf.TrsvTrsv, m, opts(herd)); err != nil {
+				log.Fatalf("%s: herd operation: %v", name, err)
+			}
+		}()
+	}
+	hwg.Wait()
+	dup := herd.Stats().Misses - 1
+	if dup != 0 {
+		log.Fatalf("%s: cold-start herd ran %d duplicate inspections, want 0", name, dup)
+	}
+	speedup := ratio(float64(inspectPer.Nanoseconds()), float64(warmSolve.Nanoseconds()))
+	if speedup < 10 {
+		log.Fatalf("%s: warm solve %v is only %.1fx faster than inspect-per-request %v, want >= 10x",
+			name, warmSolve, speedup, inspectPer)
+	}
+
+	rep.Serve = append(rep.Serve, serveResult{
+		Name:                     name,
+		N:                        m.Rows(),
+		Clients:                  clients,
+		MaxConcurrent:            maxConcurrent,
+		ColdFirstSolveNs:         cold.Nanoseconds(),
+		WarmFirstSolveNs:         warmFirst.Nanoseconds(),
+		InspectPerRequestNs:      inspectPer.Nanoseconds(),
+		WarmSolveNs:              warmSolve.Nanoseconds(),
+		SpeedupWarmVsInspect:     speedup,
+		Solves:                   solves,
+		SolvesPerSec:             ratio(float64(solves)*1e9, float64(wall.Nanoseconds())),
+		P50Ns:                    pct(0.50),
+		P99Ns:                    pct(0.99),
+		ServerQueued:             queued,
+		CacheHitRate:             sc.Stats().HitRate(),
+		HerdDuplicateInspections: dup,
+	})
+	fmt.Printf("%-22s cold %10v  warm-first %10v  warm-solve %10v  inspect/req %10v  %.0fx  %d solves (%.0f/s, p50 %v p99 %v)\n",
+		name, cold, warmFirst, warmSolve, inspectPer, speedup,
+		solves, ratio(float64(solves)*1e9, float64(wall.Nanoseconds())),
+		time.Duration(pct(0.50)), time.Duration(pct(0.99)))
+}
+
 // executorEconomics measures the per-run cost of the fused compiled executor
 // and of the unfused per-kernel LBC chain — the gap the inspector's one-time
 // cost is amortized against.
@@ -421,6 +627,24 @@ func checkRegression(path string, fresh *report) error {
 		if float64(f.ParallelNs) > float64(c.ParallelNs)*slack {
 			failures = append(failures, fmt.Sprintf(
 				"inspector %s: optimized %dns > committed %dns +25%%", f.Name, f.ParallelNs, c.ParallelNs))
+		}
+	}
+	srvC := make(map[string]serveResult, len(committed.Serve))
+	for _, r := range committed.Serve {
+		srvC[r.Name] = r
+	}
+	for _, f := range fresh.Serve {
+		c, ok := srvC[f.Name]
+		if !ok {
+			continue
+		}
+		if float64(f.WarmSolveNs) > float64(c.WarmSolveNs)*slack {
+			failures = append(failures, fmt.Sprintf(
+				"serve %s: warm solve %dns > committed %dns +25%%", f.Name, f.WarmSolveNs, c.WarmSolveNs))
+		}
+		if c.P99Ns > 0 && float64(f.P99Ns) > float64(c.P99Ns)*slack {
+			failures = append(failures, fmt.Sprintf(
+				"serve %s: p99 latency %dns > committed %dns +25%%", f.Name, f.P99Ns, c.P99Ns))
 		}
 	}
 	if len(failures) > 0 {

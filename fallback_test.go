@@ -6,7 +6,7 @@ import (
 	"testing"
 	"time"
 
-	"sparsefusion/internal/core"
+	"sparsefusion/internal/cache"
 	"sparsefusion/internal/exec"
 	"sparsefusion/internal/kernels"
 )
@@ -43,10 +43,11 @@ func TestCorruptSavedScheduleRejected(t *testing.T) {
 		if err := op.SaveSchedule(&buf); err != nil {
 			t.Fatal(err)
 		}
-		// Corrupt the saved schedule's iteration indices: re-decode, point an
-		// iteration far out of range, re-encode. The loader must reject it
+		// Corrupt the saved schedule's iteration indices: re-decode the
+		// fingerprinted container, point an iteration far out of range,
+		// re-encode under the same fingerprint. The loader must reject it
 		// with a typed validation error, not execute it.
-		sched, err := core.ReadSchedule(bytes.NewReader(buf.Bytes()))
+		key, sched, err := cache.ReadScheduleFile(bytes.NewReader(buf.Bytes()))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +55,7 @@ func TestCorruptSavedScheduleRejected(t *testing.T) {
 		wp := sp[len(sp)-1]
 		wp[len(wp)-1].Idx = 1 << 20
 		var corrupt bytes.Buffer
-		if _, err := sched.WriteTo(&corrupt); err != nil {
+		if err := cache.WriteScheduleFile(&corrupt, key, sched); err != nil {
 			t.Fatal(err)
 		}
 		err = watchdog(t, 10*time.Second, func() error {

@@ -1,0 +1,295 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sparsefusion/internal/core"
+	"sparsefusion/internal/relayout"
+)
+
+// Artifacts is the inspection product chain cached under one fingerprint.
+// Every field is immutable after publication: the schedule and program are
+// never written post-build, and the layout's streams are read-only during
+// execution (relayout.Build refuses chains that overwrite packed sources).
+type Artifacts struct {
+	// Schedule is the fused ICO schedule; never nil in a published entry.
+	Schedule *core.Schedule
+	// Program is the schedule compiled to the flat executor form; nil when
+	// the schedule exceeds the compiled representation (ProgramErr says why),
+	// in which case consumers run the legacy executor.
+	Program    *core.Program
+	ProgramErr string
+	// Layout is the schedule-order packed re-layout; nil when the chain does
+	// not support packing (LayoutErr says why). Unlike the schedule and
+	// program it bakes in matrix values — consumers must check
+	// Layout.VerifySources against their kernels before sharing it.
+	Layout    *relayout.Layout
+	LayoutErr string
+}
+
+// Builder supplies the three stages of a miss. Inspect is the expensive part
+// the cache exists to amortize; Complete derives the rest of the chain from a
+// schedule (compile + re-layout); Validate gates schedules read back from the
+// disk tier before they are trusted (nil skips the gate).
+type Builder struct {
+	Inspect  func() (*core.Schedule, error)
+	Validate func(*core.Schedule) error
+	Complete func(*core.Schedule) (Artifacts, error)
+}
+
+// Entry is one published cache line: the artifact chain plus bookkeeping.
+// Entries are immutable; the recency stamp is the only mutable word and is
+// atomic.
+type Entry struct {
+	Key Key
+	Artifacts
+	// FromDisk records that the schedule was loaded from the disk tier
+	// rather than inspected in this process.
+	FromDisk bool
+
+	lastUse atomic.Int64
+}
+
+// Config tunes a Cache.
+type Config struct {
+	// MaxEntries bounds the in-memory tier; <= 0 selects DefaultMaxEntries.
+	MaxEntries int
+	// Dir enables the disk tier: schedules persist as
+	// <Dir>/<fingerprint>.sched files and warm-start later processes.
+	// Empty disables persistence.
+	Dir string
+}
+
+// DefaultMaxEntries is the in-memory bound when Config.MaxEntries is unset.
+// An entry is roughly the schedule plus program plus packed streams —
+// pattern-sized — so the default assumes a universe of at most a few hundred
+// live patterns.
+const DefaultMaxEntries = 128
+
+// Cache is the content-addressed artifact store. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	max int
+	dir string
+
+	// entries is the published tier: Key -> *Entry. Reads (hits) are
+	// lock-free; writes happen only on misses under mu.
+	entries sync.Map
+	count   atomic.Int64
+	// clock stamps recency for the eviction scan; monotonically increasing,
+	// bumped on every touch.
+	clock atomic.Int64
+
+	// mu guards inflight and the publish/evict step. It is never held while
+	// building or while waiting for a leader.
+	mu       sync.Mutex
+	inflight map[Key]*flight
+
+	hits, misses, waits    atomic.Int64
+	evictions              atomic.Int64
+	diskHits, diskErrors   atomic.Int64
+	inflightN, inflightMax atomic.Int64
+}
+
+// flight is one in-progress build; latecomers block on done.
+type flight struct {
+	done chan struct{}
+	e    *Entry
+	err  error
+}
+
+// New constructs a cache. If cfg.Dir is set it is created on first save.
+func New(cfg Config) *Cache {
+	max := cfg.MaxEntries
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	return &Cache{max: max, dir: cfg.Dir, inflight: make(map[Key]*flight)}
+}
+
+// lookup is the raw published-tier read; it refreshes the recency stamp but
+// records no statistics.
+func (c *Cache) lookup(key Key) (*Entry, bool) {
+	v, ok := c.entries.Load(key)
+	if !ok {
+		return nil, false
+	}
+	e := v.(*Entry)
+	e.lastUse.Store(c.clock.Add(1))
+	return e, true
+}
+
+// Get returns the published entry for key, if any. The hit path takes no
+// locks.
+func (c *Cache) Get(key Key) (*Entry, bool) {
+	e, ok := c.lookup(key)
+	if ok {
+		c.hits.Add(1)
+	}
+	return e, ok
+}
+
+// GetOrBuild returns the entry for key, building it exactly once under
+// concurrency: the first caller for an unpublished key becomes the leader and
+// runs the builder (disk tier first, then Inspect); every concurrent caller
+// for the same key blocks on the leader and shares its result pointer. A
+// build error is returned to the leader and all waiters and publishes
+// nothing, so a later call retries.
+func (c *Cache) GetOrBuild(key Key, b Builder) (*Entry, error) {
+	if e, ok := c.lookup(key); ok {
+		c.hits.Add(1)
+		return e, nil
+	}
+	c.mu.Lock()
+	if e, ok := c.lookup(key); ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return e, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.waits.Add(1)
+		<-f.done
+		return f.e, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	if n := c.inflightN.Add(1); n > c.inflightMax.Load() {
+		c.inflightMax.Store(n) // racy max is fine: diagnostics, not invariants
+	}
+	c.mu.Unlock()
+
+	f.e, f.err = c.build(key, b)
+	if f.err == nil {
+		c.publish(key, f.e)
+	}
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	c.inflightN.Add(-1)
+	close(f.done)
+	return f.e, f.err
+}
+
+// build runs one miss: disk tier (when enabled and the file verifies), then
+// the builder's Inspect, then Complete. Freshly inspected schedules are
+// written back to the disk tier best-effort.
+func (c *Cache) build(key Key, b Builder) (*Entry, error) {
+	c.misses.Add(1)
+	var sched *core.Schedule
+	fromDisk := false
+	if c.dir != "" {
+		if s, err := c.loadDisk(key); err == nil {
+			if b.Validate != nil {
+				err = b.Validate(s)
+			}
+			if err == nil {
+				sched, fromDisk = s, true
+				c.diskHits.Add(1)
+			} else {
+				c.diskErrors.Add(1)
+			}
+		} else if !isNotExist(err) {
+			c.diskErrors.Add(1)
+		}
+	}
+	if sched == nil {
+		var err error
+		sched, err = b.Inspect()
+		if err != nil {
+			return nil, err
+		}
+	}
+	art, err := b.Complete(sched)
+	if err != nil {
+		return nil, err
+	}
+	if art.Schedule == nil {
+		art.Schedule = sched
+	}
+	e := &Entry{Key: key, Artifacts: art, FromDisk: fromDisk}
+	e.lastUse.Store(c.clock.Add(1))
+	if c.dir != "" && !fromDisk {
+		if err := c.saveDisk(key, art.Schedule); err != nil {
+			c.diskErrors.Add(1)
+		}
+	}
+	return e, nil
+}
+
+// publish stores the entry and evicts the least-recently-used line when the
+// in-memory tier outgrows its bound. Eviction only drops the in-memory
+// pointer — a disk-tier file, if any, survives and re-warms a later miss.
+func (c *Cache) publish(key Key, e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, loaded := c.entries.LoadOrStore(key, e); loaded {
+		return
+	}
+	if int(c.count.Add(1)) <= c.max {
+		return
+	}
+	var oldKey Key
+	var old *Entry
+	c.entries.Range(func(k, v any) bool {
+		en := v.(*Entry)
+		if en == e {
+			return true // never evict the line just published
+		}
+		if old == nil || en.lastUse.Load() < old.lastUse.Load() {
+			old, oldKey = en, k.(Key)
+		}
+		return true
+	})
+	if old != nil {
+		c.entries.Delete(oldKey)
+		c.count.Add(-1)
+		c.evictions.Add(1)
+	}
+}
+
+// Stats is an expvar-style counter snapshot.
+type Stats struct {
+	// Hits are lock-free reads of a published entry; Waits are callers that
+	// blocked on another goroutine's in-flight build of the same key (the
+	// singleflight coalescing path); Misses count actual builds — under a
+	// thundering herd on one new pattern, Misses is exactly 1.
+	Hits, Misses, Waits int64
+	// Evictions counts in-memory lines dropped by the size bound.
+	Evictions int64
+	// DiskHits are misses served by the disk tier instead of inspection;
+	// DiskErrors count unreadable, mismatched, or unwritable tier files.
+	DiskHits, DiskErrors int64
+	// Entries and Inflight are current gauges; InflightPeak is the high-water
+	// concurrent-build mark.
+	Entries, Inflight, InflightPeak int
+	MaxEntries                      int
+}
+
+// HitRate is the fraction of requests served without running an inspection
+// (published hits plus singleflight waits).
+func (s Stats) HitRate() float64 {
+	served := s.Hits + s.Waits
+	total := served + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(served) / float64(total)
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Waits:        c.waits.Load(),
+		Evictions:    c.evictions.Load(),
+		DiskHits:     c.diskHits.Load(),
+		DiskErrors:   c.diskErrors.Load(),
+		Entries:      int(c.count.Load()),
+		Inflight:     int(c.inflightN.Load()),
+		InflightPeak: int(c.inflightMax.Load()),
+		MaxEntries:   c.max,
+	}
+}

@@ -1,0 +1,88 @@
+// Package cache is a content-addressed store for the inspector's artifact
+// chain. The paper's economics are amortization: a fused schedule (and the
+// compiled program and packed layout derived from it) is expensive to build —
+// break-even is tens of executor runs on the committed fixtures — but stays
+// valid for as long as the sparsity pattern is unchanged (section 2.1).
+// Production traffic draws millions of solves from a much smaller universe of
+// patterns, so the cache keys the whole chain by a structural fingerprint and
+// guarantees each pattern is inspected at most once per process (and, with
+// the disk tier, at most once per machine).
+//
+// Concurrency contract: published entries are immutable, hits are lock-free
+// reads off a sync.Map, and misses go through per-key singleflight — a
+// thundering herd on a new pattern runs exactly one inspection while the
+// latecomers block on the leader's result.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+
+	"sparsefusion/internal/sparse"
+)
+
+// Key is a content-addressed cache key: a SHA-256 fingerprint over the
+// sparsity pattern and the scheduling parameters that shape the artifact
+// chain. Equal keys mean the freshly inspected artifacts would be
+// bit-identical (ICO is deterministic), so sharing a cached entry is safe.
+type Key [sha256.Size]byte
+
+// String returns the fingerprint in hex, the disk tier's file-name form.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Params are the non-pattern fingerprint components: everything besides the
+// sparsity structure that changes the schedule ICO produces. Inspector
+// worker counts are deliberately absent — the parallel inspector is
+// byte-identical at any worker count.
+type Params struct {
+	// Combo identifies the kernel combination (combos.ID).
+	Combo int
+	// Threads is the schedule width r.
+	Threads int
+	// LBCInitialCut and LBCAgg are the head-DAG partitioner tuning, already
+	// normalized (zero values resolved to their defaults) by the caller.
+	LBCInitialCut, LBCAgg int
+}
+
+// fingerprintVersion is folded into every key so a change to the fingerprint
+// definition invalidates older disk-tier files instead of colliding with them.
+const fingerprintVersion = 1
+
+// Fingerprint hashes the structural pattern of a — row pointers and column
+// indices, never values — together with the scheduling parameters. Two
+// matrices with the same pattern but different values share a key: the
+// schedule and compiled program depend only on structure. (The packed layout
+// also bakes in values; relayout.Layout carries its own source checksum so a
+// cached layout is re-verified before it is shared.)
+func Fingerprint(a *sparse.CSR, p Params) Key {
+	h := sha256.New()
+	hashInts(h, []int{
+		fingerprintVersion, a.Rows, a.Cols,
+		p.Combo, p.Threads, p.LBCInitialCut, p.LBCAgg,
+		len(a.P), len(a.I),
+	})
+	hashInts(h, a.P)
+	hashInts(h, a.I)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// hashInts streams xs into h as little-endian uint64s, in blocks to keep the
+// per-call overhead off the pattern-sized arrays.
+func hashInts(h io.Writer, xs []int) {
+	var buf [8 * 1024]byte
+	for len(xs) > 0 {
+		n := len(xs)
+		if n > 1024 {
+			n = 1024
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(xs[i]))
+		}
+		h.Write(buf[:8*n])
+		xs = xs[n:]
+	}
+}

@@ -16,6 +16,7 @@
 package combos
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -297,6 +298,52 @@ func BuildGSWorkers(a *sparse.CSR, nSweeps, workers int) (*Instance, error) {
 
 func snap(v []float64) func() []float64 {
 	return func() []float64 { return append([]float64(nil), v...) }
+}
+
+// ErrNotCloneable reports a combination whose kernels overwrite matrix values
+// during a run (the factorization chains and Gauss-Seidel): concurrent
+// sessions over one shared matrix would race on those writes, so such
+// instances serve one client at a time.
+var ErrNotCloneable = errors.New("combos: combination writes matrix values and cannot be cloned for concurrent sessions")
+
+// CloneForSession returns a copy of the instance with fresh input, output,
+// and intermediate vectors but the same matrices, iteration DAGs, and fusion
+// input (Loops). The clone is what a serving client solves on: the expensive
+// immutable inspection state is shared, the per-run storage is private, so
+// any number of clones may execute the same cached schedule concurrently.
+// Only the pure combinations — TRSV-TRSV, TRSV-MV, MV-MV, whose kernels never
+// write matrix values — are cloneable; the rest return ErrNotCloneable.
+//
+// The clone's Input starts as a copy of the base instance's input, so an
+// unmodified clone computes the base result (the bit-identity oracle).
+func (in *Instance) CloneForSession() (*Instance, error) {
+	c := &Instance{ID: in.ID, Name: in.Name, Loops: in.Loops, Reuse: in.Reuse, mklSeq: in.mklSeq}
+	n := len(in.Output)
+	mid := make([]float64, n)
+	out := make([]float64, n)
+	input := append([]float64(nil), in.Input...)
+	switch in.ID {
+	case TrsvTrsv:
+		// k1 solves L*mid = input, k2 solves L*out = mid.
+		k1 := in.Kernels[0].(*kernels.SpTRSVCSR)
+		k2 := in.Kernels[1].(*kernels.SpTRSVCSR)
+		c.Kernels = []kernels.Kernel{k1.WithVectors(input, mid), k2.WithVectors(mid, out)}
+	case TrsvMv:
+		// k1 solves L*mid = input, k2 scatters out += A[:,j]*mid[j].
+		k1 := in.Kernels[0].(*kernels.SpTRSVCSR)
+		k2 := in.Kernels[1].(*kernels.SpMVCSC)
+		c.Kernels = []kernels.Kernel{k1.WithVectors(input, mid), k2.WithVectors(mid, out)}
+	case MvMv:
+		// k1 computes mid = A*input, k2 computes out = A*mid.
+		k1 := in.Kernels[0].(*kernels.SpMVCSR)
+		k2 := in.Kernels[1].(*kernels.SpMVCSR)
+		c.Kernels = []kernels.Kernel{k1.WithVectors(input, mid), k2.WithVectors(mid, out)}
+	default:
+		return nil, ErrNotCloneable
+	}
+	c.Input, c.Output = input, out
+	c.Snapshot = snap(out)
+	return c, nil
 }
 
 // RunSequential executes the kernels back to back, single-threaded, and

@@ -117,6 +117,18 @@ func (r *Runner) Program() *core.Program { return r.prog }
 // s-partitions and returns as an *ExecError; the Runner itself stays usable
 // (the fault channel is re-armed, the pool torn down as always).
 func (r *Runner) Run(threads int) (Stats, error) {
+	poolWidth := r.prog.MaxWidth
+	if poolWidth < 1 {
+		poolWidth = 1
+	}
+	pl := newPool(poolWidth)
+	defer pl.close()
+	return r.runOnPool(pl, threads)
+}
+
+// runOnPool is Run's body over a caller-supplied pool, which must be at least
+// prog.MaxWidth wide and exclusively owned for the duration of the call.
+func (r *Runner) runOnPool(pl *pool, threads int) (Stats, error) {
 	p := r.prog
 	parallel := threads > 1 && p.MaxWidth > 1
 	setAtomics(r.ks, parallel)
@@ -130,8 +142,6 @@ func (r *Runner) Run(threads int) (Stats, error) {
 	if poolWidth < 1 {
 		poolWidth = 1
 	}
-	pl := newPool(poolWidth)
-	defer pl.close()
 	durs := make([]time.Duration, poolWidth)
 	runBody := r.runW
 	if r.packed != nil {

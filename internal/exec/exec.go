@@ -72,31 +72,9 @@ func accumulate(st *Stats, durs []time.Duration, threads int) {
 // breakdown or corrupt schedule) abandons the remaining s-partitions and is
 // returned as an *ExecError.
 func RunFusedLegacy(ks []kernels.Kernel, sched *core.Schedule, threads int) (Stats, error) {
-	parallel := threads > 1 && sched.MaxWidth() > 1
-	setAtomics(ks, parallel)
-	defer setAtomics(ks, false)
-	var st Stats
-	t0 := time.Now()
-	for _, k := range ks {
-		k.Prepare()
-	}
 	pl := newPool(sched.MaxWidth())
 	defer pl.close()
-	durs := make([]time.Duration, sched.MaxWidth())
-	for si, sp := range sched.S {
-		pl.run(len(sp), func(w int) {
-			for _, it := range sp[w] {
-				ks[it.Loop].Run(it.Idx)
-			}
-		}, durs[:len(sp)])
-		accumulate(&st, durs[:len(sp)], threads)
-		if f := pl.takeFault(); f != nil {
-			st.Elapsed = time.Since(t0)
-			return st, f.execError(si, -1)
-		}
-	}
-	st.Elapsed = time.Since(t0)
-	return st, nil
+	return runFusedLegacyOnPool(ks, sched, threads, pl)
 }
 
 // RunPartitionedLegacy executes one kernel under a baseline partitioning by

@@ -1,0 +1,100 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"sparsefusion/internal/core"
+	"sparsefusion/internal/kernels"
+)
+
+// Pool is a reusable spin-barrier worker set, the serving layer's unit of
+// admission control. Runner.Run spins up (and tears down) a private pool per
+// call, which is the right shape for a solver that runs one schedule in a
+// loop — but a server executing many short solves pays the goroutine spawn
+// and teardown per request, and N concurrent solves would stack N*width
+// spinning workers onto the machine. A bounded set of persistent Pools, each
+// checked out by one execution at a time, caps the spinning goroutines at
+// K*width regardless of offered load.
+//
+// A Pool must be owned exclusively while a run is in flight; the serving
+// layer's checkout discipline (internal/serve) guarantees that. Worker
+// faults do not poison the pool — the fault channel re-arms after every run,
+// exactly as with Runner-private pools.
+type Pool struct {
+	p *pool
+}
+
+// NewPool starts a worker set of the given width (clamped to at least 1).
+// Close it when done; an unclosed pool leaks width-1 parked goroutines.
+func NewPool(width int) *Pool {
+	if width < 1 {
+		width = 1
+	}
+	return &Pool{p: newPool(width)}
+}
+
+// Width is the maximum schedule width the pool can execute.
+func (p *Pool) Width() int { return p.p.workers }
+
+// Close stops the workers and waits for them to exit.
+func (p *Pool) Close() { p.p.close() }
+
+// RunOn executes the compiled schedule on a caller-supplied pool instead of a
+// private one, with semantics identical to Run. The pool must be at least as
+// wide as the program and must not be shared with a concurrent run; a pool
+// that is too narrow is an error (the caller falls back to Run, which sizes
+// its own).
+func (r *Runner) RunOn(pl *Pool, threads int) (Stats, error) {
+	if pl == nil {
+		return r.Run(threads)
+	}
+	if w := r.prog.MaxWidth; w > pl.Width() {
+		return Stats{}, fmt.Errorf("exec: program width %d exceeds pool width %d", w, pl.Width())
+	}
+	return r.runOnPool(pl.p, threads)
+}
+
+// RunFusedLegacyOn is RunFusedLegacy on a caller-supplied pool: the serving
+// layer's path for operations on the legacy rung. The same width and
+// exclusivity requirements as RunOn apply.
+func RunFusedLegacyOn(ks []kernels.Kernel, sched *core.Schedule, threads int, pl *Pool) (Stats, error) {
+	if pl == nil {
+		return RunFusedLegacy(ks, sched, threads)
+	}
+	if w := sched.MaxWidth(); w > pl.Width() {
+		return Stats{}, fmt.Errorf("exec: schedule width %d exceeds pool width %d", w, pl.Width())
+	}
+	return runFusedLegacyOnPool(ks, sched, threads, pl.p)
+}
+
+// runFusedLegacyOnPool is RunFusedLegacy's body over a caller-supplied pool.
+func runFusedLegacyOnPool(ks []kernels.Kernel, sched *core.Schedule, threads int, pl *pool) (Stats, error) {
+	parallel := threads > 1 && sched.MaxWidth() > 1
+	setAtomics(ks, parallel)
+	defer setAtomics(ks, false)
+	var st Stats
+	t0 := time.Now()
+	for _, k := range ks {
+		k.Prepare()
+	}
+	width := sched.MaxWidth()
+	if width < 1 {
+		width = 1
+	}
+	durs := make([]time.Duration, width)
+	for si, sp := range sched.S {
+		pl.run(len(sp), func(w int) {
+			for _, it := range sp[w] {
+				ks[it.Loop].Run(it.Idx)
+			}
+		}, durs[:len(sp)])
+		accumulate(&st, durs[:len(sp)], threads)
+		if f := pl.takeFault(); f != nil {
+			st.Elapsed = time.Since(t0)
+			return st, f.execError(si, -1)
+		}
+	}
+	st.Elapsed = time.Since(t0)
+	return st, nil
+}

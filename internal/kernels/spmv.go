@@ -21,6 +21,14 @@ func NewSpMVCSR(a *sparse.CSR, x, y []float64) *SpMVCSR {
 	return &SpMVCSR{A: a, X: x, Y: y, g: dag.ParallelCSR(a.P, 0)}
 }
 
+// WithVectors returns a copy of the kernel bound to fresh x/y vectors,
+// sharing the matrix and its iteration DAG (per-session clone).
+func (k *SpMVCSR) WithVectors(x, y []float64) *SpMVCSR {
+	c := *k
+	c.X, c.Y = x, y
+	return &c
+}
+
 func (k *SpMVCSR) Name() string    { return "SpMV-CSR" }
 func (k *SpMVCSR) Iterations() int { return k.A.Rows }
 func (k *SpMVCSR) DAG() *dag.Graph { return k.g }
@@ -66,6 +74,16 @@ type SpMVCSC struct {
 // NewSpMVCSC builds the kernel. X and Y must have length A.Cols and A.Rows.
 func NewSpMVCSC(a *sparse.CSC, x, y []float64) *SpMVCSC {
 	return &SpMVCSC{A: a, X: x, Y: y, g: dag.ParallelCSR(a.P, 0)}
+}
+
+// WithVectors returns a copy of the kernel bound to fresh x/y vectors,
+// sharing the matrix and its iteration DAG (per-session clone). Atomic mode
+// resets: the executor re-arms it per run.
+func (k *SpMVCSC) WithVectors(x, y []float64) *SpMVCSC {
+	c := *k
+	c.X, c.Y = x, y
+	c.Atomic = false
+	return &c
 }
 
 func (k *SpMVCSC) Name() string    { return "SpMV-CSC" }
@@ -114,6 +132,14 @@ type SpMVPlusCSR struct {
 // NewSpMVPlusCSR builds the kernel; all vectors have length A.Rows (= Cols).
 func NewSpMVPlusCSR(a *sparse.CSR, x, b, y []float64) *SpMVPlusCSR {
 	return &SpMVPlusCSR{A: a, X: x, B: b, Y: y, g: dag.ParallelCSR(a.P, 1)}
+}
+
+// WithVectors returns a copy of the kernel bound to fresh x/b/y vectors,
+// sharing the matrix and its iteration DAG (per-session clone).
+func (k *SpMVPlusCSR) WithVectors(x, b, y []float64) *SpMVPlusCSR {
+	c := *k
+	c.X, c.B, c.Y = x, b, y
+	return &c
 }
 
 func (k *SpMVPlusCSR) Name() string    { return "SpMV+b-CSR" }

@@ -24,6 +24,16 @@ func NewSpTRSVCSR(l *sparse.CSR, b, x []float64) *SpTRSVCSR {
 	return &SpTRSVCSR{L: l, B: b, X: x, g: dag.FromLowerCSR(l)}
 }
 
+// WithVectors returns a copy of the kernel bound to fresh b/x vectors while
+// sharing the matrix and its iteration DAG — the per-session clone the
+// serving layer uses to split shared immutable inspection state from
+// per-client mutable storage.
+func (k *SpTRSVCSR) WithVectors(b, x []float64) *SpTRSVCSR {
+	c := *k
+	c.B, c.X = b, x
+	return &c
+}
+
 func (k *SpTRSVCSR) Name() string    { return "SpTRSV-CSR" }
 func (k *SpTRSVCSR) Iterations() int { return k.L.Rows }
 func (k *SpTRSVCSR) DAG() *dag.Graph { return k.g }

@@ -39,6 +39,12 @@ type Layout struct {
 	// occurrence cursor) it lets the executor start any segment — or any
 	// fused two-loop span — at the right stream position.
 	SegEnt []int32
+	// Sum is the checksum of the source value arrays the streams were packed
+	// from (SourceSum at build time). A layout shared across operations —
+	// the schedule-cache path — bakes in matrix values, not just structure,
+	// so consumers call VerifySources before attaching a layout they did not
+	// build themselves.
+	Sum uint64
 
 	prog *core.Program
 }
@@ -149,5 +155,52 @@ func Build(prog *core.Program, ks []kernels.Kernel) (*Layout, error) {
 			return nil, fmt.Errorf("relayout: loop %d stream exceeds int32 entry cursors", l)
 		}
 	}
+	lay.Sum, _ = SourceSum(ks, prog.NumLoops)
 	return lay, nil
+}
+
+// SourceSum hashes (FNV-1a) the packed-source value arrays of the chain's
+// first nLoops kernels, in loop order. It returns ok=false when a kernel does
+// not support the packed layout — such chains never build a layout, so there
+// is nothing to compare.
+func SourceSum(ks []kernels.Kernel, nLoops int) (sum uint64, ok bool) {
+	if len(ks) < nLoops {
+		return 0, false
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for l := 0; l < nLoops; l++ {
+		p, isPacker := ks[l].(kernels.StreamPacker)
+		if !isPacker {
+			return 0, false
+		}
+		src := p.PackedSource()
+		h = (h ^ uint64(len(src))) * prime64
+		for _, v := range src {
+			h = (h ^ math.Float64bits(v)) * prime64
+		}
+	}
+	return h, true
+}
+
+// VerifySources is the staleness check for sharing a cached layout: it
+// reports an error when the kernels' current source values no longer match
+// the values this layout packed. The schedule and compiled program depend
+// only on the sparsity structure, so they are shared by fingerprint alone —
+// but the packed streams copied values, and serving them to an operation
+// whose matrix holds different values would silently compute with stale data.
+// Callers that fail this check rebuild a private layout against the shared
+// program instead.
+func (l *Layout) VerifySources(ks []kernels.Kernel) error {
+	sum, ok := SourceSum(ks, l.prog.NumLoops)
+	if !ok {
+		return fmt.Errorf("relayout: chain does not support the packed layout")
+	}
+	if sum != l.Sum {
+		return fmt.Errorf("relayout: source values changed since the layout was packed (sum %#x, layout %#x)", sum, l.Sum)
+	}
+	return nil
 }

@@ -1,0 +1,121 @@
+// Package serve bounds concurrent fused executions for the multi-tenant
+// serving layer. The executor's worker sets (exec.Pool) spin while a run is
+// in flight, so N concurrent clients each spawning their own pool would stack
+// N*width busy goroutines onto the machine — on an oversubscribed server the
+// spinning itself destroys the latency the fused schedule bought. A Server
+// owns a fixed fleet of K persistent pools used as both a semaphore and a
+// free-list: at most K executions run at once, each on a pre-spawned pool,
+// and excess requests queue on the checkout channel in arrival order.
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"sparsefusion/internal/exec"
+)
+
+// ErrClosed is returned by Do after Close.
+var ErrClosed = errors.New("serve: server is closed")
+
+// Server is a bounded pool of executor worker sets.
+type Server struct {
+	pools chan *exec.Pool
+	done  chan struct{}
+	width int
+
+	admitted atomic.Int64
+	queued   atomic.Int64
+	active   atomic.Int64
+
+	closeOnce sync.Once
+}
+
+// Stats is a snapshot of the server's admission counters.
+type Stats struct {
+	// MaxConcurrent is the pool-fleet size K (the admission bound).
+	MaxConcurrent int
+	// Width is each pool's worker width.
+	Width int
+	// Admitted counts executions that checked out a pool.
+	Admitted int64
+	// Queued counts admissions that had to wait because all K pools were
+	// checked out at the moment of arrival.
+	Queued int64
+	// Active is the number of executions in flight right now.
+	Active int64
+}
+
+// New starts a server with maxConcurrent pools of the given worker width.
+// Both are clamped to at least 1. The fleet spins up eagerly so the first
+// request does not pay pool-spawn latency.
+func New(maxConcurrent, width int) *Server {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if width < 1 {
+		width = 1
+	}
+	s := &Server{
+		pools: make(chan *exec.Pool, maxConcurrent),
+		done:  make(chan struct{}),
+		width: width,
+	}
+	for i := 0; i < maxConcurrent; i++ {
+		s.pools <- exec.NewPool(width)
+	}
+	return s
+}
+
+// Width is the worker width of every pool in the fleet.
+func (s *Server) Width() int { return s.width }
+
+// Do checks out a pool, runs fn on it, and returns the pool to the fleet.
+// When all pools are busy the call blocks until one frees up (counted in
+// Stats.Queued). fn owns the pool exclusively for the duration of the call
+// and must not retain it. Returns ErrClosed once the server is closed.
+func (s *Server) Do(fn func(*exec.Pool) error) error {
+	var pl *exec.Pool
+	select {
+	case pl = <-s.pools:
+	case <-s.done:
+		return ErrClosed
+	default:
+		s.queued.Add(1)
+		select {
+		case pl = <-s.pools:
+		case <-s.done:
+			return ErrClosed
+		}
+	}
+	s.admitted.Add(1)
+	s.active.Add(1)
+	defer func() {
+		s.active.Add(-1)
+		s.pools <- pl
+	}()
+	return fn(pl)
+}
+
+// Stats snapshots the admission counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		MaxConcurrent: cap(s.pools),
+		Width:         s.width,
+		Admitted:      s.admitted.Load(),
+		Queued:        s.queued.Load(),
+		Active:        s.active.Load(),
+	}
+}
+
+// Close rejects new work and shuts the fleet down, waiting for in-flight
+// executions to return their pools. Safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		for i := 0; i < cap(s.pools); i++ {
+			(<-s.pools).Close()
+		}
+	})
+}

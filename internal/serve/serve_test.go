@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sparsefusion/internal/exec"
+)
+
+// watchdog fails the test if it runs past the deadline (a deadlocked checkout
+// would otherwise hang the suite).
+func watchdog(t *testing.T, d time.Duration) func() {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+		case <-time.After(d):
+			panic("serve test exceeded watchdog deadline: " + t.Name())
+		}
+	}()
+	return func() { close(done) }
+}
+
+// TestAdmissionBound drives 4*K concurrent requests through a K-pool server
+// and asserts the in-flight count never exceeds K while every request still
+// completes.
+func TestAdmissionBound(t *testing.T) {
+	defer watchdog(t, 10*time.Second)()
+	const k, reqs = 3, 12
+	s := New(k, 2)
+	defer s.Close()
+
+	var active, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < reqs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := s.Do(func(pl *exec.Pool) error {
+				if pl == nil || pl.Width() != 2 {
+					t.Error("checked out a wrong pool")
+				}
+				a := active.Add(1)
+				for {
+					p := peak.Load()
+					if a <= p || peak.CompareAndSwap(p, a) {
+						break
+					}
+				}
+				time.Sleep(5 * time.Millisecond)
+				active.Add(-1)
+				return nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if p := peak.Load(); p > k {
+		t.Fatalf("admission bound violated: %d concurrent executions on a %d-pool server", p, k)
+	}
+	st := s.Stats()
+	if st.Admitted != reqs {
+		t.Fatalf("admitted %d, want %d", st.Admitted, reqs)
+	}
+	if st.Queued == 0 {
+		t.Fatalf("expected some requests to queue with %d requests on %d pools", reqs, k)
+	}
+	if st.Active != 0 {
+		t.Fatalf("active gauge %d after drain, want 0", st.Active)
+	}
+}
+
+// TestErrorPropagatesAndPoolReturns confirms a failing fn surfaces its error
+// and still returns the pool to the fleet.
+func TestErrorPropagatesAndPoolReturns(t *testing.T) {
+	defer watchdog(t, 10*time.Second)()
+	s := New(1, 1)
+	defer s.Close()
+
+	want := ErrClosed // any sentinel works; reuse one we have
+	if err := s.Do(func(*exec.Pool) error { return want }); err != want {
+		t.Fatalf("Do returned %v, want %v", err, want)
+	}
+	// The single pool must be back: a second Do would deadlock otherwise
+	// (watchdog catches that).
+	if err := s.Do(func(*exec.Pool) error { return nil }); err != nil {
+		t.Fatalf("second Do: %v", err)
+	}
+}
+
+// TestCloseRejectsAndWaits verifies Close drains in-flight work and that
+// subsequent Do calls fail fast with ErrClosed.
+func TestCloseRejectsAndWaits(t *testing.T) {
+	defer watchdog(t, 10*time.Second)()
+	s := New(2, 1)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go s.Do(func(*exec.Pool) error {
+		close(started)
+		<-release
+		return nil
+	})
+	<-started
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while an execution was still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	<-closed
+
+	if err := s.Do(func(*exec.Pool) error { return nil }); err != ErrClosed {
+		t.Fatalf("Do after Close returned %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}

@@ -5,7 +5,7 @@
 // loop-carried dependencies, into a single parallel schedule optimized for
 // load balance and data locality.
 //
-// The public API works at two levels:
+// The public API works at three levels:
 //
 //   - Combination operations (NewOperation): the six kernel pairs of the
 //     paper's Table 1 — TRSV+TRSV, DSCAL+ILU0, TRSV+SpMV, IC0+TRSV,
@@ -13,18 +13,26 @@
 //     repeatedly while the sparsity pattern is unchanged.
 //   - The Gauss-Seidel solver (NewGaussSeidel), which fuses more than two
 //     loops by unrolling sweeps (paper section 4.3).
+//   - Fusion as a service: a content-addressed ScheduleCache that amortizes
+//     inspection across operations, processes (disk tier) and concurrent
+//     tenants (singleflight); per-client Sessions that execute one shared
+//     inspected operation concurrently; and a Server that bounds how many
+//     fused executions run at once.
 //
 // The schedulers, kernels and runtime live in internal/ packages; see
 // DESIGN.md for the full inventory.
 package sparsefusion
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 	"time"
 
+	"sparsefusion/internal/cache"
 	"sparsefusion/internal/combos"
 	"sparsefusion/internal/core"
 	"sparsefusion/internal/exec"
@@ -32,6 +40,8 @@ import (
 	"sparsefusion/internal/lbc"
 	"sparsefusion/internal/metrics"
 	"sparsefusion/internal/order"
+	"sparsefusion/internal/relayout"
+	"sparsefusion/internal/serve"
 	"sparsefusion/internal/sparse"
 )
 
@@ -145,13 +155,19 @@ const (
 // String returns the paper's label for the combination.
 func (c Combination) String() string { return combos.Names[combos.ID(c)] }
 
-// Options tunes fusion. The zero value is usable: GOMAXPROCS threads and the
-// paper's LBC parameters (initial cut 4, coarsening factor 400).
+// Options tunes fusion. The zero value is usable: GOMAXPROCS threads, the
+// paper's LBC parameters (initial cut 4, coarsening factor 400), no cache.
 type Options struct {
 	// Threads is r, the parallelism the schedule targets.
 	Threads int
 	// LBCInitialCut and LBCAgg tune the head-DAG partitioner.
 	LBCInitialCut, LBCAgg int
+	// Cache, when non-nil, routes inspection through a content-addressed
+	// schedule cache: NewOperation computes a structural fingerprint of the
+	// matrix pattern and these options, and reuses the cached schedule,
+	// compiled program, and packed layout when an equal fingerprint was
+	// inspected before (in this process or, with a disk tier, an earlier one).
+	Cache *ScheduleCache
 }
 
 func (o Options) threads() int {
@@ -163,6 +179,106 @@ func (o Options) threads() int {
 
 func (o Options) lbc() lbc.Params {
 	return lbc.Params{InitialCut: o.LBCInitialCut, Agg: o.LBCAgg}
+}
+
+// fingerprint computes the content address of the artifact chain these
+// options produce over m: the structural pattern (never values) plus every
+// option that shapes the schedule. LBC zero values are resolved to their
+// defaults first so Options{} and Options{LBCInitialCut: 4, LBCAgg: 400}
+// address the same entry.
+func (o Options) fingerprint(c Combination, m *Matrix) cache.Key {
+	d := lbc.DefaultParams()
+	ic, agg := o.LBCInitialCut, o.LBCAgg
+	if ic <= 0 {
+		ic = d.InitialCut
+	}
+	if agg <= 0 {
+		agg = d.Agg
+	}
+	return cache.Fingerprint(m.csr, cache.Params{
+		Combo:         int(c),
+		Threads:       o.threads(),
+		LBCInitialCut: ic,
+		LBCAgg:        agg,
+	})
+}
+
+// CacheConfig tunes a ScheduleCache.
+type CacheConfig struct {
+	// MaxEntries bounds the in-memory tier; beyond it the least recently used
+	// entry is evicted. <= 0 selects a default of 128 entries.
+	MaxEntries int
+	// Dir, when set, enables the disk tier: schedules persist as
+	// fingerprint-named files under Dir and warm-start later processes
+	// (loaded schedules are fingerprint- and validity-checked before use).
+	Dir string
+}
+
+// ScheduleCache is a content-addressed store for inspection artifacts —
+// the fused schedule, its compiled program, and its packed re-layout — keyed
+// by a structural fingerprint of the matrix pattern and scheduling options.
+// The paper's economics are amortization (inspection costs tens of solves;
+// the schedule stays valid while the pattern is unchanged, section 2.1);
+// the cache extends that amortization across operations and tenants: hits
+// are lock-free, and concurrent misses on one new pattern run exactly one
+// inspection while the latecomers wait for the leader's result.
+//
+// A ScheduleCache is safe for concurrent use and is typically shared
+// process-wide via Options.Cache.
+type ScheduleCache struct {
+	c *cache.Cache
+}
+
+// NewScheduleCache constructs a cache; CacheConfig{} is usable.
+func NewScheduleCache(cfg CacheConfig) *ScheduleCache {
+	return &ScheduleCache{c: cache.New(cache.Config{MaxEntries: cfg.MaxEntries, Dir: cfg.Dir})}
+}
+
+// CacheStats is a snapshot of a ScheduleCache's counters.
+type CacheStats struct {
+	// Hits are lock-free reads of a published entry; Waits are requests that
+	// blocked on another tenant's in-flight inspection of the same pattern;
+	// Misses count inspections actually run (under a thundering herd on one
+	// new pattern, exactly 1).
+	Hits, Misses, Waits int64
+	// Evictions counts in-memory entries dropped by the size bound.
+	Evictions int64
+	// DiskHits are misses served from the disk tier instead of inspection;
+	// DiskErrors count unreadable, mismatched, or unwritable tier files.
+	DiskHits, DiskErrors int64
+	// Entries and Inflight are current gauges; InflightPeak is the high-water
+	// concurrent-inspection mark.
+	Entries, Inflight, InflightPeak int
+	// MaxEntries is the configured in-memory bound.
+	MaxEntries int
+}
+
+// HitRate is the fraction of requests served without running an inspection
+// (hits plus singleflight waits over all requests).
+func (s CacheStats) HitRate() float64 {
+	served := s.Hits + s.Waits
+	total := served + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(served) / float64(total)
+}
+
+// Stats snapshots the cache counters.
+func (sc *ScheduleCache) Stats() CacheStats {
+	st := sc.c.Stats()
+	return CacheStats{
+		Hits:         st.Hits,
+		Misses:       st.Misses,
+		Waits:        st.Waits,
+		Evictions:    st.Evictions,
+		DiskHits:     st.DiskHits,
+		DiskErrors:   st.DiskErrors,
+		Entries:      st.Entries,
+		Inflight:     st.Inflight,
+		InflightPeak: st.InflightPeak,
+		MaxEntries:   st.MaxEntries,
+	}
 }
 
 // Report describes one execution of a fused operation.
@@ -198,19 +314,48 @@ type Demotion struct {
 	Reason   string
 }
 
-// Health describes the executor state of an Operation: the rung it currently
-// runs on and every demotion taken since construction (at attach/compile time
-// or after a run-time executor fault).
+// Health describes the executor state of an Operation or Session: the rung
+// it currently runs on and every demotion taken since construction (at
+// attach/compile time or after a run-time executor fault).
 type Health struct {
 	Mode      ExecMode
 	Demotions []Demotion
 }
 
+// execState is the executor half shared by Operation and Session: the kernel
+// instance holding the mutable vectors, the immutable inspection artifacts
+// (schedule, compiled program, packed layout), and the mutable ladder state.
+//
+// mu guards the ladder state (runner, layout, demotions) so Health may be
+// polled from a monitoring goroutine while Run executes; Run itself must not
+// be called concurrently on one execState — concurrency comes from multiple
+// Sessions, each with its own state.
+type execState struct {
+	inst  *combos.Instance
+	sched *core.Schedule
+	// prog is the compiled flat form, shared (immutably) with every session
+	// and cache consumer; nil when the schedule exceeds the compiled
+	// representation and the state runs the legacy executor.
+	prog *core.Program
+	th   int
+	// progErr and layErr record why prog or the packed layout is absent, for
+	// demotion records of sessions derived from this state.
+	progErr, layErr string
+
+	mu sync.Mutex
+	// runner binds this state's kernels to prog (with packed streams attached
+	// while on the packed rung); nil once demoted to the legacy executor.
+	runner *exec.Runner
+	// layout is the packed re-layout the runner has attached; nil otherwise.
+	layout    *relayout.Layout
+	demotions []Demotion
+}
+
 // Operation is an inspected fused kernel combination. Inspection (DAG and
 // dependency-matrix construction plus ICO scheduling) happens once in
-// NewOperation; Run executes the fused code and may be called repeatedly —
-// the schedule stays valid while the sparsity pattern is unchanged, exactly
-// as in the paper's inspector-executor model.
+// NewOperation — or not at all on a cache hit — and Run executes the fused
+// code repeatedly; the schedule stays valid while the sparsity pattern is
+// unchanged, exactly as in the paper's inspector-executor model.
 //
 // Execution degrades along a ladder: the packed (schedule-order stream)
 // executor where the chain supports it, the compiled flat-program executor
@@ -218,94 +363,182 @@ type Health struct {
 // that fails to build — or faults at run time while the schedule itself still
 // validates — is abandoned for the next one; Health reports where the
 // operation currently stands.
+//
+// An Operation serves one client at a time; NewSession clones it into
+// independent concurrent clients sharing the inspection artifacts.
 type Operation struct {
-	inst  *combos.Instance
-	sched *core.Schedule
-	// runner is the schedule compiled to the flat executor form (with packed
-	// streams attached while the operation is on the packed rung); nil once
-	// the operation has dropped to the legacy executor.
-	runner    *exec.Runner
-	th        int
-	demotions []Demotion
+	execState
+	fp     cache.Key
+	cached bool
 }
 
-// NewOperation inspects combination c over the SPD matrix m.
+// NewOperation inspects combination c over the SPD matrix m. With
+// Options.Cache set, inspection runs at most once per fingerprint — an
+// operation over a previously seen pattern reuses the cached schedule,
+// program, and (when the matrix values also match) packed layout.
 func NewOperation(c Combination, m *Matrix, opts Options) (*Operation, error) {
 	inst, err := combos.Build(combos.ID(c), m.csr)
 	if err != nil {
 		return nil, err
 	}
-	th := opts.threads()
-	sched, err := core.ICO(inst.Loops, core.Params{Threads: th, ReuseRatio: inst.Reuse, LBC: opts.lbc()})
+	op := &Operation{
+		execState: execState{inst: inst, th: opts.threads()},
+		fp:        opts.fingerprint(c, m),
+	}
+	ico := func() (*core.Schedule, error) {
+		return core.ICO(inst.Loops, core.Params{Threads: op.th, ReuseRatio: inst.Reuse, LBC: opts.lbc()})
+	}
+	if opts.Cache == nil {
+		sched, err := ico()
+		if err != nil {
+			return nil, err
+		}
+		op.bindArtifacts(buildArtifacts(inst, sched), false)
+		return op, nil
+	}
+	entry, err := opts.Cache.c.GetOrBuild(op.fp, cache.Builder{
+		Inspect:  ico,
+		Validate: inst.Loops.Validate,
+		Complete: func(s *core.Schedule) (cache.Artifacts, error) {
+			return buildArtifacts(inst, s), nil
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
-	op := &Operation{inst: inst, sched: sched, th: th}
-	op.buildRunner()
+	op.cached = true
+	op.bindArtifacts(entry.Artifacts, true)
 	return op, nil
 }
 
-// buildRunner walks the construction half of the ladder: packed first, then
-// compiled, recording each rung that does not fit. A chain that supports
-// neither leaves runner nil — the legacy rung.
-func (op *Operation) buildRunner() {
-	if r, _, err := exec.CompileFusedPacked(op.inst.Kernels, op.sched); err == nil {
-		op.runner = r
-		return
-	} else {
-		op.demotions = append(op.demotions, Demotion{From: ModePacked, To: ModeCompiled, Reason: err.Error()})
+// Fingerprint returns the operation's content address in hex: the SHA-256
+// fingerprint of the matrix pattern (structure only, never values), the
+// combination, and the scheduling options. Operations with equal fingerprints
+// have bit-identical schedules (ICO is deterministic), which is what makes
+// the cache and the saved-schedule container trustworthy.
+func (op *Operation) Fingerprint() string { return op.fp.String() }
+
+// buildArtifacts derives the full chain from a schedule: the compiled flat
+// program, then the schedule-order packed layout. A stage that does not fit
+// leaves its artifact nil with the reason recorded — the executor ladder
+// handles the gap, it is not an error.
+func buildArtifacts(inst *combos.Instance, sched *core.Schedule) cache.Artifacts {
+	art := cache.Artifacts{Schedule: sched}
+	prog, err := core.CompileSchedule(sched, len(inst.Kernels))
+	if err != nil {
+		art.ProgramErr = err.Error()
+		return art
 	}
-	if r, err := exec.CompileFused(op.inst.Kernels, op.sched); err == nil {
-		op.runner = r
-		return
-	} else {
-		op.demotions = append(op.demotions, Demotion{From: ModeCompiled, To: ModeLegacy, Reason: err.Error()})
+	art.Program = prog
+	lay, err := relayout.Build(prog, inst.Kernels)
+	if err != nil {
+		art.LayoutErr = err.Error()
+		return art
 	}
+	art.Layout = lay
+	return art
 }
 
-// Mode returns the executor rung the operation currently runs on.
-func (op *Operation) Mode() ExecMode {
+// bindArtifacts builds this state's executor ladder from an artifact chain,
+// recording a demotion for every absent artifact. With shared set the chain
+// may come from another tenant (the cache, or a parent operation): the
+// schedule and program depend only on the sparsity pattern and are shared
+// as-is, but the packed layout baked in matrix values, so it is verified
+// against this state's kernels and rebuilt privately on a mismatch.
+func (e *execState) bindArtifacts(art cache.Artifacts, shared bool) {
+	e.sched = art.Schedule
+	e.progErr, e.layErr = art.ProgramErr, art.LayoutErr
+	if art.Program == nil {
+		e.demotions = append(e.demotions,
+			Demotion{From: ModePacked, To: ModeCompiled, Reason: art.ProgramErr},
+			Demotion{From: ModeCompiled, To: ModeLegacy, Reason: art.ProgramErr})
+		return
+	}
+	e.prog = art.Program
+	e.runner = exec.NewRunner(e.inst.Kernels, art.Program)
+	lay := art.Layout
+	if lay == nil {
+		e.demotions = append(e.demotions, Demotion{From: ModePacked, To: ModeCompiled, Reason: art.LayoutErr})
+		return
+	}
+	if shared {
+		if err := lay.VerifySources(e.inst.Kernels); err != nil {
+			fresh, ferr := relayout.Build(art.Program, e.inst.Kernels)
+			if ferr != nil {
+				e.layErr = ferr.Error()
+				e.demotions = append(e.demotions, Demotion{From: ModePacked, To: ModeCompiled, Reason: ferr.Error()})
+				return
+			}
+			lay = fresh
+		}
+	}
+	if err := e.runner.AttachLayout(lay); err != nil {
+		e.layErr = err.Error()
+		e.demotions = append(e.demotions, Demotion{From: ModePacked, To: ModeCompiled, Reason: err.Error()})
+		return
+	}
+	e.layout = lay
+}
+
+// modeLocked reads the current rung; e.mu must be held.
+func (e *execState) modeLocked() ExecMode {
 	switch {
-	case op.runner == nil:
+	case e.runner == nil:
 		return ModeLegacy
-	case op.runner.Packed():
+	case e.runner.Packed():
 		return ModePacked
 	default:
 		return ModeCompiled
 	}
 }
 
-// Health reports the current executor rung and the demotions taken to reach
-// it (empty for an operation still on its best available rung).
-func (op *Operation) Health() Health {
-	return Health{Mode: op.Mode(), Demotions: append([]Demotion(nil), op.demotions...)}
+// Mode returns the executor rung currently run on.
+func (e *execState) Mode() ExecMode {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.modeLocked()
 }
 
-// SetInput overwrites the operation's input vector. Matrix-only combinations
+// Health reports the current executor rung and the demotions taken to reach
+// it. It is safe to poll from a monitoring goroutine while Run executes:
+// demotion recording and reads share a mutex. The demotions are copied so
+// callers never alias internal state, but only when any exist — the common
+// healthy case allocates nothing.
+func (e *execState) Health() Health {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h := Health{Mode: e.modeLocked()}
+	if len(e.demotions) > 0 {
+		h.Demotions = append([]Demotion(nil), e.demotions...)
+	}
+	return h
+}
+
+// SetInput overwrites the input vector. Matrix-only combinations
 // (DscalIlu0, DscalIc0) have no input vector and return an error.
-func (op *Operation) SetInput(x []float64) error {
-	if op.inst.Input == nil {
-		return fmt.Errorf("sparsefusion: %s takes no input vector", op.inst.Name)
+func (e *execState) SetInput(x []float64) error {
+	if e.inst.Input == nil {
+		return fmt.Errorf("sparsefusion: %s takes no input vector", e.inst.Name)
 	}
-	if len(x) != len(op.inst.Input) {
-		return fmt.Errorf("sparsefusion: input length %d, want %d", len(x), len(op.inst.Input))
+	if len(x) != len(e.inst.Input) {
+		return fmt.Errorf("sparsefusion: input length %d, want %d", len(x), len(e.inst.Input))
 	}
-	copy(op.inst.Input, x)
+	copy(e.inst.Input, x)
 	return nil
 }
 
-// Output returns a copy of the operation's result (the solution vector, or
-// the factor values for factor-only combinations).
-func (op *Operation) Output() []float64 { return op.inst.Snapshot() }
+// Output returns a copy of the result (the solution vector, or the factor
+// values for factor-only combinations).
+func (e *execState) Output() []float64 { return e.inst.Snapshot() }
 
 // ReuseRatio reports the inspector's locality metric (paper section 2.2).
-func (op *Operation) ReuseRatio() float64 { return op.inst.Reuse }
+func (e *execState) ReuseRatio() float64 { return e.inst.Reuse }
 
 // Interleaved reports the packing variant the reuse ratio selected.
-func (op *Operation) Interleaved() bool { return op.sched.Interleaved }
+func (e *execState) Interleaved() bool { return e.sched.Interleaved }
 
 // Barriers returns the number of synchronizations per execution.
-func (op *Operation) Barriers() int { return op.sched.NumSPartitions() }
+func (e *execState) Barriers() int { return e.sched.NumSPartitions() }
 
 // Run executes the fused schedule once.
 //
@@ -317,25 +550,56 @@ func (op *Operation) Barriers() int { return op.sched.NumSPartitions() }
 // legacy — after re-validating the schedule, and retries; only a fault on the
 // last rung, or a schedule that no longer validates, is returned. The
 // operation stays usable after any error.
-func (op *Operation) Run() (Report, error) {
-	st, err := op.runLadder()
+func (e *execState) Run() (Report, error) {
+	return e.run(nil)
+}
+
+// RunOn is Run under a server's admission control: the execution waits for
+// one of the server's worker sets, runs on it, and returns it. At most the
+// server's MaxConcurrent executions run at once across all operations and
+// sessions sharing the server. A schedule wider than the server's worker
+// sets still runs (on a private, per-call worker set) — the admission bound
+// holds either way. Returns ErrServerClosed after the server is closed.
+func (e *execState) RunOn(sv *Server) (Report, error) {
+	var rep Report
+	var runErr error
+	if err := sv.s.Do(func(pl *exec.Pool) error {
+		rep, runErr = e.run(pl)
+		return nil
+	}); err != nil {
+		return Report{}, err
+	}
+	return rep, runErr
+}
+
+func (e *execState) run(pl *exec.Pool) (Report, error) {
+	st, err := e.runLadder(pl)
 	return Report{
 		Time:     st.Elapsed,
 		Barriers: st.Barriers,
-		GFlops:   metrics.GFlops(op.inst.FlopCount(), st.Elapsed),
+		GFlops:   metrics.GFlops(e.inst.FlopCount(), st.Elapsed),
 	}, err
 }
 
 // runLadder executes on the current rung, demoting and retrying on
-// non-numerical executor faults.
-func (op *Operation) runLadder() (exec.Stats, error) {
+// non-numerical executor faults. With a non-nil pool, runs whose width fits
+// execute on it instead of spawning a private worker set.
+func (e *execState) runLadder(pl *exec.Pool) (exec.Stats, error) {
 	for {
+		e.mu.Lock()
+		r := e.runner
+		e.mu.Unlock()
 		var st exec.Stats
 		var err error
-		if op.runner != nil {
-			st, err = op.runner.Run(op.th)
-		} else {
-			st, err = exec.RunFusedLegacy(op.inst.Kernels, op.sched, op.th)
+		switch {
+		case r != nil && pl != nil && e.prog.MaxWidth <= pl.Width():
+			st, err = r.RunOn(pl, e.th)
+		case r != nil:
+			st, err = r.Run(e.th)
+		case pl != nil && e.sched.MaxWidth() <= pl.Width():
+			st, err = exec.RunFusedLegacyOn(e.inst.Kernels, e.sched, e.th, pl)
+		default:
+			st, err = exec.RunFusedLegacy(e.inst.Kernels, e.sched, e.th)
 		}
 		if err == nil {
 			return st, nil
@@ -346,50 +610,193 @@ func (op *Operation) runLadder() (exec.Stats, error) {
 		if errors.As(err, &b) {
 			return st, err
 		}
-		if op.runner == nil {
+		if r == nil {
 			return st, err // already on the last rung
 		}
 		// The fault came from the packed or compiled artifacts. If the
 		// schedule itself no longer validates, no rung can run it — report
 		// both facts instead of retrying.
-		if verr := op.inst.Loops.Validate(op.sched); verr != nil {
+		if verr := e.inst.Loops.Validate(e.sched); verr != nil {
 			return st, fmt.Errorf("sparsefusion: executor fault (%v) and schedule invalid: %w", err, verr)
 		}
-		if op.runner.Packed() {
-			op.runner.DetachLayout()
-			op.demotions = append(op.demotions, Demotion{From: ModePacked, To: ModeCompiled, Reason: err.Error()})
-			continue
+		e.mu.Lock()
+		if e.runner == r {
+			if r.Packed() {
+				r.DetachLayout()
+				e.layout = nil
+				e.layErr = err.Error()
+				e.demotions = append(e.demotions, Demotion{From: ModePacked, To: ModeCompiled, Reason: err.Error()})
+			} else {
+				e.runner = nil
+				e.demotions = append(e.demotions, Demotion{From: ModeCompiled, To: ModeLegacy, Reason: err.Error()})
+			}
 		}
-		op.runner = nil
-		op.demotions = append(op.demotions, Demotion{From: ModeCompiled, To: ModeLegacy, Reason: err.Error()})
+		e.mu.Unlock()
+	}
+}
+
+// Session is one client's private handle on a shared operation: its own
+// input, output, and intermediate vectors (and its own executor ladder) over
+// the operation's immutable inspection artifacts — matrices, DAGs, schedule,
+// compiled program, packed streams. Any number of sessions may Run
+// concurrently with each other and with the parent operation; none of them
+// may be used concurrently with itself.
+type Session struct {
+	execState
+}
+
+// ErrNotCloneable is returned by NewSession for combinations whose kernels
+// write matrix values during a run (the factorization chains): concurrent
+// sessions would race on the shared factor, so those operations serve one
+// client at a time.
+var ErrNotCloneable = combos.ErrNotCloneable
+
+// NewSession clones the operation for a concurrent client. Only combinations
+// whose kernels never write matrix values — TrsvTrsv, TrsvMv, MvMv — are
+// cloneable; the factorization combinations return ErrNotCloneable (their
+// runs mutate the shared factor in place, so they serve one client at a
+// time).
+func (op *Operation) NewSession() (*Session, error) {
+	clone, err := op.inst.CloneForSession()
+	if err != nil {
+		return nil, err
+	}
+	op.mu.Lock()
+	art := cache.Artifacts{
+		Schedule:   op.sched,
+		Program:    op.prog,
+		ProgramErr: op.progErr,
+		Layout:     op.layout,
+		LayoutErr:  op.layErr,
+	}
+	op.mu.Unlock()
+	s := &Session{execState: execState{inst: clone, th: op.th}}
+	s.bindArtifacts(art, true)
+	return s, nil
+}
+
+// ServerConfig tunes a Server.
+type ServerConfig struct {
+	// MaxConcurrent is the admission bound K: at most K fused executions run
+	// at once; excess requests queue in arrival order. <= 0 selects 1.
+	MaxConcurrent int
+	// Width is the worker width of each of the K persistent worker sets; it
+	// should cover the widest schedule the server will execute (wider
+	// schedules still run, on per-call worker sets). <= 0 selects GOMAXPROCS.
+	Width int
+}
+
+// Server bounds concurrent fused executions. The executor's worker sets spin
+// while a run is in flight, so unbounded concurrent clients would stack
+// spinning goroutines far past the machine's cores; a Server owns
+// MaxConcurrent persistent worker sets used as both semaphore and free-list,
+// capping spinning workers at MaxConcurrent*Width regardless of offered
+// load and sparing each admitted run the worker-spawn latency.
+//
+// Serve traffic with Session.RunOn(server) (or Operation.RunOn); Close the
+// server when done.
+type Server struct {
+	s *serve.Server
+}
+
+// ErrServerClosed is returned by RunOn after the server is closed.
+var ErrServerClosed = serve.ErrClosed
+
+// NewServer starts a server; ServerConfig{} is usable (one worker set of
+// GOMAXPROCS workers).
+func NewServer(cfg ServerConfig) *Server {
+	w := cfg.Width
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Server{s: serve.New(cfg.MaxConcurrent, w)}
+}
+
+// Close rejects new work and tears the worker sets down, waiting for
+// in-flight executions to finish. Safe to call more than once.
+func (sv *Server) Close() { sv.s.Close() }
+
+// ServerStats is a snapshot of a Server's admission counters.
+type ServerStats struct {
+	// MaxConcurrent and Width echo the configuration.
+	MaxConcurrent, Width int
+	// Admitted counts executions that acquired a worker set; Queued counts
+	// those that had to wait for one; Active is the in-flight gauge.
+	Admitted, Queued, Active int64
+}
+
+// Stats snapshots the admission counters.
+func (sv *Server) Stats() ServerStats {
+	st := sv.s.Stats()
+	return ServerStats{
+		MaxConcurrent: st.MaxConcurrent,
+		Width:         st.Width,
+		Admitted:      st.Admitted,
+		Queued:        st.Queued,
+		Active:        st.Active,
 	}
 }
 
 // SaveSchedule persists the operation's fused schedule so a later process
 // can skip inspection for the same sparsity pattern (the inspector-executor
-// amortization contract, paper section 2.1).
+// amortization contract, paper section 2.1). The file embeds the operation's
+// fingerprint; NewOperationFromSchedule verifies it before trusting the
+// payload.
 func (op *Operation) SaveSchedule(w io.Writer) error {
-	_, err := op.sched.WriteTo(w)
-	return err
+	return cache.WriteScheduleFile(w, op.fp, op.sched)
+}
+
+// ScheduleMismatchError reports a saved schedule rejected because the
+// fingerprint it was saved under does not match the matrix, combination, and
+// options it is being loaded for — a file for a different pattern, thread
+// count, or LBC tuning.
+type ScheduleMismatchError struct {
+	// Want is the fingerprint computed from the loader's matrix and options;
+	// Got is the one embedded in the file. Both hex-encoded.
+	Want, Got string
+}
+
+func (e *ScheduleMismatchError) Error() string {
+	return fmt.Sprintf("sparsefusion: saved schedule fingerprint %.12s… does not match this matrix/options (%.12s…)", e.Got, e.Want)
 }
 
 // NewOperationFromSchedule builds the operation's kernels for matrix m and
-// loads a previously saved schedule instead of running ICO. The schedule is
-// validated against the matrix's dependency structure, so a stale file (a
-// different pattern) is rejected rather than executed.
+// loads a previously saved schedule instead of running ICO. Fingerprinted
+// files (SaveSchedule's format) are verified against the fingerprint of m
+// and opts — a file saved for a different pattern or options fails with a
+// *ScheduleMismatchError before the payload is even considered. Bare
+// pre-fingerprint files are still accepted. Either way the schedule is then
+// validated against the matrix's dependency structure, so a corrupt or
+// stale file is rejected rather than executed.
 func NewOperationFromSchedule(c Combination, m *Matrix, r io.Reader, opts Options) (*Operation, error) {
 	inst, err := combos.Build(combos.ID(c), m.csr)
 	if err != nil {
 		return nil, err
 	}
-	sched, err := core.ReadSchedule(r)
-	if err != nil {
-		return nil, err
+	op := &Operation{
+		execState: execState{inst: inst, th: opts.threads()},
+		fp:        opts.fingerprint(c, m),
+	}
+	br := bufio.NewReader(r)
+	var sched *core.Schedule
+	if hdr, perr := br.Peek(8); perr == nil && cache.IsContainer(hdr) {
+		key, s, err := cache.ReadScheduleFile(br)
+		if err != nil {
+			return nil, err
+		}
+		if key != op.fp {
+			return nil, &ScheduleMismatchError{Want: op.fp.String(), Got: key.String()}
+		}
+		sched = s
+	} else {
+		sched, err = core.ReadSchedule(br)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if err := inst.Loops.Validate(sched); err != nil {
 		return nil, fmt.Errorf("sparsefusion: saved schedule does not match this matrix: %w", err)
 	}
-	op := &Operation{inst: inst, sched: sched, th: opts.threads()}
-	op.buildRunner()
+	op.bindArtifacts(buildArtifacts(inst, sched), false)
 	return op, nil
 }
