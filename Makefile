@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-inspector bench-serve check-inspector check-exec check-serve
+.PHONY: build test race fuzz bench bench-inspector bench-serve bench-profile check-inspector check-exec check-serve check-profile
 
 # FUZZTIME bounds each fuzz target's wall-clock budget (go test -fuzztime).
 FUZZTIME ?= 15s
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/exec/... ./internal/core/... ./internal/dag/... ./internal/lbc/... ./internal/cache/... ./internal/serve/...
+	$(GO) test -race . ./internal/exec/... ./internal/core/... ./internal/dag/... ./internal/lbc/... ./internal/cache/... ./internal/serve/... ./internal/telemetry/...
 
 # fuzz smoke-runs the native Go fuzz targets on the two untrusted-input
 # parsers: the binary schedule loader and the Matrix Market reader. Each
@@ -57,3 +57,17 @@ bench-serve:
 # latency regressed more than 25% against the committed BENCH_serve.json.
 check-serve:
 	$(GO) run ./cmd/spbench -mode serve -check -out BENCH_serve.json
+
+# bench-profile regenerates BENCH_profile.json: the hot-path execution
+# profiler's per-s-partition barrier-wait / worker-imbalance breakdown and the
+# cost of the instrumentation itself. The run hard-fails if a recorder-enabled
+# warm solve is more than 5% slower than the recorder-disabled one — the
+# telemetry overhead budget (DESIGN.md §13).
+bench-profile:
+	$(GO) run ./cmd/spbench -mode profile -out BENCH_profile.json
+
+# check-profile re-measures (enforcing the 5% overhead budget) and fails if
+# the recorder-disabled solve regressed more than 25% against the committed
+# BENCH_profile.json.
+check-profile:
+	$(GO) run ./cmd/spbench -mode profile -check -out BENCH_profile.json

@@ -15,6 +15,13 @@
 //	                   bounded server, cache hit rate, and the cold-start
 //	                   thundering-herd duplicate-inspection count
 //	                   (BENCH_serve.json)
+//	-mode profile    — the hot-path execution profiler (exec.Recorder):
+//	                   per-s-partition barrier-wait and worker load-imbalance
+//	                   breakdown of a fused solve, plus the instrumentation
+//	                   overhead of recording. Enforces the telemetry overhead
+//	                   budget unconditionally: a recorder-enabled warm solve
+//	                   more than 5% slower than the recorder-disabled one
+//	                   aborts the run (BENCH_profile.json)
 //
 // Fixtures are deterministic, so reruns on one machine are comparable; each
 // file records the machine shape alongside the numbers. -check re-measures
@@ -30,7 +37,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -46,6 +52,7 @@ import (
 	"sparsefusion/internal/refinspect"
 	"sparsefusion/internal/relayout"
 	"sparsefusion/internal/sparse"
+	"sparsefusion/internal/telemetry"
 )
 
 type executorResult struct {
@@ -162,18 +169,58 @@ type serveResult struct {
 	HerdDuplicateInspections int64   `json:"herd_duplicate_inspections"`
 }
 
+// partitionProfile is one s-partition's barrier economics in JSON form.
+type partitionProfile struct {
+	S      int   `json:"s"`
+	Width  int   `json:"width"`
+	Iters  int   `json:"iters"`
+	Rounds int64 `json:"rounds"`
+	// BusyNs sums all workers' run time at this barrier across recorded runs;
+	// CriticalNs sums the per-round maximum (the partition's critical path);
+	// WaitNs sums the time workers spent waiting at the barrier.
+	BusyNs     int64 `json:"busy_ns"`
+	CriticalNs int64 `json:"critical_path_ns"`
+	WaitNs     int64 `json:"barrier_wait_ns"`
+	// Imbalance is WaitNs over Width*CriticalNs: the fraction of worker time
+	// at this barrier lost to waiting.
+	Imbalance float64 `json:"imbalance"`
+}
+
+// profileResult is one fixture's hot-path profile: the recorder's overhead and
+// the load-imbalance breakdown it measured.
+type profileResult struct {
+	Name        string `json:"name"`
+	N           int    `json:"n"`
+	Iterations  int    `json:"iterations"`
+	SPartitions int    `json:"s_partitions"`
+	MaxWidth    int    `json:"max_width"`
+	// BaselineNs is a runner with no recorder attached; DisabledNs has one
+	// attached but off; EnabledNs records every run. OverheadPct is the
+	// enabled-over-disabled overhead the ≤5% budget gates.
+	BaselineNs  int64   `json:"baseline_ns_per_run"`
+	DisabledNs  int64   `json:"disabled_ns_per_run"`
+	EnabledNs   int64   `json:"enabled_ns_per_run"`
+	OverheadPct float64 `json:"overhead_pct"`
+	// Recorded profile, aggregated over RecordedRuns executions.
+	RecordedRuns     int                `json:"recorded_runs"`
+	RecordedBarriers int64              `json:"recorded_barriers"`
+	WorkerBusyNs     []int64            `json:"worker_busy_ns"`
+	WorkerWaitNs     []int64            `json:"worker_wait_ns"`
+	Imbalance        float64            `json:"imbalance"`
+	DroppedSpans     int64              `json:"dropped_spans"`
+	Partitions       []partitionProfile `json:"partitions"`
+}
+
 type report struct {
-	GoVersion  string            `json:"go_version"`
-	GOOS       string            `json:"goos"`
-	GOARCH     string            `json:"goarch"`
-	NumCPU     int               `json:"num_cpu"`
-	GoMaxProcs int               `json:"gomaxprocs"`
-	Threads    int               `json:"threads"`
-	Generated  string            `json:"generated"`
-	Executor   []executorResult  `json:"executor,omitempty"`
-	Barrier    []barrierResult   `json:"barrier,omitempty"`
-	Inspector  []inspectorResult `json:"inspector,omitempty"`
-	Serve      []serveResult     `json:"serve,omitempty"`
+	// Meta stamps the machine and source revision that produced the numbers;
+	// shared by every BENCH_*.json this command writes.
+	Meta      telemetry.RunMeta `json:"run_meta"`
+	Threads   int               `json:"threads"`
+	Executor  []executorResult  `json:"executor,omitempty"`
+	Barrier   []barrierResult   `json:"barrier,omitempty"`
+	Inspector []inspectorResult `json:"inspector,omitempty"`
+	Serve     []serveResult     `json:"serve,omitempty"`
+	Profile   []profileResult   `json:"profile,omitempty"`
 }
 
 type fixture struct {
@@ -189,7 +236,7 @@ var fixtures = []fixture{
 }
 
 func main() {
-	mode := flag.String("mode", "exec", "benchmark suite: exec, inspector or serve")
+	mode := flag.String("mode", "exec", "benchmark suite: exec, inspector, serve or profile")
 	out := flag.String("out", "", "output file (default BENCH_<mode>.json)")
 	threads := flag.Int("threads", 8, "schedule width r (and inspector workers)")
 	n := flag.Int("n", 40000, "fixture size")
@@ -201,13 +248,8 @@ func main() {
 		*out = "BENCH_" + *mode + ".json"
 	}
 	rep := report{
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Threads:    *threads,
-		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Meta:    telemetry.CollectRunMeta(),
+		Threads: *threads,
 	}
 	switch *mode {
 	case "exec":
@@ -216,8 +258,10 @@ func main() {
 		runInspector(&rep, *threads, *n, *minTime)
 	case "serve":
 		runServe(&rep, *threads, *n, *minTime)
+	case "profile":
+		runProfile(&rep, *threads, *n, *minTime)
 	default:
-		log.Fatalf("unknown -mode %q (want exec, inspector or serve)", *mode)
+		log.Fatalf("unknown -mode %q (want exec, inspector, serve or profile)", *mode)
 	}
 
 	if *check {
@@ -551,6 +595,107 @@ func runServe(rep *report, threads, n int, minTime time.Duration) {
 		time.Duration(pct(0.50)), time.Duration(pct(0.99)))
 }
 
+// maxOverheadPct is the telemetry overhead budget: a recorder-enabled warm
+// solve may be at most this much slower than the recorder-disabled one.
+// Enforced unconditionally — write and -check mode alike — so a chatty
+// instrument can never land silently.
+const maxOverheadPct = 5.0
+
+// runProfile measures the hot-path execution profiler itself: what recording
+// costs (three warm-solve ladders — untouched baseline, recorder attached but
+// disabled, recorder enabled) and what it measures (the per-s-partition
+// barrier-wait and per-worker load-imbalance breakdown the recorder exists to
+// produce).
+func runProfile(rep *report, threads, n int, minTime time.Duration) {
+	for _, fx := range fixtures {
+		ks, loops := fx.mk(n)
+		sched, err := core.ICO(loops, icoParams(threads, fx.reuse, 0))
+		if err != nil {
+			log.Fatalf("%s: %v", fx.name, err)
+		}
+		runner, err := exec.CompileFused(ks, sched)
+		if err != nil {
+			log.Fatalf("%s: compile: %v", fx.name, err)
+		}
+		baseline := measure(minTime, func() { runner.Run(threads) })
+
+		// Ring big enough that a full measuring window never overwrites: spans
+		// accrue per w-partition per run.
+		perRun := sched.NumSPartitions() * sched.MaxWidth()
+		rec := exec.NewRecorder(64*perRun, sched.MaxWidth())
+		runner.SetRecorder(rec)
+		disabled := measure(minTime, func() { runner.Run(threads) })
+		rec.Enable()
+		enabled := measure(minTime, func() { runner.Run(threads) })
+
+		// The overhead gate, with one re-measure to ride out scheduler noise:
+		// min-of-window timings are stable, but a single unlucky window must
+		// not fail the build.
+		overhead := overheadPct(enabled, disabled)
+		if overhead > maxOverheadPct {
+			rec.Disable()
+			disabled = measure(minTime, func() { runner.Run(threads) })
+			rec.Enable()
+			enabled = measure(minTime, func() { runner.Run(threads) })
+			overhead = overheadPct(enabled, disabled)
+		}
+		if overhead > maxOverheadPct {
+			log.Fatalf("%s: recorder-enabled solve %v is %.1f%% slower than disabled %v, budget %.0f%%",
+				fx.name, enabled, overhead, disabled, maxOverheadPct)
+		}
+
+		// A clean profile over a fixed run count for the breakdown numbers
+		// (the measuring loop above recorded an unpredictable run count).
+		rec.Reset()
+		const profileRuns = 32
+		for i := 0; i < profileRuns; i++ {
+			if _, err := runner.Run(threads); err != nil {
+				log.Fatalf("%s: profiled run: %v", fx.name, err)
+			}
+		}
+		b := rec.Breakdown()
+		parts := make([]partitionProfile, len(b.Partitions))
+		for i, p := range b.Partitions {
+			parts[i] = partitionProfile{
+				S: p.S, Width: p.Width, Iters: p.Iters, Rounds: p.Rounds,
+				BusyNs: p.BusyNs, CriticalNs: p.MaxNs, WaitNs: p.WaitNs,
+				Imbalance: p.Imbalance(),
+			}
+		}
+		runner.SetRecorder(nil)
+
+		rep.Profile = append(rep.Profile, profileResult{
+			Name:             fx.name,
+			N:                n,
+			Iterations:       sched.NumIterations(),
+			SPartitions:      sched.NumSPartitions(),
+			MaxWidth:         sched.MaxWidth(),
+			BaselineNs:       baseline.Nanoseconds(),
+			DisabledNs:       disabled.Nanoseconds(),
+			EnabledNs:        enabled.Nanoseconds(),
+			OverheadPct:      overhead,
+			RecordedRuns:     b.Runs,
+			RecordedBarriers: b.Barriers,
+			WorkerBusyNs:     b.WorkerBusyNs,
+			WorkerWaitNs:     b.WorkerWaitNs,
+			Imbalance:        b.Imbalance(),
+			DroppedSpans:     b.DroppedSpans,
+			Partitions:       parts,
+		})
+		fmt.Printf("%-22s baseline %10v  disabled %10v  enabled %10v  overhead %+.1f%%  imbalance %.1f%% over %d runs\n",
+			fx.name, baseline, disabled, enabled, overhead, 100*b.Imbalance(), b.Runs)
+	}
+}
+
+// overheadPct is how much slower enabled is than disabled, in percent
+// (negative when enabled happened to measure faster).
+func overheadPct(enabled, disabled time.Duration) float64 {
+	if disabled <= 0 {
+		return 0
+	}
+	return 100 * (float64(enabled-disabled) / float64(disabled))
+}
+
 // executorEconomics measures the per-run cost of the fused compiled executor
 // and of the unfused per-kernel LBC chain — the gap the inspector's one-time
 // cost is amortized against.
@@ -646,6 +791,22 @@ func checkRegression(path string, fresh *report) error {
 			failures = append(failures, fmt.Sprintf(
 				"serve %s: p99 latency %dns > committed %dns +25%%", f.Name, f.P99Ns, c.P99Ns))
 		}
+	}
+	profC := make(map[string]profileResult, len(committed.Profile))
+	for _, r := range committed.Profile {
+		profC[r.Name] = r
+	}
+	for _, f := range fresh.Profile {
+		c, ok := profC[f.Name]
+		if !ok {
+			continue
+		}
+		if float64(f.DisabledNs) > float64(c.DisabledNs)*slack {
+			failures = append(failures, fmt.Sprintf(
+				"profile %s: disabled solve %dns > committed %dns +25%%", f.Name, f.DisabledNs, c.DisabledNs))
+		}
+		// The ≤5% instrumentation budget was already enforced while measuring
+		// (runProfile aborts on breach), so -check only guards the solve time.
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {

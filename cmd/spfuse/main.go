@@ -25,7 +25,9 @@ import (
 	"sparsefusion/internal/exec"
 	"sparsefusion/internal/figures"
 	"sparsefusion/internal/metrics"
+	"sparsefusion/internal/relayout"
 	"sparsefusion/internal/suite"
+	"sparsefusion/internal/telemetry"
 )
 
 var comboByFlag = map[string]combos.ID{
@@ -78,25 +80,9 @@ func main() {
 		fmt.Println()
 	}
 	if *trace != "" {
-		sched, err := core.ICO(in.Loops, core.Params{Threads: *threads, ReuseRatio: in.Reuse, LBC: figures.PaperLBC()})
-		if err != nil {
+		if err := writeTrace(*trace, in, *threads); err != nil {
 			log.Fatal(err)
 		}
-		_, spans, err := exec.RunFusedTraced(in.Kernels, sched, *threads)
-		if err != nil {
-			log.Fatal(err)
-		}
-		f, err := os.Create(*trace)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := exec.WriteChromeTrace(f, spans); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote trace to %s (open in chrome://tracing)\n\n", *trace)
 	}
 	seq, err := in.RunSequential()
 	if err != nil {
@@ -136,6 +122,129 @@ func main() {
 			im.Name, im.InspectTime.Round(time.Microsecond), best,
 			metrics.GFlops(in.FlopCount(), best), barriers)
 	}
+}
+
+// writeTrace renders one fused solve as a Chrome trace: the inspector's stage
+// spans (ICOTimed) and the executor's per-w-partition spans from the hot-path
+// recorder (exec.Recorder on the compiled runner, and on the packed runner when
+// the chain supports re-layout) on one timeline. The legacy traced executor
+// (exec.RunFusedTraced) runs as a cross-check — its span count must match the
+// recorder's — and contributes its own row group, so all three executor paths
+// are comparable in one view. Open the file in chrome://tracing or
+// https://ui.perfetto.dev.
+func writeTrace(path string, in *combos.Instance, threads int) error {
+	sched, tm, err := core.ICOTimed(in.Loops, core.Params{Threads: threads, ReuseRatio: in.Reuse, LBC: figures.PaperLBC()})
+	if err != nil {
+		return err
+	}
+
+	tb := telemetry.NewTimeline()
+	tb.Process(1, "inspector")
+	tb.Thread(1, 1, "ico stages")
+	var cursor time.Duration
+	for _, st := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"setup", tm.Setup}, {"lbc", tm.Head}, {"pairing", tm.Pairing},
+		{"merge", tm.Merge}, {"slack", tm.Slack}, {"pack", tm.Pack},
+	} {
+		tb.Span(1, 1, st.name, "inspect", cursor, st.d, nil)
+		cursor += st.d
+	}
+
+	// addRun lays one recorded execution's spans after the current cursor and
+	// advances it past the run.
+	addRun := func(pid int, name string, spans []exec.Span, elapsed time.Duration) {
+		tb.Process(pid, name)
+		seen := map[int]bool{}
+		for _, s := range spans {
+			if !seen[s.WPartition] {
+				seen[s.WPartition] = true
+				tb.Thread(pid, s.WPartition+1, fmt.Sprintf("w%d", s.WPartition))
+			}
+			tb.Span(pid, s.WPartition+1, fmt.Sprintf("s%d (%d iters)", s.SPartition, s.Iters),
+				"exec", cursor+s.Start, s.Duration,
+				map[string]any{"s": s.SPartition, "iters": s.Iters})
+		}
+		cursor += elapsed
+	}
+
+	runner, err := exec.CompileFused(in.Kernels, sched)
+	if err != nil {
+		// No compiled path for this schedule: the legacy tracer is the trace.
+		_, spans, terr := exec.RunFusedTraced(in.Kernels, sched, threads)
+		if terr != nil {
+			return terr
+		}
+		addRun(2, "executor (legacy)", spans, spanEnd(spans))
+		fmt.Printf("compiled path unavailable (%v); traced legacy executor only\n", err)
+		return flushTrace(path, tb)
+	}
+	rec := exec.NewRecorder(sched.NumSPartitions()*sched.MaxWidth()+1, sched.MaxWidth())
+	runner.SetRecorder(rec)
+	rec.Enable()
+	stc, err := runner.Run(threads)
+	if err != nil {
+		return fmt.Errorf("compiled traced run: %w", err)
+	}
+	compiledSpans := rec.Spans()
+	addRun(2, "executor (compiled)", compiledSpans, stc.Elapsed)
+
+	if lay, lerr := relayout.Build(runner.Program(), in.Kernels); lerr == nil {
+		if aerr := runner.AttachLayout(lay); aerr == nil {
+			rec.Reset()
+			stp, perr := runner.Run(threads)
+			if perr != nil {
+				return fmt.Errorf("packed traced run: %w", perr)
+			}
+			addRun(3, "executor (packed)", rec.Spans(), stp.Elapsed)
+			runner.DetachLayout()
+		}
+	}
+	runner.SetRecorder(nil)
+
+	// Cross-check: the legacy tracer walks the same schedule, so it must see
+	// exactly the recorder's span population (one per w-partition per barrier).
+	_, legacySpans, err := exec.RunFusedTraced(in.Kernels, sched, threads)
+	if err != nil {
+		return fmt.Errorf("legacy traced run: %w", err)
+	}
+	if len(legacySpans) != len(compiledSpans) {
+		return fmt.Errorf("trace cross-check failed: legacy tracer saw %d spans, recorder %d",
+			len(legacySpans), len(compiledSpans))
+	}
+	addRun(4, "executor (legacy cross-check)", legacySpans, spanEnd(legacySpans))
+
+	if err := flushTrace(path, tb); err != nil {
+		return err
+	}
+	fmt.Printf("wrote trace to %s (open in chrome://tracing; %d executor spans, cross-check ok)\n\n",
+		path, len(compiledSpans))
+	return nil
+}
+
+// spanEnd is when the last span finishes — the run length as the spans saw it.
+func spanEnd(spans []exec.Span) time.Duration {
+	var end time.Duration
+	for _, s := range spans {
+		if e := s.Start + s.Duration; e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+func flushTrace(path string, tb *telemetry.TimelineBuilder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tb.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func keys() []string {

@@ -3,6 +3,7 @@ package cache
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sparsefusion/internal/core"
 	"sparsefusion/internal/relayout"
@@ -59,6 +60,54 @@ type Config struct {
 	// <Dir>/<fingerprint>.sched files and warm-start later processes.
 	// Empty disables persistence.
 	Dir string
+	// OnEvent, when non-nil, observes every cache transition (hits, misses,
+	// singleflight waits, evictions, disk tier traffic) as it happens — the
+	// hook the telemetry layer's structured event tracing rides on. The
+	// callback runs inline on the requesting goroutine (under mu only for
+	// evictions), so it must be fast and must not call back into the cache.
+	OnEvent func(Event)
+}
+
+// EventKind names one cache transition.
+type EventKind string
+
+const (
+	// EventHit is a lock-free read of a published entry.
+	EventHit EventKind = "hit"
+	// EventMiss is a build actually run (after the disk tier declined).
+	EventMiss EventKind = "miss"
+	// EventWait is a request that blocked on another tenant's in-flight
+	// build of the same key (the singleflight coalescing path).
+	EventWait EventKind = "wait"
+	// EventEvict is an in-memory entry dropped by the size bound.
+	EventEvict EventKind = "evict"
+	// EventDiskLoad is a miss served from the disk tier (the loaded schedule
+	// passed fingerprint re-verification and validation).
+	EventDiskLoad EventKind = "disk_load"
+	// EventDiskSave is a freshly inspected schedule persisted to the tier.
+	EventDiskSave EventKind = "disk_save"
+	// EventDiskError is an unreadable, mismatched, invalid, or unwritable
+	// tier file; Err carries the cause when one is known.
+	EventDiskError EventKind = "disk_error"
+)
+
+// Event is one observed cache transition.
+type Event struct {
+	Kind EventKind
+	// Key is the fingerprint involved.
+	Key Key
+	// Dur is how long the transition took, where meaningful (miss: the full
+	// build; wait: time blocked on the leader; disk_load: read+verify).
+	Dur time.Duration
+	// Err is the cause of a disk_error, when known.
+	Err string
+}
+
+// emit fires the hook if one is installed.
+func (c *Cache) emit(kind EventKind, key Key, dur time.Duration, errStr string) {
+	if c.onEvent != nil {
+		c.onEvent(Event{Kind: kind, Key: key, Dur: dur, Err: errStr})
+	}
 }
 
 // DefaultMaxEntries is the in-memory bound when Config.MaxEntries is unset.
@@ -70,8 +119,9 @@ const DefaultMaxEntries = 128
 // Cache is the content-addressed artifact store. The zero value is not
 // usable; construct with New.
 type Cache struct {
-	max int
-	dir string
+	max     int
+	dir     string
+	onEvent func(Event)
 
 	// entries is the published tier: Key -> *Entry. Reads (hits) are
 	// lock-free; writes happen only on misses under mu.
@@ -105,7 +155,7 @@ func New(cfg Config) *Cache {
 	if max <= 0 {
 		max = DefaultMaxEntries
 	}
-	return &Cache{max: max, dir: cfg.Dir, inflight: make(map[Key]*flight)}
+	return &Cache{max: max, dir: cfg.Dir, onEvent: cfg.OnEvent, inflight: make(map[Key]*flight)}
 }
 
 // lookup is the raw published-tier read; it refreshes the recency stamp but
@@ -126,6 +176,7 @@ func (c *Cache) Get(key Key) (*Entry, bool) {
 	e, ok := c.lookup(key)
 	if ok {
 		c.hits.Add(1)
+		c.emit(EventHit, key, 0, "")
 	}
 	return e, ok
 }
@@ -139,18 +190,22 @@ func (c *Cache) Get(key Key) (*Entry, bool) {
 func (c *Cache) GetOrBuild(key Key, b Builder) (*Entry, error) {
 	if e, ok := c.lookup(key); ok {
 		c.hits.Add(1)
+		c.emit(EventHit, key, 0, "")
 		return e, nil
 	}
 	c.mu.Lock()
 	if e, ok := c.lookup(key); ok {
 		c.mu.Unlock()
 		c.hits.Add(1)
+		c.emit(EventHit, key, 0, "")
 		return e, nil
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		c.waits.Add(1)
+		t0 := time.Now()
 		<-f.done
+		c.emit(EventWait, key, time.Since(t0), "")
 		return f.e, f.err
 	}
 	f := &flight{done: make(chan struct{})}
@@ -177,9 +232,11 @@ func (c *Cache) GetOrBuild(key Key, b Builder) (*Entry, error) {
 // written back to the disk tier best-effort.
 func (c *Cache) build(key Key, b Builder) (*Entry, error) {
 	c.misses.Add(1)
+	tBuild := time.Now()
 	var sched *core.Schedule
 	fromDisk := false
 	if c.dir != "" {
+		t0 := time.Now()
 		if s, err := c.loadDisk(key); err == nil {
 			if b.Validate != nil {
 				err = b.Validate(s)
@@ -187,11 +244,14 @@ func (c *Cache) build(key Key, b Builder) (*Entry, error) {
 			if err == nil {
 				sched, fromDisk = s, true
 				c.diskHits.Add(1)
+				c.emit(EventDiskLoad, key, time.Since(t0), "")
 			} else {
 				c.diskErrors.Add(1)
+				c.emit(EventDiskError, key, time.Since(t0), err.Error())
 			}
 		} else if !isNotExist(err) {
 			c.diskErrors.Add(1)
+			c.emit(EventDiskError, key, time.Since(t0), err.Error())
 		}
 	}
 	if sched == nil {
@@ -213,8 +273,12 @@ func (c *Cache) build(key Key, b Builder) (*Entry, error) {
 	if c.dir != "" && !fromDisk {
 		if err := c.saveDisk(key, art.Schedule); err != nil {
 			c.diskErrors.Add(1)
+			c.emit(EventDiskError, key, 0, err.Error())
+		} else {
+			c.emit(EventDiskSave, key, 0, "")
 		}
 	}
+	c.emit(EventMiss, key, time.Since(tBuild), "")
 	return e, nil
 }
 
@@ -246,6 +310,7 @@ func (c *Cache) publish(key Key, e *Entry) {
 		c.entries.Delete(oldKey)
 		c.count.Add(-1)
 		c.evictions.Add(1)
+		c.emit(EventEvict, oldKey, 0, "")
 	}
 }
 

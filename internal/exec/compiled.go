@@ -48,6 +48,14 @@ type Runner struct {
 	// dispatch unit (parallel to segs) and switches Run to the packed path.
 	// Set by AttachLayout (exec/packed.go).
 	packed []packedSeg
+
+	// rec, when non-nil, is the attached execution profiler (SetRecorder).
+	// Its enable flag is sampled once per run; a disabled recorder costs one
+	// atomic load per run, an absent one costs a nil check per run.
+	rec *Recorder
+	// wIters caches per-w-partition iteration counts for span labeling,
+	// built on first SetRecorder.
+	wIters []int32
 }
 
 // NewRunner binds a compiled program to its kernels, choosing each segment's
@@ -109,6 +117,27 @@ func NewRunner(ks []kernels.Kernel, prog *core.Program) *Runner {
 // Program exposes the compiled representation, for tests and tooling.
 func (r *Runner) Program() *core.Program { return r.prog }
 
+// SetRecorder attaches (or, with nil, detaches) an execution profiler: every
+// subsequent Run whose start observes the recorder enabled records one Span
+// per w-partition plus per-worker busy/wait into the recorder's preallocated
+// buffers. The recorder applies to both the compiled and packed paths — the
+// instrumentation rides the per-barrier duration gathering the executor
+// already performs for Stats, so enabling adds no extra timing syscalls
+// beyond one clock read per s-partition.
+func (r *Runner) SetRecorder(rec *Recorder) {
+	r.rec = rec
+	if rec != nil && r.wIters == nil {
+		p := r.prog
+		r.wIters = make([]int32, p.NumWPartitions())
+		for w := 0; w < p.NumWPartitions(); w++ {
+			r.wIters[w] = p.SegOff[p.WSeg[w+1]] - p.SegOff[p.WSeg[w]]
+		}
+	}
+}
+
+// Recorder returns the attached profiler, if any.
+func (r *Runner) Recorder() *Recorder { return r.rec }
+
 // Run executes the compiled schedule with the same semantics and Stats
 // accounting as RunFusedLegacy: Prepare in loop order, one barrier per
 // s-partition, atomic scatter mode iff the caller is multi-threaded and the
@@ -147,6 +176,13 @@ func (r *Runner) runOnPool(pl *pool, threads int) (Stats, error) {
 	if r.packed != nil {
 		runBody = r.runWPacked
 	}
+	// Sample the profiler flag once per run: a flip mid-schedule applies to
+	// the next run, and the disabled hot loop pays nothing per barrier.
+	rec := r.rec
+	recording := rec != nil && rec.Enabled()
+	if recording {
+		rec.beginRun()
+	}
 	for s := 0; s < p.NumSPartitions(); s++ {
 		w0 := int(p.SOff[s])
 		width := int(p.SOff[s+1]) - w0
@@ -154,8 +190,15 @@ func (r *Runner) runOnPool(pl *pool, threads int) (Stats, error) {
 			accumulate(&st, durs[:0], threads)
 			continue
 		}
+		var partStart time.Duration
+		if recording {
+			partStart = time.Since(t0)
+		}
 		pl.run(width, func(w int) { runBody(w0 + w) }, durs[:width])
 		accumulate(&st, durs[:width], threads)
+		if recording {
+			rec.record(s, partStart, durs[:width], r.wIters[w0:w0+width])
+		}
 		if f := pl.takeFault(); f != nil {
 			st.Elapsed = time.Since(t0)
 			return st, f.execError(s, w0+f.worker)

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sparsefusion/internal/exec"
 )
@@ -28,8 +29,32 @@ type Server struct {
 	admitted atomic.Int64
 	queued   atomic.Int64
 	active   atomic.Int64
+	waiting  atomic.Int64
+
+	// observer, when set (before serving starts), sees every admission with
+	// its queueing outcome — the telemetry layer's session-lifecycle hook.
+	observer atomic.Pointer[func(AdmitInfo)]
 
 	closeOnce sync.Once
+}
+
+// AdmitInfo describes one admission as the observer sees it.
+type AdmitInfo struct {
+	// Queued reports that all pools were checked out at arrival; Wait is the
+	// time spent blocked for one (0 when admitted immediately).
+	Queued bool
+	Wait   time.Duration
+}
+
+// Observe installs fn as the admission observer (nil removes it). The
+// callback runs inline on the admitted goroutine before its execution starts,
+// so it must be fast; installation is atomic and may happen while serving.
+func (s *Server) Observe(fn func(AdmitInfo)) {
+	if fn == nil {
+		s.observer.Store(nil)
+		return
+	}
+	s.observer.Store(&fn)
 }
 
 // Stats is a snapshot of the server's admission counters.
@@ -45,6 +70,9 @@ type Stats struct {
 	Queued int64
 	// Active is the number of executions in flight right now.
 	Active int64
+	// Waiting is the number of requests blocked for a pool right now — the
+	// live queue depth, as opposed to the cumulative Queued.
+	Waiting int64
 }
 
 // New starts a server with maxConcurrent pools of the given worker width.
@@ -77,19 +105,28 @@ func (s *Server) Width() int { return s.width }
 // and must not retain it. Returns ErrClosed once the server is closed.
 func (s *Server) Do(fn func(*exec.Pool) error) error {
 	var pl *exec.Pool
+	var info AdmitInfo
 	select {
 	case pl = <-s.pools:
 	case <-s.done:
 		return ErrClosed
 	default:
 		s.queued.Add(1)
+		s.waiting.Add(1)
+		t0 := time.Now()
 		select {
 		case pl = <-s.pools:
 		case <-s.done:
+			s.waiting.Add(-1)
 			return ErrClosed
 		}
+		s.waiting.Add(-1)
+		info = AdmitInfo{Queued: true, Wait: time.Since(t0)}
 	}
 	s.admitted.Add(1)
+	if obs := s.observer.Load(); obs != nil {
+		(*obs)(info)
+	}
 	s.active.Add(1)
 	defer func() {
 		s.active.Add(-1)
@@ -106,6 +143,7 @@ func (s *Server) Stats() Stats {
 		Admitted:      s.admitted.Load(),
 		Queued:        s.queued.Load(),
 		Active:        s.active.Load(),
+		Waiting:       s.waiting.Load(),
 	}
 }
 

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// TimelineBuilder assembles a Chrome trace_event file (the JSON Array/Object
+// format chrome://tracing and ui.perfetto.dev load) out of spans from more
+// than one subsystem: inspector stages and executor w-partitions land on one
+// timeline, separated into named processes with named threads.
+//
+// All spans share one clock: offsets from a caller-chosen zero. Metadata
+// events (process_name, thread_name) are emitted for every (pid, tid) seen,
+// in first-use order, so the viewer labels rows meaningfully.
+type TimelineBuilder struct {
+	events []traceEvent
+	procs  map[int]string
+	thrs   map[[2]int]string
+	order  []metaKey
+}
+
+type metaKey struct {
+	pid, tid int
+	proc     bool
+}
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTimeline constructs an empty builder.
+func NewTimeline() *TimelineBuilder {
+	return &TimelineBuilder{procs: map[int]string{}, thrs: map[[2]int]string{}}
+}
+
+// Process names a pid's row group (e.g. "inspector", "executor").
+func (tb *TimelineBuilder) Process(pid int, name string) {
+	if _, ok := tb.procs[pid]; !ok {
+		tb.order = append(tb.order, metaKey{pid: pid, proc: true})
+	}
+	tb.procs[pid] = name
+}
+
+// Thread names one row within a process (e.g. "w0", "w1").
+func (tb *TimelineBuilder) Thread(pid, tid int, name string) {
+	k := [2]int{pid, tid}
+	if _, ok := tb.thrs[k]; !ok {
+		tb.order = append(tb.order, metaKey{pid: pid, tid: tid})
+	}
+	tb.thrs[k] = name
+}
+
+// Span adds one complete ("X") slice. start and dur are offsets on the
+// shared clock; args may be nil.
+func (tb *TimelineBuilder) Span(pid, tid int, name, cat string, start, dur time.Duration, args map[string]any) {
+	tb.events = append(tb.events, traceEvent{
+		Name: name,
+		Cat:  cat,
+		Ph:   "X",
+		Ts:   float64(start.Nanoseconds()) / 1e3,
+		Dur:  float64(dur.Nanoseconds()) / 1e3,
+		PID:  pid,
+		TID:  tid,
+		Args: args,
+	})
+}
+
+// Write renders the trace as {"traceEvents":[...]}: metadata first (in
+// registration order), then the spans in insertion order.
+func (tb *TimelineBuilder) Write(w io.Writer) error {
+	all := make([]traceEvent, 0, len(tb.order)+len(tb.events))
+	for _, k := range tb.order {
+		if k.proc {
+			all = append(all, traceEvent{
+				Name: "process_name", Ph: "M", PID: k.pid,
+				Args: map[string]any{"name": tb.procs[k.pid]},
+			})
+			continue
+		}
+		all = append(all, traceEvent{
+			Name: "thread_name", Ph: "M", PID: k.pid, TID: k.tid,
+			Args: map[string]any{"name": tb.thrs[[2]int{k.pid, k.tid}]},
+		})
+	}
+	all = append(all, tb.events...)
+	return json.NewEncoder(w).Encode(map[string]any{"traceEvents": all, "displayTimeUnit": "ms"})
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"expvar"
+	"sync"
+)
+
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar exposes the registry's Snapshot under the given expvar name
+// (readable at /debug/vars wherever the process serves expvar). expvar.Publish
+// panics on duplicate names, so repeated calls with one name are deduplicated:
+// the last registry published under a name wins, earlier ones are replaced —
+// the semantics a server restarting its telemetry expects.
+func PublishExpvar(name string, r *Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	cur := published(name)
+	cur.mu.Lock()
+	cur.reg = r
+	cur.mu.Unlock()
+	if !expvarPublished[name] {
+		expvarPublished[name] = true
+		expvar.Publish(name, expvar.Func(func() any {
+			cur.mu.Lock()
+			reg := cur.reg
+			cur.mu.Unlock()
+			if reg == nil {
+				return nil
+			}
+			return reg.Snapshot()
+		}))
+	}
+}
+
+// slot holds the registry currently published under one expvar name.
+type slot struct {
+	mu  sync.Mutex
+	reg *Registry
+}
+
+var publishedSlots = map[string]*slot{}
+
+// published returns the slot for name, creating it under expvarMu.
+func published(name string) *slot {
+	s, ok := publishedSlots[name]
+	if !ok {
+		s = &slot{}
+		publishedSlots[name] = s
+	}
+	return s
+}

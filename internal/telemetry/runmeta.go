@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// RunMeta is the machine/build stamp every BENCH_*.json carries so
+// trajectories stay attributable across machines and commits: the same
+// benchmark number means nothing without knowing which CPU, core count, and
+// source revision produced it.
+type RunMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// CPUModel is the model string from /proc/cpuinfo ("unknown" where the
+	// platform does not expose one).
+	CPUModel string `json:"cpu_model"`
+	// GitCommit is the VCS revision baked into the binary by the Go
+	// toolchain ("unknown" for builds outside a checkout or with
+	// -buildvcs=off); Dirty marks uncommitted changes at build time.
+	GitCommit string `json:"git_commit"`
+	Dirty     bool   `json:"git_dirty,omitempty"`
+	// Timestamp is the collection time, UTC RFC3339.
+	Timestamp string `json:"timestamp"`
+}
+
+// CollectRunMeta gathers the stamp for the current process.
+func CollectRunMeta() RunMeta {
+	m := RunMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+		GitCommit:  "unknown",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.GitCommit = s.Value
+			case "vcs.modified":
+				m.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// cpuModel reads the first "model name" line of /proc/cpuinfo (Linux); other
+// platforms report "unknown" rather than shelling out.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return "unknown"
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok {
+			key := strings.TrimSpace(k)
+			if key == "model name" || key == "Model" || key == "cpu model" {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return "unknown"
+}

@@ -43,6 +43,7 @@ import (
 	"sparsefusion/internal/relayout"
 	"sparsefusion/internal/serve"
 	"sparsefusion/internal/sparse"
+	"sparsefusion/internal/telemetry"
 )
 
 // Matrix is an immutable sparse matrix handle in CSR storage.
@@ -168,6 +169,11 @@ type Options struct {
 	// compiled program, and packed layout when an equal fingerprint was
 	// inspected before (in this process or, with a disk tier, an earlier one).
 	Cache *ScheduleCache
+	// Tracer, when non-nil, receives structured events for the inspection
+	// pipeline (DAG build, ICO stages, compile, re-layout) and the lifecycle
+	// of the operation and its sessions (creation, demotions with typed
+	// cause). Nil costs one pointer check per event site.
+	Tracer *Tracer
 }
 
 func (o Options) threads() int {
@@ -212,6 +218,10 @@ type CacheConfig struct {
 	// fingerprint-named files under Dir and warm-start later processes
 	// (loaded schedules are fingerprint- and validity-checked before use).
 	Dir string
+	// Tracer, when non-nil, receives one structured event per cache
+	// transition: hit, miss (with build duration), singleflight wait,
+	// eviction, and disk-tier load/save/error.
+	Tracer *Tracer
 }
 
 // ScheduleCache is a content-addressed store for inspection artifacts —
@@ -231,7 +241,11 @@ type ScheduleCache struct {
 
 // NewScheduleCache constructs a cache; CacheConfig{} is usable.
 func NewScheduleCache(cfg CacheConfig) *ScheduleCache {
-	return &ScheduleCache{c: cache.New(cache.Config{MaxEntries: cfg.MaxEntries, Dir: cfg.Dir})}
+	ccfg := cache.Config{MaxEntries: cfg.MaxEntries, Dir: cfg.Dir}
+	if cfg.Tracer != nil {
+		ccfg.OnEvent = cacheEventHook(cfg.Tracer)
+	}
+	return &ScheduleCache{c: cache.New(ccfg)}
 }
 
 // CacheStats is a snapshot of a ScheduleCache's counters.
@@ -342,6 +356,11 @@ type execState struct {
 	// demotion records of sessions derived from this state.
 	progErr, layErr string
 
+	// id is the process-unique identity demotion records and lifecycle
+	// events carry; tr is the attached tracer (nil-safe).
+	id int64
+	tr *Tracer
+
 	mu sync.Mutex
 	// runner binds this state's kernels to prog (with packed streams attached
 	// while on the packed rung); nil once demoted to the legacy executor.
@@ -349,6 +368,32 @@ type execState struct {
 	// layout is the packed re-layout the runner has attached; nil otherwise.
 	layout    *relayout.Layout
 	demotions []Demotion
+	// demSeen is how many demotions a Server has already harvested into its
+	// log (guarded by mu alongside demotions).
+	demSeen int
+}
+
+// demote appends demotion records and emits their trace events. Caller must
+// NOT hold e.mu (construction-time callers are single-threaded; run-time
+// callers append under mu themselves and emit separately).
+func (e *execState) demote(ds ...Demotion) {
+	e.demotions = append(e.demotions, ds...)
+	e.emitDemotions(ds)
+}
+
+// emitDemotions traces demotions on the attached tracer, if any.
+func (e *execState) emitDemotions(ds []Demotion) {
+	t := e.tr.raw()
+	if t == nil {
+		return
+	}
+	for _, d := range ds {
+		t.Emit("session.demote",
+			telemetry.Int("session", e.id),
+			telemetry.String("from", string(d.From)),
+			telemetry.String("to", string(d.To)),
+			telemetry.String("reason", d.Reason))
+	}
 }
 
 // Operation is an inspected fused kernel combination. Inspection (DAG and
@@ -377,30 +422,58 @@ type Operation struct {
 // operation over a previously seen pattern reuses the cached schedule,
 // program, and (when the matrix values also match) packed layout.
 func NewOperation(c Combination, m *Matrix, opts Options) (*Operation, error) {
+	tr := opts.Tracer
+	t0 := time.Now()
 	inst, err := combos.Build(combos.ID(c), m.csr)
 	if err != nil {
 		return nil, err
 	}
 	op := &Operation{
-		execState: execState{inst: inst, th: opts.threads()},
+		execState: execState{inst: inst, th: opts.threads(), id: nextStateID.Add(1), tr: tr},
 		fp:        opts.fingerprint(c, m),
 	}
+	tr.raw().Emit("inspect.dag_build",
+		telemetry.Int("op", op.id),
+		telemetry.String("combo", inst.Name),
+		telemetry.Int("n", int64(m.Rows())),
+		telemetry.Int("nnz", int64(m.NNZ())),
+		telemetry.Dur("dur_ns", time.Since(t0)))
+	params := core.Params{Threads: op.th, ReuseRatio: inst.Reuse, LBC: opts.lbc()}
 	ico := func() (*core.Schedule, error) {
-		return core.ICO(inst.Loops, core.Params{Threads: op.th, ReuseRatio: inst.Reuse, LBC: opts.lbc()})
+		if tr == nil {
+			return core.ICO(inst.Loops, params)
+		}
+		t := time.Now()
+		sched, tm, err := core.ICOTimed(inst.Loops, params)
+		if err != nil {
+			return nil, err
+		}
+		tr.raw().Emit("inspect.ico",
+			telemetry.Int("op", op.id),
+			telemetry.Dur("dur_ns", time.Since(t)),
+			telemetry.Dur("setup_ns", tm.Setup),
+			telemetry.Dur("lbc_ns", tm.Head),
+			telemetry.Dur("pairing_ns", tm.Pairing),
+			telemetry.Dur("merge_ns", tm.Merge),
+			telemetry.Dur("slack_ns", tm.Slack),
+			telemetry.Dur("pack_ns", tm.Pack),
+			telemetry.Int("s_partitions", int64(sched.NumSPartitions())),
+			telemetry.Bool("interleaved", sched.Interleaved))
+		return sched, nil
 	}
 	if opts.Cache == nil {
 		sched, err := ico()
 		if err != nil {
 			return nil, err
 		}
-		op.bindArtifacts(buildArtifacts(inst, sched), false)
+		op.bindArtifacts(buildArtifacts(inst, sched, tr, op.id), false)
 		return op, nil
 	}
 	entry, err := opts.Cache.c.GetOrBuild(op.fp, cache.Builder{
 		Inspect:  ico,
 		Validate: inst.Loops.Validate,
 		Complete: func(s *core.Schedule) (cache.Artifacts, error) {
-			return buildArtifacts(inst, s), nil
+			return buildArtifacts(inst, s, tr, op.id), nil
 		},
 	})
 	if err != nil {
@@ -421,21 +494,40 @@ func (op *Operation) Fingerprint() string { return op.fp.String() }
 // buildArtifacts derives the full chain from a schedule: the compiled flat
 // program, then the schedule-order packed layout. A stage that does not fit
 // leaves its artifact nil with the reason recorded — the executor ladder
-// handles the gap, it is not an error.
-func buildArtifacts(inst *combos.Instance, sched *core.Schedule) cache.Artifacts {
+// handles the gap, it is not an error. A non-nil tracer sees one event per
+// stage (inspect.compile, inspect.relayout) with duration and outcome.
+func buildArtifacts(inst *combos.Instance, sched *core.Schedule, tr *Tracer, id int64) cache.Artifacts {
+	t := tr.raw()
 	art := cache.Artifacts{Schedule: sched}
+	t0 := time.Now()
 	prog, err := core.CompileSchedule(sched, len(inst.Kernels))
 	if err != nil {
 		art.ProgramErr = err.Error()
+		t.Emit("inspect.compile",
+			telemetry.Int("op", id),
+			telemetry.Dur("dur_ns", time.Since(t0)),
+			telemetry.String("err", err.Error()))
 		return art
 	}
 	art.Program = prog
+	t.Emit("inspect.compile",
+		telemetry.Int("op", id),
+		telemetry.Dur("dur_ns", time.Since(t0)),
+		telemetry.Int("iters", int64(len(prog.Iters))))
+	t0 = time.Now()
 	lay, err := relayout.Build(prog, inst.Kernels)
 	if err != nil {
 		art.LayoutErr = err.Error()
+		t.Emit("inspect.relayout",
+			telemetry.Int("op", id),
+			telemetry.Dur("dur_ns", time.Since(t0)),
+			telemetry.String("err", err.Error()))
 		return art
 	}
 	art.Layout = lay
+	t.Emit("inspect.relayout",
+		telemetry.Int("op", id),
+		telemetry.Dur("dur_ns", time.Since(t0)))
 	return art
 }
 
@@ -449,7 +541,7 @@ func (e *execState) bindArtifacts(art cache.Artifacts, shared bool) {
 	e.sched = art.Schedule
 	e.progErr, e.layErr = art.ProgramErr, art.LayoutErr
 	if art.Program == nil {
-		e.demotions = append(e.demotions,
+		e.demote(
 			Demotion{From: ModePacked, To: ModeCompiled, Reason: art.ProgramErr},
 			Demotion{From: ModeCompiled, To: ModeLegacy, Reason: art.ProgramErr})
 		return
@@ -458,7 +550,7 @@ func (e *execState) bindArtifacts(art cache.Artifacts, shared bool) {
 	e.runner = exec.NewRunner(e.inst.Kernels, art.Program)
 	lay := art.Layout
 	if lay == nil {
-		e.demotions = append(e.demotions, Demotion{From: ModePacked, To: ModeCompiled, Reason: art.LayoutErr})
+		e.demote(Demotion{From: ModePacked, To: ModeCompiled, Reason: art.LayoutErr})
 		return
 	}
 	if shared {
@@ -466,7 +558,7 @@ func (e *execState) bindArtifacts(art cache.Artifacts, shared bool) {
 			fresh, ferr := relayout.Build(art.Program, e.inst.Kernels)
 			if ferr != nil {
 				e.layErr = ferr.Error()
-				e.demotions = append(e.demotions, Demotion{From: ModePacked, To: ModeCompiled, Reason: ferr.Error()})
+				e.demote(Demotion{From: ModePacked, To: ModeCompiled, Reason: ferr.Error()})
 				return
 			}
 			lay = fresh
@@ -474,7 +566,7 @@ func (e *execState) bindArtifacts(art cache.Artifacts, shared bool) {
 	}
 	if err := e.runner.AttachLayout(lay); err != nil {
 		e.layErr = err.Error()
-		e.demotions = append(e.demotions, Demotion{From: ModePacked, To: ModeCompiled, Reason: err.Error()})
+		e.demote(Demotion{From: ModePacked, To: ModeCompiled, Reason: err.Error()})
 		return
 	}
 	e.layout = lay
@@ -563,12 +655,14 @@ func (e *execState) Run() (Report, error) {
 func (e *execState) RunOn(sv *Server) (Report, error) {
 	var rep Report
 	var runErr error
+	t0 := time.Now()
 	if err := sv.s.Do(func(pl *exec.Pool) error {
 		rep, runErr = e.run(pl)
 		return nil
 	}); err != nil {
 		return Report{}, err
 	}
+	sv.observeSolve(e, time.Since(t0), runErr)
 	return rep, runErr
 }
 
@@ -619,19 +713,22 @@ func (e *execState) runLadder(pl *exec.Pool) (exec.Stats, error) {
 		if verr := e.inst.Loops.Validate(e.sched); verr != nil {
 			return st, fmt.Errorf("sparsefusion: executor fault (%v) and schedule invalid: %w", err, verr)
 		}
+		var taken []Demotion
 		e.mu.Lock()
 		if e.runner == r {
 			if r.Packed() {
 				r.DetachLayout()
 				e.layout = nil
 				e.layErr = err.Error()
-				e.demotions = append(e.demotions, Demotion{From: ModePacked, To: ModeCompiled, Reason: err.Error()})
+				taken = []Demotion{{From: ModePacked, To: ModeCompiled, Reason: err.Error()}}
 			} else {
 				e.runner = nil
-				e.demotions = append(e.demotions, Demotion{From: ModeCompiled, To: ModeLegacy, Reason: err.Error()})
+				taken = []Demotion{{From: ModeCompiled, To: ModeLegacy, Reason: err.Error()}}
 			}
+			e.demotions = append(e.demotions, taken...)
 		}
 		e.mu.Unlock()
+		e.emitDemotions(taken)
 	}
 }
 
@@ -670,7 +767,11 @@ func (op *Operation) NewSession() (*Session, error) {
 		LayoutErr:  op.layErr,
 	}
 	op.mu.Unlock()
-	s := &Session{execState: execState{inst: clone, th: op.th}}
+	s := &Session{execState: execState{inst: clone, th: op.th, id: nextStateID.Add(1), tr: op.tr}}
+	s.tr.raw().Emit("session.new",
+		telemetry.Int("session", s.id),
+		telemetry.Int("op", op.id),
+		telemetry.String("combo", clone.Name))
 	s.bindArtifacts(art, true)
 	return s, nil
 }
@@ -684,6 +785,13 @@ type ServerConfig struct {
 	// should cover the widest schedule the server will execute (wider
 	// schedules still run, on per-call worker sets). <= 0 selects GOMAXPROCS.
 	Width int
+	// Cache, when non-nil, attaches a ScheduleCache so the server's metrics
+	// registry, Snapshot, and /healthz report cache statistics alongside the
+	// serving counters.
+	Cache *ScheduleCache
+	// Tracer, when non-nil, receives admission lifecycle events
+	// (serve.admit with queueing outcome and wait time).
+	Tracer *Tracer
 }
 
 // Server bounds concurrent fused executions. The executor's worker sets spin
@@ -696,20 +804,37 @@ type ServerConfig struct {
 // Serve traffic with Session.RunOn(server) (or Operation.RunOn); Close the
 // server when done.
 type Server struct {
-	s *serve.Server
+	s     *serve.Server
+	obs   *serverObs
+	cache *ScheduleCache
+	tr    *Tracer
 }
 
 // ErrServerClosed is returned by RunOn after the server is closed.
 var ErrServerClosed = serve.ErrClosed
 
 // NewServer starts a server; ServerConfig{} is usable (one worker set of
-// GOMAXPROCS workers).
+// GOMAXPROCS workers). The server always carries a metrics registry
+// (Handler serves it at /metrics); attach ServerConfig.Cache to include the
+// cache's statistics in it, and ServerConfig.Tracer for admission events.
 func NewServer(cfg ServerConfig) *Server {
 	w := cfg.Width
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Server{s: serve.New(cfg.MaxConcurrent, w)}
+	sv := &Server{s: serve.New(cfg.MaxConcurrent, w), cache: cfg.Cache, tr: cfg.Tracer}
+	sv.obs = newServerObs(sv.s, cfg.Cache)
+	obs, tr := sv.obs, cfg.Tracer.raw()
+	sv.s.Observe(func(info serve.AdmitInfo) {
+		if info.Queued {
+			obs.queueWait.Observe(info.Wait.Seconds())
+		}
+		tr.Emit("serve.admit",
+			telemetry.Bool("queued", info.Queued),
+			telemetry.Dur("wait_ns", info.Wait))
+	})
+	telemetry.PublishExpvar("sparsefusion", sv.obs.reg)
+	return sv
 }
 
 // Close rejects new work and tears the worker sets down, waiting for
@@ -719,10 +844,16 @@ func (sv *Server) Close() { sv.s.Close() }
 // ServerStats is a snapshot of a Server's admission counters.
 type ServerStats struct {
 	// MaxConcurrent and Width echo the configuration.
-	MaxConcurrent, Width int
+	MaxConcurrent int `json:"max_concurrent"`
+	Width         int `json:"width"`
 	// Admitted counts executions that acquired a worker set; Queued counts
 	// those that had to wait for one; Active is the in-flight gauge.
-	Admitted, Queued, Active int64
+	Admitted int64 `json:"admitted"`
+	Queued   int64 `json:"queued"`
+	Active   int64 `json:"active"`
+	// Waiting is the live queue depth — requests blocked for a worker set
+	// right now, as opposed to the cumulative Queued.
+	Waiting int64 `json:"waiting"`
 }
 
 // Stats snapshots the admission counters.
@@ -734,6 +865,7 @@ func (sv *Server) Stats() ServerStats {
 		Admitted:      st.Admitted,
 		Queued:        st.Queued,
 		Active:        st.Active,
+		Waiting:       st.Waiting,
 	}
 }
 
@@ -774,7 +906,7 @@ func NewOperationFromSchedule(c Combination, m *Matrix, r io.Reader, opts Option
 		return nil, err
 	}
 	op := &Operation{
-		execState: execState{inst: inst, th: opts.threads()},
+		execState: execState{inst: inst, th: opts.threads(), id: nextStateID.Add(1), tr: opts.Tracer},
 		fp:        opts.fingerprint(c, m),
 	}
 	br := bufio.NewReader(r)
@@ -797,6 +929,6 @@ func NewOperationFromSchedule(c Combination, m *Matrix, r io.Reader, opts Option
 	if err := inst.Loops.Validate(sched); err != nil {
 		return nil, fmt.Errorf("sparsefusion: saved schedule does not match this matrix: %w", err)
 	}
-	op.bindArtifacts(buildArtifacts(inst, sched), false)
+	op.bindArtifacts(buildArtifacts(inst, sched, op.tr, op.id), false)
 	return op, nil
 }
