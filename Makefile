@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-inspector bench-serve bench-profile check-inspector check-exec check-serve check-profile
+.PHONY: build test race fuzz bench bench-inspector bench-serve bench-profile bench-scale check-inspector check-exec check-serve check-profile check-scale
 
 # FUZZTIME bounds each fuzz target's wall-clock budget (go test -fuzztime).
 FUZZTIME ?= 15s
@@ -71,3 +71,18 @@ bench-profile:
 # BENCH_profile.json.
 check-profile:
 	$(GO) run ./cmd/spbench -mode profile -check -out BENCH_profile.json
+
+# bench-scale regenerates BENCH_scale.json: the executor scaling curve over
+# worker counts 1..NumCPU — static packed execution vs work-stealing packed
+# execution with a first-touch layout, with per-width barrier cost, steal
+# rate, and parallel efficiency. The run itself hard-fails if the two
+# executors' outputs are not bit-identical at any width (DESIGN.md §14).
+bench-scale:
+	$(GO) run ./cmd/spbench -mode scale -out BENCH_scale.json
+
+# check-scale re-measures and fails (exit 1) if stealing is slower than the
+# static executor beyond a 10% noise allowance at any width, if outputs
+# diverged, or if the stealing time regressed more than 25% against the
+# committed BENCH_scale.json.
+check-scale:
+	$(GO) run ./cmd/spbench -mode scale -check -out BENCH_scale.json

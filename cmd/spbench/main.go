@@ -22,6 +22,15 @@
 //	                   budget unconditionally: a recorder-enabled warm solve
 //	                   more than 5% slower than the recorder-disabled one
 //	                   aborts the run (BENCH_profile.json)
+//	-mode scale      — the executor scaling curve: worker counts 1..NumCPU
+//	                   on the gs-pair fixture, static packed execution vs
+//	                   work-stealing packed execution with a first-touch
+//	                   layout, with per-width barrier cost, steal rate, and
+//	                   parallel efficiency. Output bit-identity between the
+//	                   two executors is enforced unconditionally at every
+//	                   width; -check additionally gates stealing to never be
+//	                   slower than static beyond a 10% noise allowance
+//	                   (BENCH_scale.json)
 //
 // Fixtures are deterministic, so reruns on one machine are comparable; each
 // file records the machine shape alongside the numbers. -check re-measures
@@ -36,7 +45,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -169,6 +180,34 @@ type serveResult struct {
 	HerdDuplicateInspections int64   `json:"herd_duplicate_inspections"`
 }
 
+// scaleResult is one worker count of the -mode scale sweep: the static
+// packed executor (one slot per w-partition, pool as wide as the schedule)
+// against the work-stealing packed executor (pool of exactly Workers slots
+// multiplexing the schedule, streams built first-touch by the owning slots).
+type scaleResult struct {
+	Name    string `json:"name"`
+	Workers int    `json:"workers"`
+	// StaticNs / StealNs are per-run times of the two executors at this
+	// worker count.
+	StaticNs int64 `json:"static_ns_per_run"`
+	StealNs  int64 `json:"steal_ns_per_run"`
+	// Speedup is the stealing executor's gain over its own 1-worker time;
+	// Efficiency divides that by Workers — the scaling curve's headline.
+	Speedup    float64 `json:"speedup_vs_one_worker"`
+	Efficiency float64 `json:"efficiency"`
+	// BarrierNs is one empty barrier round-trip at this width (combining
+	// tree above the threshold, flat sense-reversing word below).
+	BarrierNs int64 `json:"ns_per_barrier"`
+	// StealsPerRun and ReseedEvents aggregate the runner's steal telemetry
+	// over the instrumented runs at this width.
+	StealsPerRun float64 `json:"steals_per_run"`
+	ReseedEvents int64   `json:"reseed_events"`
+	// BitIdentical confirms the stealing run produced float64-identical
+	// output to the static run (the fixture is gather-only, so any
+	// divergence is an executor bug; the benchmark aborts when false).
+	BitIdentical bool `json:"bit_identical"`
+}
+
 // partitionProfile is one s-partition's barrier economics in JSON form.
 type partitionProfile struct {
 	S      int   `json:"s"`
@@ -221,6 +260,7 @@ type report struct {
 	Inspector []inspectorResult `json:"inspector,omitempty"`
 	Serve     []serveResult     `json:"serve,omitempty"`
 	Profile   []profileResult   `json:"profile,omitempty"`
+	Scale     []scaleResult     `json:"scale,omitempty"`
 }
 
 type fixture struct {
@@ -236,7 +276,7 @@ var fixtures = []fixture{
 }
 
 func main() {
-	mode := flag.String("mode", "exec", "benchmark suite: exec, inspector, serve or profile")
+	mode := flag.String("mode", "exec", "benchmark suite: exec, inspector, serve, profile or scale")
 	out := flag.String("out", "", "output file (default BENCH_<mode>.json)")
 	threads := flag.Int("threads", 8, "schedule width r (and inspector workers)")
 	n := flag.Int("n", 40000, "fixture size")
@@ -260,8 +300,10 @@ func main() {
 		runServe(&rep, *threads, *n, *minTime)
 	case "profile":
 		runProfile(&rep, *threads, *n, *minTime)
+	case "scale":
+		runScale(&rep, *threads, *n, *minTime)
 	default:
-		log.Fatalf("unknown -mode %q (want exec, inspector, serve or profile)", *mode)
+		log.Fatalf("unknown -mode %q (want exec, inspector, serve, profile or scale)", *mode)
 	}
 
 	if *check {
@@ -687,6 +729,84 @@ func runProfile(rep *report, threads, n int, minTime time.Duration) {
 	}
 }
 
+// runScale measures the executor scaling curve: for every worker count from
+// 1 to NumCPU, the static packed executor (pool as wide as the schedule, one
+// slot per w-partition) against the work-stealing packed executor (pool of
+// exactly that many slots, LPT-seeded queues, streams built first-touch by
+// the owning slots). The schedule itself targets the -threads width, so on
+// wide machines narrow worker counts exercise the multiplexing path. The
+// fixture is gather-only, so the two executors must agree bit for bit at
+// every width — enforced unconditionally; a mismatch aborts the run.
+func runScale(rep *report, threads, n int, minTime time.Duration) {
+	ks, loops, snap := gsPairSnap(n)
+	const name = "gs-pair/separated"
+	sched, err := core.ICO(loops, icoParams(threads, 0.5, 0))
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	static, _, err := exec.CompileFusedPacked(ks, sched)
+	if err != nil {
+		log.Fatalf("%s: static compile: %v", name, err)
+	}
+
+	var oneWorker time.Duration
+	for workers := 1; workers <= runtime.NumCPU(); workers++ {
+		staticNs := measure(minTime, func() { static.Run(workers) })
+		if _, err := static.Run(workers); err != nil {
+			log.Fatalf("%s w=%d: static run: %v", name, workers, err)
+		}
+		want := snap()
+
+		steal, _, err := exec.CompileFusedPackedFirstTouch(ks, sched, exec.Config{}, workers)
+		if err != nil {
+			log.Fatalf("%s w=%d: steal compile: %v", name, workers, err)
+		}
+		stealNs := measure(minTime, func() { steal.Run(workers) })
+		if _, err := steal.Run(workers); err != nil {
+			log.Fatalf("%s w=%d: steal run: %v", name, workers, err)
+		}
+		got := snap()
+		identical := len(got) == len(want)
+		for i := 0; identical && i < len(want); i++ {
+			identical = math.Float64bits(got[i]) == math.Float64bits(want[i])
+		}
+		if !identical {
+			log.Fatalf("%s w=%d: stealing diverged from the static executor (gather fixture must be bit-identical)", name, workers)
+		}
+
+		// Steal telemetry over a fixed run count, as deltas of the runner's
+		// cumulative counters.
+		const statRuns = 32
+		s0, r0 := steal.StealStats()
+		for i := 0; i < statRuns; i++ {
+			if _, err := steal.Run(workers); err != nil {
+				log.Fatalf("%s w=%d: instrumented run: %v", name, workers, err)
+			}
+		}
+		s1, r1 := steal.StealStats()
+
+		if workers == 1 {
+			oneWorker = stealNs
+		}
+		speedup := ratio(float64(oneWorker.Nanoseconds()), float64(stealNs.Nanoseconds()))
+		rep.Scale = append(rep.Scale, scaleResult{
+			Name:         name,
+			Workers:      workers,
+			StaticNs:     staticNs.Nanoseconds(),
+			StealNs:      stealNs.Nanoseconds(),
+			Speedup:      speedup,
+			Efficiency:   ratio(speedup, float64(workers)),
+			BarrierNs:    barrierCost(minTime/4, workers).Nanoseconds(),
+			StealsPerRun: ratio(float64(s1-s0), statRuns),
+			ReseedEvents: r1 - r0,
+			BitIdentical: identical,
+		})
+		last := rep.Scale[len(rep.Scale)-1]
+		fmt.Printf("%-22s w=%-3d static %10v  steal %10v  speedup %5.2fx  eff %4.2f  barrier %6dns  steals/run %.1f\n",
+			name, workers, staticNs, stealNs, last.Speedup, last.Efficiency, last.BarrierNs, last.StealsPerRun)
+	}
+}
+
 // overheadPct is how much slower enabled is than disabled, in percent
 // (negative when enabled happened to measure faster).
 func overheadPct(enabled, disabled time.Duration) float64 {
@@ -808,6 +928,32 @@ func checkRegression(path string, fresh *report) error {
 		// The ≤5% instrumentation budget was already enforced while measuring
 		// (runProfile aborts on breach), so -check only guards the solve time.
 	}
+	sclC := make(map[int]scaleResult, len(committed.Scale))
+	for _, r := range committed.Scale {
+		sclC[r.Workers] = r
+	}
+	for _, f := range fresh.Scale {
+		// Self-consistency gates, independent of the committed file: the
+		// stealing executor may never be slower than static beyond a 10%
+		// noise allowance at any measured width, and must have computed
+		// bit-identical output (also enforced while measuring).
+		if !f.BitIdentical {
+			failures = append(failures, fmt.Sprintf(
+				"scale w=%d: stealing output diverged from static", f.Workers))
+		}
+		if float64(f.StealNs) > float64(f.StaticNs)*1.10 {
+			failures = append(failures, fmt.Sprintf(
+				"scale w=%d: stealing %dns > static %dns +10%%", f.Workers, f.StealNs, f.StaticNs))
+		}
+		c, ok := sclC[f.Workers]
+		if !ok {
+			continue
+		}
+		if float64(f.StealNs) > float64(c.StealNs)*slack {
+			failures = append(failures, fmt.Sprintf(
+				"scale w=%d: stealing %dns > committed %dns +25%%", f.Workers, f.StealNs, c.StealNs))
+		}
+	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "REGRESSION:", f)
@@ -835,6 +981,13 @@ func fixtureMatrix(n int) *sparse.CSR {
 // gather kernels — on the Laplacian fixture whose triangular DAG is wide, so
 // executor dispatch dominates over barriers.
 func gsPair(n int) ([]kernels.Kernel, *core.Loops) {
+	ks, loops, _ := gsPairSnap(n)
+	return ks, loops
+}
+
+// gsPairSnap is gsPair plus a snapshot closure over the output vector, for
+// suites that compare executor results bit for bit.
+func gsPairSnap(n int) ([]kernels.Kernel, *core.Loops, func() []float64) {
 	a := fixtureMatrix(n)
 	n = a.Rows
 	l := a.Lower()
@@ -844,10 +997,12 @@ func gsPair(n int) ([]kernels.Kernel, *core.Loops) {
 	z := make([]float64, n)
 	k1 := kernels.NewSpTRSVCSR(l, x, y)
 	k2 := kernels.NewSpMVPlusCSR(a, y, rhs, z)
-	return []kernels.Kernel{k1, k2}, &core.Loops{
+	loops := &core.Loops{
 		G: []*dag.Graph{k1.DAG(), k2.DAG()},
 		F: []*sparse.CSR{core.FPattern(a)},
 	}
+	snap := func() []float64 { return append([]float64(nil), z...) }
+	return []kernels.Kernel{k1, k2}, loops, snap
 }
 
 // trsvMvCSC is the paper's Table 1 row 3 (SpTRSV-CSR then SpMV-CSC): the

@@ -56,6 +56,11 @@ type Runner struct {
 	// wIters caches per-w-partition iteration counts for span labeling,
 	// built on first SetRecorder.
 	wIters []int32
+
+	// cfg tunes the parallel execution (Configure); steal is the cached
+	// work-stealing context, built lazily for the effective pool width.
+	cfg   Config
+	steal *stealState
 }
 
 // NewRunner binds a compiled program to its kernels, choosing each segment's
@@ -147,10 +152,17 @@ func (r *Runner) Recorder() *Recorder { return r.rec }
 // (the fault channel is re-armed, the pool torn down as always).
 func (r *Runner) Run(threads int) (Stats, error) {
 	poolWidth := r.prog.MaxWidth
+	if r.cfg.Steal && threads < poolWidth {
+		// Stealing multiplexes the schedule's w-partitions over the slots it
+		// has, so the pool is sized to the caller's thread budget, not the
+		// schedule's width — the whole point on machines narrower than the
+		// widest s-partition.
+		poolWidth = threads
+	}
 	if poolWidth < 1 {
 		poolWidth = 1
 	}
-	pl := newPool(poolWidth)
+	pl := newPoolSpin(poolWidth, r.cfg.SpinBudget)
 	defer pl.close()
 	return r.runOnPool(pl, threads)
 }
@@ -167,11 +179,20 @@ func (r *Runner) runOnPool(pl *pool, threads int) (Stats, error) {
 	for _, k := range r.ks {
 		k.Prepare()
 	}
-	poolWidth := p.MaxWidth
-	if poolWidth < 1 {
-		poolWidth = 1
+	// sst is the stealing context, nil on the static path. Single-partition
+	// schedules stay static: there is nothing to steal.
+	var sst *stealState
+	if r.cfg.Steal && p.MaxWidth > 1 {
+		sst = r.stealFor(pl.workers)
 	}
-	durs := make([]time.Duration, poolWidth)
+	durWidth := p.MaxWidth
+	if sst != nil {
+		durWidth = sst.asn.Workers
+	}
+	if durWidth < 1 {
+		durWidth = 1
+	}
+	durs := make([]time.Duration, durWidth)
 	runBody := r.runW
 	if r.packed != nil {
 		runBody = r.runWPacked
@@ -190,18 +211,50 @@ func (r *Runner) runOnPool(pl *pool, threads int) (Stats, error) {
 			accumulate(&st, durs[:0], threads)
 			continue
 		}
+		parts := width
+		if sst != nil && parts > sst.asn.Workers {
+			parts = sst.asn.Workers
+		}
 		var partStart time.Duration
 		if recording {
 			partStart = time.Since(t0)
 		}
-		pl.run(width, func(w int) { runBody(w0 + w) }, durs[:width])
-		accumulate(&st, durs[:width], threads)
+		var roundSteals int64
+		if sst != nil {
+			sst.beginRound(s, parts)
+			pl.run(parts, func(q int) { r.stealRound(sst, q, parts, runBody) }, durs[:parts])
+			roundSteals = sst.collectRound(parts)
+		} else {
+			pl.run(width, func(w int) { runBody(w0 + w) }, durs[:width])
+		}
+		accumulate(&st, durs[:parts], threads)
 		if recording {
-			rec.record(s, partStart, durs[:width], r.wIters[w0:w0+width])
+			if sst != nil {
+				// Stolen spans belong to the slot that executed them: durs[q]
+				// is slot q's whole-round busy time, stolen w-partitions
+				// included. Iteration attribution per slot is unknown here
+				// (the slot↔w-partition map moved mid-round), so iters is nil.
+				rec.record(s, partStart, durs[:parts], nil, roundSteals)
+			} else {
+				rec.record(s, partStart, durs[:width], r.wIters[w0:w0+width], 0)
+			}
 		}
 		if f := pl.takeFault(); f != nil {
+			wp := w0 + f.worker
+			if sst != nil {
+				wp = int(sst.curW[f.worker])
+			}
 			st.Elapsed = time.Since(t0)
-			return st, f.execError(s, w0+f.worker)
+			return st, f.execError(s, wp)
+		}
+	}
+	if sst != nil {
+		ra := r.cfg.ReseedAfter
+		if ra <= 0 {
+			ra = defaultReseedAfter
+		}
+		if sst.finishRun(p, ra) && recording {
+			rec.noteReseed()
 		}
 	}
 	st.Elapsed = time.Since(t0)

@@ -1,0 +1,46 @@
+package exec
+
+// Config tunes a Runner's parallel execution. The zero value reproduces the
+// classic behavior: static w-partition→worker-slot assignment, env/default
+// spin budget.
+type Config struct {
+	// Steal enables bounded work-stealing inside s-partitions: worker slots
+	// drain per-slot deques seeded from a deterministic LPT assignment
+	// (core.AssignProgram), and idle slots steal whole w-partitions from the
+	// tail of the heaviest neighbor. Stealing never crosses an s-partition
+	// boundary — the barrier still separates dependent rounds — and a
+	// w-partition always executes whole on one goroutine, so per-w-partition
+	// arithmetic is bit-identical to the static path. With stealing on, a
+	// pool (or Run's private pool) may be narrower than the program's
+	// MaxWidth: Run sizes its pool min(threads, MaxWidth) and slots multiplex
+	// the schedule's w-partitions.
+	Steal bool
+
+	// SpinBudget overrides the barrier's spin-before-yield poll count for
+	// pools the Runner creates itself. <= 0 selects the process default
+	// (SPARSEFUSION_SPIN_BUDGET env, else 30000 polls, trimmed to 1 when
+	// oversubscribed).
+	SpinBudget int
+
+	// ReseedAfter is the number of consecutive heavy-steal runs (more than
+	// NumWPartitions/8 steals in one run) after which the seeded assignment
+	// is rebuilt from measured per-w-partition run times: persistent
+	// imbalance means the iteration-count proxy mis-weighted the partitions,
+	// and re-seeding restores affinity instead of paying steal traffic every
+	// run. <= 0 selects the default of 8.
+	ReseedAfter int
+}
+
+const defaultReseedAfter = 8
+
+// Configure sets the runner's execution config. Changing the config drops any
+// cached steal assignment (the next run re-seeds); it does not affect a run
+// already in flight — Runner is single-caller by contract.
+func (r *Runner) Configure(cfg Config) {
+	r.cfg = cfg
+	r.steal = nil
+}
+
+// Stealing reports whether the runner will take the work-stealing path for
+// multi-partition schedules.
+func (r *Runner) Stealing() bool { return r.cfg.Steal }

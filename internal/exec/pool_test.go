@@ -108,6 +108,94 @@ func TestPoolManyRoundsVaryingWidth(t *testing.T) {
 	}
 }
 
+// TestPoolTreeBarrierWide exercises the combining-tree arrival path: a pool
+// wider than treeBarrierThreshold, hammered with round widths on both sides
+// of the threshold so flat and tree rounds interleave on the same pool.
+func TestPoolTreeBarrierWide(t *testing.T) {
+	pl := newPool(33)
+	defer pl.close()
+	if pl.tree == nil {
+		t.Fatal("pool of 33 workers did not build a combining tree")
+	}
+	durs := make([]time.Duration, 33)
+	seen := make([]int64, 33)
+	var count int64
+	want := int64(0)
+	widths := []int{33, 17, 16, 1, 32, 2, 25, 33, 20, 5}
+	for round := 0; round < 300; round++ {
+		parts := widths[round%len(widths)]
+		want += int64(parts)
+		pl.run(parts, func(w int) {
+			atomic.AddInt64(&count, 1)
+			atomic.AddInt64(&seen[w], 1)
+		}, durs[:parts])
+	}
+	if count != want {
+		t.Fatalf("ran %d of %d parts", count, want)
+	}
+	for w := 0; w < 33; w++ {
+		var exp int64
+		for _, parts := range widths {
+			if w < parts {
+				exp += 30
+			}
+		}
+		if seen[w] != exp {
+			t.Fatalf("slot %d ran %d rounds, want %d", w, seen[w], exp)
+		}
+	}
+}
+
+// TestPoolTreeBarrierFault proves a panic inside a tree-width round still
+// arrives at the barrier (no hang) and surfaces through takeFault.
+func TestPoolTreeBarrierFault(t *testing.T) {
+	pl := newPool(24)
+	defer pl.close()
+	durs := make([]time.Duration, 24)
+	done := make(chan struct{})
+	go func() {
+		pl.run(24, func(w int) {
+			if w == 13 {
+				panic("tree fault")
+			}
+		}, durs)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("tree-width round hung on a panicking part")
+	}
+	f := pl.takeFault()
+	if f == nil || f.worker != 13 {
+		t.Fatalf("fault = %+v, want worker 13", f)
+	}
+}
+
+// TestPoolNarrowHasNoTree confirms the tree is not allocated below the
+// threshold — narrow pools keep the two-atomic flat barrier untouched.
+func TestPoolNarrowHasNoTree(t *testing.T) {
+	pl := newPool(treeBarrierThreshold)
+	defer pl.close()
+	if pl.tree != nil {
+		t.Fatalf("pool of %d workers built a tree", treeBarrierThreshold)
+	}
+}
+
+func TestPoolSpinBudgetExplicit(t *testing.T) {
+	pl := newPoolSpin(2, 7)
+	defer pl.close()
+	if pl.spin != 7 {
+		t.Fatalf("spin = %d, want explicit 7", pl.spin)
+	}
+	durs := make([]time.Duration, 2)
+	var count int64
+	pl.run(2, func(w int) { atomic.AddInt64(&count, 1) }, durs)
+	if count != 2 {
+		t.Fatalf("ran %d of 2 parts", count)
+	}
+}
+
 func TestPoolSingleWorker(t *testing.T) {
 	pl := newPool(1)
 	defer pl.close()

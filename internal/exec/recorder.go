@@ -43,6 +43,8 @@ type Recorder struct {
 
 	runs     int
 	barriers int64
+	steals   int64
+	reseeds  int64
 }
 
 // PartitionProfile aggregates one s-partition's barrier economics across
@@ -57,6 +59,9 @@ type PartitionProfile struct {
 	// (the critical path through this partition across runs); WaitNs sums
 	// all workers' barrier wait (round max minus own run time).
 	BusyNs, MaxNs, WaitNs int64
+	// Steals counts w-partitions of this s-partition executed by a slot
+	// other than their seeded owner (work-stealing path only).
+	Steals int64
 }
 
 // Imbalance is the partition's load-imbalance fraction: total worker wait
@@ -103,18 +108,25 @@ func (r *Recorder) Reset() {
 	}
 	r.parts = r.parts[:0]
 	r.runs, r.barriers = 0, 0
+	r.steals, r.reseeds = 0, 0
 }
+
+// noteReseed counts one steal-driven assignment re-seed.
+func (r *Recorder) noteReseed() { r.reseeds++ }
 
 // beginRun marks the start of one recorded execution.
 func (r *Recorder) beginRun() { r.runs++ }
 
 // record ingests one barrier round: s-partition si started at offset start
-// (from the run's t0); worker slot k ran its w-partition for durs[k],
-// covering iters[k] iterations (iters may be nil when unknown). Worker slots
-// — not global w-partition ids — key the spans and the busy/wait
-// accumulators, matching RunFusedTraced's convention and keeping one row per
-// worker on the timeline.
-func (r *Recorder) record(si int, start time.Duration, durs []time.Duration, iters []int32) {
+// (from the run's t0); worker slot k ran its share of the round for durs[k],
+// covering iters[k] iterations (iters may be nil when unknown — notably on
+// the stealing path, where a slot's share is its seeded queue plus whatever
+// it stole and durs already attributes stolen spans to the executing slot).
+// steals is the round's stolen-w-partition count (0 on the static path).
+// Worker slots — not global w-partition ids — key the spans and the
+// busy/wait accumulators, matching RunFusedTraced's convention and keeping
+// one row per worker on the timeline.
+func (r *Recorder) record(si int, start time.Duration, durs []time.Duration, iters []int32, steals int64) {
 	var maxD time.Duration
 	for _, d := range durs {
 		if d > maxD {
@@ -128,6 +140,8 @@ func (r *Recorder) record(si int, start time.Duration, durs []time.Duration, ite
 	p.Width = len(durs)
 	p.Rounds++
 	p.MaxNs += maxD.Nanoseconds()
+	p.Steals += steals
+	r.steals += steals
 	r.barriers++
 	var pIters int
 	for k, d := range durs {
@@ -187,6 +201,10 @@ type Breakdown struct {
 	// TotalBusyNs/TotalWaitNs sum the workers; Imbalance is TotalWait over
 	// (TotalBusy+TotalWait) — the fraction of worker time lost at barriers.
 	TotalBusyNs, TotalWaitNs int64
+	// Steals counts w-partitions executed by a slot other than their seeded
+	// owner; Reseeds counts steal-driven assignment rebuilds. Both are zero
+	// on the static path.
+	Steals, Reseeds int64
 	// DroppedSpans counts ring overwrites (0 means Spans is complete).
 	DroppedSpans int64
 }
@@ -208,6 +226,8 @@ func (r *Recorder) Breakdown() Breakdown {
 		Partitions:   append([]PartitionProfile(nil), r.parts...),
 		WorkerBusyNs: make([]int64, len(r.busy)),
 		WorkerWaitNs: make([]int64, len(r.wait)),
+		Steals:       r.steals,
+		Reseeds:      r.reseeds,
 		DroppedSpans: r.dropped,
 	}
 	for i := range r.busy {

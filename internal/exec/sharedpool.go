@@ -41,15 +41,17 @@ func (p *Pool) Width() int { return p.p.workers }
 func (p *Pool) Close() { p.p.close() }
 
 // RunOn executes the compiled schedule on a caller-supplied pool instead of a
-// private one, with semantics identical to Run. The pool must be at least as
-// wide as the program and must not be shared with a concurrent run; a pool
-// that is too narrow is an error (the caller falls back to Run, which sizes
-// its own).
+// private one, with semantics identical to Run. The pool must not be shared
+// with a concurrent run. Without stealing the pool must also be at least as
+// wide as the program — the static assignment gives every w-partition of a
+// round its own slot — and a pool that is too narrow is an error (the caller
+// falls back to Run, which sizes its own). A steal-enabled runner accepts any
+// pool width: its slots multiplex the schedule's w-partitions.
 func (r *Runner) RunOn(pl *Pool, threads int) (Stats, error) {
 	if pl == nil {
 		return r.Run(threads)
 	}
-	if w := r.prog.MaxWidth; w > pl.Width() {
+	if w := r.prog.MaxWidth; w > pl.Width() && !(r.cfg.Steal && w > 1) {
 		return Stats{}, fmt.Errorf("exec: program width %d exceeds pool width %d", w, pl.Width())
 	}
 	return r.runOnPool(pl.p, threads)

@@ -45,11 +45,15 @@ func (s *PackedStream) Occurrences() int { return len(s.Len) }
 // StreamPacker is implemented by kernels the packed executor supports.
 // AppendStream appends iteration i's operand entries to s in the exact order
 // RunManyPacked consumes them, growing Len (and Pos where used) by one
-// occurrence. PackedSource exposes the value array the stream snapshots, so
-// the relayout stage can refuse layouts whose source another fused kernel
-// overwrites during the run (the snapshot would go stale mid-execution).
+// occurrence. StreamEntries reports how many Idx/Val entries AppendStream(i)
+// would append — the sizing contract the parallel first-touch relayout
+// preallocates with, so it must agree with AppendStream exactly.
+// PackedSource exposes the value array the stream snapshots, so the relayout
+// stage can refuse layouts whose source another fused kernel overwrites
+// during the run (the snapshot would go stale mid-execution).
 type StreamPacker interface {
 	AppendStream(i int, s *PackedStream)
+	StreamEntries(i int) int
 	PackedSource() []float64
 }
 
@@ -89,6 +93,7 @@ func (s *PackedStream) appendCSR(p []int, idx []int, val []float64, i int) {
 
 func (k *SpMVCSR) AppendStream(i int, s *PackedStream) { s.appendCSR(k.A.P, k.A.I, k.A.X, i) }
 func (k *SpMVCSR) PackedSource() []float64             { return k.A.X }
+func (k *SpMVCSR) StreamEntries(i int) int             { return k.A.P[i+1] - k.A.P[i] }
 
 // RunManyPacked computes Y[i] = A[i][:]*X from the packed stream.
 func (k *SpMVCSR) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
@@ -109,6 +114,7 @@ func (k *SpMVCSR) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
 
 func (k *SpMVCSC) AppendStream(j int, s *PackedStream) { s.appendCSR(k.A.P, k.A.I, k.A.X, j) }
 func (k *SpMVCSC) PackedSource() []float64             { return k.A.X }
+func (k *SpMVCSC) StreamEntries(j int) int             { return k.A.P[j+1] - k.A.P[j] }
 
 // packedIter scatters one packed column; shared with the fused pair bodies.
 func (k *SpMVCSC) packedIter(j int, s *PackedStream, ent, it int) int {
@@ -159,6 +165,7 @@ func (k *SpMVCSC) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
 
 func (k *SpMVPlusCSR) AppendStream(i int, s *PackedStream) { s.appendCSR(k.A.P, k.A.I, k.A.X, i) }
 func (k *SpMVPlusCSR) PackedSource() []float64             { return k.A.X }
+func (k *SpMVPlusCSR) StreamEntries(i int) int             { return k.A.P[i+1] - k.A.P[i] }
 
 // packedIter computes one packed row; shared with the fused pair bodies.
 func (k *SpMVPlusCSR) packedIter(i int, s *PackedStream, ent, it int) int {
@@ -191,6 +198,7 @@ func (k *SpMVPlusCSR) RunManyPacked(iters []int32, s *PackedStream, ent, it int)
 
 func (k *SpTRSVCSR) AppendStream(i int, s *PackedStream) { s.appendCSR(k.L.P, k.L.I, k.L.X, i) }
 func (k *SpTRSVCSR) PackedSource() []float64             { return k.L.X }
+func (k *SpTRSVCSR) StreamEntries(i int) int             { return k.L.P[i+1] - k.L.P[i] }
 
 // packedIter solves one packed row (diagonal last); shared with the fused
 // pair bodies.
@@ -232,6 +240,7 @@ func (k *SpTRSVCSR) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
 
 func (k *SpTRSVCSC) AppendStream(j int, s *PackedStream) { s.appendCSR(k.L.P, k.L.I, k.L.X, j) }
 func (k *SpTRSVCSC) PackedSource() []float64             { return k.L.X }
+func (k *SpTRSVCSC) StreamEntries(j int) int             { return k.L.P[j+1] - k.L.P[j] }
 
 // packedIter finalizes and scatters one packed column (diagonal first);
 // shared with the fused pair bodies.
@@ -299,6 +308,12 @@ func (k *SpTRSVTransCSC) AppendStream(i int, s *PackedStream) {
 }
 func (k *SpTRSVTransCSC) PackedSource() []float64 { return k.L.X }
 
+// StreamEntries counts column j = Cols-1-i, mirroring AppendStream's flip.
+func (k *SpTRSVTransCSC) StreamEntries(i int) int {
+	j := k.L.Cols - 1 - i
+	return k.L.P[j+1] - k.L.P[j]
+}
+
 // packedIter solves one packed column of L' (diagonal first); shared with
 // the fused pair bodies.
 func (k *SpTRSVTransCSC) packedIter(i int, s *PackedStream, ent, it int) int {
@@ -356,6 +371,17 @@ func (k *SpTRSVUnitLowerCSR) AppendStream(i int, s *PackedStream) {
 }
 func (k *SpTRSVUnitLowerCSR) PackedSource() []float64 { return k.LU.X }
 
+// StreamEntries counts the strictly-lower prefix of row i, mirroring
+// AppendStream's densification.
+func (k *SpTRSVUnitLowerCSR) StreamEntries(i int) int {
+	lu := k.LU
+	lo, hi := lu.P[i], lu.P[i]
+	for hi < lu.P[i+1] && lu.I[hi] < i {
+		hi++
+	}
+	return hi - lo
+}
+
 // RunManyPacked solves the packed unit-lower rows in stream order.
 func (k *SpTRSVUnitLowerCSR) RunManyPacked(iters []int32, s *PackedStream, ent, it int) {
 	for o, v := range iters {
@@ -384,6 +410,7 @@ func (k *DScalCSR) AppendStream(i int, s *PackedStream) {
 	s.Pos = append(s.Pos, int32(k.A.P[i]))
 }
 func (k *DScalCSR) PackedSource() []float64 { return k.a0 }
+func (k *DScalCSR) StreamEntries(i int) int { return k.A.P[i+1] - k.A.P[i] }
 
 // RunManyPacked scales the packed rows, writing Out.X at the original matrix
 // positions.
@@ -412,6 +439,7 @@ func (k *DScalCSC) AppendStream(j int, s *PackedStream) {
 	s.Pos = append(s.Pos, int32(k.A.P[j]))
 }
 func (k *DScalCSC) PackedSource() []float64 { return k.a0 }
+func (k *DScalCSC) StreamEntries(j int) int { return k.A.P[j+1] - k.A.P[j] }
 
 // RunManyPacked scales the packed columns, writing Out.X at the original
 // matrix positions.

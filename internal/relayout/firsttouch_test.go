@@ -1,0 +1,191 @@
+package relayout
+
+import (
+	"strings"
+	"testing"
+
+	"sparsefusion/internal/core"
+	"sparsefusion/internal/kernels"
+	"sparsefusion/internal/sparse"
+)
+
+// sameStream compares two packed streams entry for entry. The first-touch
+// builder promises byte-identity with Build, so any divergence is a bug.
+func sameStream(t *testing.T, loop int, got, want *kernels.PackedStream) {
+	t.Helper()
+	if len(got.Idx) != len(want.Idx) || len(got.Val) != len(want.Val) ||
+		len(got.Len) != len(want.Len) || len(got.Pos) != len(want.Pos) {
+		t.Fatalf("loop %d: stream shape (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+			loop, len(got.Idx), len(got.Val), len(got.Len), len(got.Pos),
+			len(want.Idx), len(want.Val), len(want.Len), len(want.Pos))
+	}
+	for i := range want.Idx {
+		if got.Idx[i] != want.Idx[i] {
+			t.Fatalf("loop %d entry %d: Idx %d, want %d", loop, i, got.Idx[i], want.Idx[i])
+		}
+		if got.Val[i] != want.Val[i] {
+			t.Fatalf("loop %d entry %d: Val %v, want %v", loop, i, got.Val[i], want.Val[i])
+		}
+	}
+	for i := range want.Len {
+		if got.Len[i] != want.Len[i] {
+			t.Fatalf("loop %d occurrence %d: Len %d, want %d", loop, i, got.Len[i], want.Len[i])
+		}
+	}
+	for i := range want.Pos {
+		if got.Pos[i] != want.Pos[i] {
+			t.Fatalf("loop %d occurrence %d: Pos %d, want %d", loop, i, got.Pos[i], want.Pos[i])
+		}
+	}
+}
+
+// TestFirstTouchMatchesBuild: across assignment widths, the first-touch build
+// must reproduce Build's layout exactly — same segment cursors, same stream
+// contents, same source checksum.
+func TestFirstTouchMatchesBuild(t *testing.T) {
+	const n = 120
+	prog, ks, _ := buildGSProgram(t, n)
+	want, err := Build(prog, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		asn := core.AssignProgram(prog, workers, nil)
+		got, err := BuildFirstTouch(prog, ks, asn)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Program() != prog {
+			t.Fatalf("workers=%d: layout does not reference its program", workers)
+		}
+		if got.Sum != want.Sum {
+			t.Fatalf("workers=%d: sum %#x, want %#x", workers, got.Sum, want.Sum)
+		}
+		if len(got.SegEnt) != len(want.SegEnt) {
+			t.Fatalf("workers=%d: %d SegEnt entries, want %d", workers, len(got.SegEnt), len(want.SegEnt))
+		}
+		for g := range want.SegEnt {
+			if got.SegEnt[g] != want.SegEnt[g] {
+				t.Fatalf("workers=%d segment %d: SegEnt %d, want %d", workers, g, got.SegEnt[g], want.SegEnt[g])
+			}
+		}
+		for l := range want.Streams {
+			sameStream(t, l, got.Streams[l], want.Streams[l])
+		}
+	}
+}
+
+// buildDScalProgram schedules a DScalCSR kernel — whose packer appends the Pos
+// stream — over several w-partitions, exercising the first-touch Pos-probe and
+// the Pos windowing in the fill pass.
+func buildDScalProgram(t *testing.T, n int) (*core.Program, []kernels.Kernel) {
+	t.Helper()
+	a := sparse.Must(sparse.RandomSPD(n, 5, 31))
+	work := a.Clone()
+	d := kernels.JacobiScaling(a)
+	k := kernels.NewDScalCSR(a, d, work)
+
+	pb, err := core.NewProgramBuilder(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarter := n / 4
+	for s := 0; s < 2; s++ {
+		pb.StartS()
+		for w := 0; w < 2; w++ {
+			if err := pb.StartW(); err != nil {
+				t.Fatal(err)
+			}
+			lo := (2*s + w) * quarter
+			hi := lo + quarter
+			if s == 1 && w == 1 {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				if err := pb.Add(0, i); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return pb.Finish(), []kernels.Kernel{k}
+}
+
+// TestFirstTouchPosStream: Pos-carrying packers must get a Pos array in the
+// first-touch layout, identical to Build's.
+func TestFirstTouchPosStream(t *testing.T) {
+	const n = 80
+	prog, ks := buildDScalProgram(t, n)
+	want, err := Build(prog, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Streams[0].Pos) == 0 {
+		t.Fatal("fixture kernel packs no Pos stream; test is vacuous")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		asn := core.AssignProgram(prog, workers, nil)
+		got, err := BuildFirstTouch(prog, ks, asn)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		sameStream(t, 0, got.Streams[0], want.Streams[0])
+	}
+}
+
+// TestFirstTouchRejectsBadAssignment: a missing or mismatched assignment is a
+// caller error, reported rather than half-built.
+func TestFirstTouchRejectsBadAssignment(t *testing.T) {
+	const n = 120
+	prog, ks, _ := buildGSProgram(t, n)
+	if _, err := BuildFirstTouch(prog, ks, nil); err == nil {
+		t.Fatal("BuildFirstTouch accepted a nil assignment")
+	}
+	other, otherKs := buildDScalProgram(t, 80)
+	_ = otherKs
+	asn := core.AssignProgram(other, 2, nil)
+	if asn.Workers != 2 {
+		t.Fatalf("assignment workers = %d", asn.Workers)
+	}
+	_, err := BuildFirstTouch(prog, ks, asn)
+	if err == nil {
+		t.Fatal("BuildFirstTouch accepted an assignment for a different program")
+	}
+	if !strings.Contains(err.Error(), "w-partitions") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestFirstTouchRejectsUnsupportedKernel: the admission checks shared with
+// Build apply on the first-touch path too.
+func TestFirstTouchRejectsUnsupportedKernel(t *testing.T) {
+	const n = 60
+	a := sparse.Must(sparse.RandomSPD(n, 4, 19))
+	lc := a.Lower().ToCSC()
+	b := sparse.RandomVec(n, 20)
+	y := make([]float64, n)
+	k1 := kernels.NewSpIC0CSC(lc)
+	k2 := kernels.NewSpTRSVCSC(lc, b, y)
+
+	pb, err := core.NewProgramBuilder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb.StartS()
+	if err := pb.StartW(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := pb.Add(0, i); err != nil {
+			t.Fatal(err)
+		}
+		if err := pb.Add(1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prog := pb.Finish()
+	asn := core.AssignProgram(prog, 2, nil)
+	if _, err := BuildFirstTouch(prog, []kernels.Kernel{k1, k2}, asn); err == nil {
+		t.Fatal("BuildFirstTouch accepted a chain with a factor kernel")
+	}
+}

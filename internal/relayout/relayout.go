@@ -92,33 +92,9 @@ func writtenValues(k kernels.Kernel) [][]float64 {
 // during the run, or when a stream outgrows the int32 cursors; callers keep
 // the compiled-unpacked executor as the fallback for those cases.
 func Build(prog *core.Program, ks []kernels.Kernel) (*Layout, error) {
-	if len(ks) < prog.NumLoops {
-		return nil, fmt.Errorf("relayout: %d kernels for a %d-loop program", len(ks), prog.NumLoops)
-	}
-	if len(prog.SegIter) != prog.NumSegments() {
-		return nil, fmt.Errorf("relayout: program lacks SegIter stream-offset metadata")
-	}
-	packers := make([]kernels.StreamPacker, prog.NumLoops)
-	for l := 0; l < prog.NumLoops; l++ {
-		p, ok := ks[l].(kernels.StreamPacker)
-		if !ok {
-			return nil, fmt.Errorf("relayout: kernel %s does not support the packed layout", ks[l].Name())
-		}
-		packers[l] = p
-	}
-	for l, p := range packers {
-		src := p.PackedSource()
-		for j, k := range ks[:prog.NumLoops] {
-			if j == l {
-				continue
-			}
-			for _, w := range writtenValues(k) {
-				if sameBacking(src, w) {
-					return nil, fmt.Errorf("relayout: kernel %s overwrites the packed source of %s during the run",
-						k.Name(), ks[l].Name())
-				}
-			}
-		}
+	packers, err := validateChain(prog, ks)
+	if err != nil {
+		return nil, err
 	}
 
 	lay := &Layout{
@@ -157,6 +133,42 @@ func Build(prog *core.Program, ks []kernels.Kernel) (*Layout, error) {
 	}
 	lay.Sum, _ = SourceSum(ks, prog.NumLoops)
 	return lay, nil
+}
+
+// validateChain is the shared admission check of Build and BuildFirstTouch:
+// the chain must carry SegIter metadata, every kernel must support the packed
+// layout, and no fused kernel may overwrite another kernel's packed source
+// mid-run.
+func validateChain(prog *core.Program, ks []kernels.Kernel) ([]kernels.StreamPacker, error) {
+	if len(ks) < prog.NumLoops {
+		return nil, fmt.Errorf("relayout: %d kernels for a %d-loop program", len(ks), prog.NumLoops)
+	}
+	if len(prog.SegIter) != prog.NumSegments() {
+		return nil, fmt.Errorf("relayout: program lacks SegIter stream-offset metadata")
+	}
+	packers := make([]kernels.StreamPacker, prog.NumLoops)
+	for l := 0; l < prog.NumLoops; l++ {
+		p, ok := ks[l].(kernels.StreamPacker)
+		if !ok {
+			return nil, fmt.Errorf("relayout: kernel %s does not support the packed layout", ks[l].Name())
+		}
+		packers[l] = p
+	}
+	for l, p := range packers {
+		src := p.PackedSource()
+		for j, k := range ks[:prog.NumLoops] {
+			if j == l {
+				continue
+			}
+			for _, w := range writtenValues(k) {
+				if sameBacking(src, w) {
+					return nil, fmt.Errorf("relayout: kernel %s overwrites the packed source of %s during the run",
+						k.Name(), ks[l].Name())
+				}
+			}
+		}
+	}
+	return packers, nil
 }
 
 // SourceSum hashes (FNV-1a) the packed-source value arrays of the chain's

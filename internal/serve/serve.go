@@ -10,6 +10,7 @@ package serve
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,8 +62,14 @@ func (s *Server) Observe(fn func(AdmitInfo)) {
 type Stats struct {
 	// MaxConcurrent is the pool-fleet size K (the admission bound).
 	MaxConcurrent int
-	// Width is each pool's worker width.
+	// Width is each pool's configured worker width.
 	Width int
+	// EffectiveWidth is the parallelism a pool actually achieves right now:
+	// min(Width, GOMAXPROCS). A fleet configured wider than the machine (or
+	// narrowed by a runtime GOMAXPROCS change) still runs correctly — the
+	// extra workers just time-share cores — but capacity planning should read
+	// this, not Width.
+	EffectiveWidth int
 	// Admitted counts executions that checked out a pool.
 	Admitted int64
 	// Queued counts admissions that had to wait because all K pools were
@@ -76,14 +83,19 @@ type Stats struct {
 }
 
 // New starts a server with maxConcurrent pools of the given worker width.
-// Both are clamped to at least 1. The fleet spins up eagerly so the first
-// request does not pay pool-spawn latency.
+// Width is clamped to at least 1. maxConcurrent <= 0 sizes the fleet from the
+// machine: GOMAXPROCS/width pools (at least 1), so the fleet's spinning
+// workers roughly cover the cores without oversubscribing them. The fleet
+// spins up eagerly so the first request does not pay pool-spawn latency.
 func New(maxConcurrent, width int) *Server {
-	if maxConcurrent < 1 {
-		maxConcurrent = 1
-	}
 	if width < 1 {
 		width = 1
+	}
+	if maxConcurrent < 1 {
+		maxConcurrent = runtime.GOMAXPROCS(0) / width
+		if maxConcurrent < 1 {
+			maxConcurrent = 1
+		}
 	}
 	s := &Server{
 		pools: make(chan *exec.Pool, maxConcurrent),
@@ -137,13 +149,18 @@ func (s *Server) Do(fn func(*exec.Pool) error) error {
 
 // Stats snapshots the admission counters.
 func (s *Server) Stats() Stats {
+	eff := s.width
+	if np := runtime.GOMAXPROCS(0); np < eff {
+		eff = np
+	}
 	return Stats{
-		MaxConcurrent: cap(s.pools),
-		Width:         s.width,
-		Admitted:      s.admitted.Load(),
-		Queued:        s.queued.Load(),
-		Active:        s.active.Load(),
-		Waiting:       s.waiting.Load(),
+		MaxConcurrent:  cap(s.pools),
+		Width:          s.width,
+		EffectiveWidth: eff,
+		Admitted:       s.admitted.Load(),
+		Queued:         s.queued.Load(),
+		Active:         s.active.Load(),
+		Waiting:        s.waiting.Load(),
 	}
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -126,4 +127,40 @@ func TestCloseRejectsAndWaits(t *testing.T) {
 		t.Fatalf("Do after Close returned %v, want ErrClosed", err)
 	}
 	s.Close() // idempotent
+}
+
+func TestDefaultFleetSizedFromMachine(t *testing.T) {
+	np := runtime.GOMAXPROCS(0)
+	s := New(0, 0)
+	defer s.Close()
+	st := s.Stats()
+	if st.Width != 1 {
+		t.Fatalf("width = %d, want 1", st.Width)
+	}
+	if want := np; st.MaxConcurrent != want {
+		t.Fatalf("default fleet size = %d, want GOMAXPROCS/width = %d", st.MaxConcurrent, want)
+	}
+	wide := New(0, 2*np)
+	defer wide.Close()
+	if got := wide.Stats().MaxConcurrent; got != 1 {
+		t.Fatalf("fleet for width > GOMAXPROCS = %d, want 1", got)
+	}
+}
+
+func TestStatsEffectiveWidth(t *testing.T) {
+	np := runtime.GOMAXPROCS(0)
+	s := New(1, 2*np)
+	defer s.Close()
+	st := s.Stats()
+	if st.Width != 2*np {
+		t.Fatalf("configured width = %d, want %d", st.Width, 2*np)
+	}
+	if st.EffectiveWidth != np {
+		t.Fatalf("effective width = %d, want GOMAXPROCS = %d", st.EffectiveWidth, np)
+	}
+	narrow := New(1, 1)
+	defer narrow.Close()
+	if got := narrow.Stats().EffectiveWidth; got != 1 {
+		t.Fatalf("effective width of a 1-wide fleet = %d, want 1", got)
+	}
 }

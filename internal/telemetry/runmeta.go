@@ -4,6 +4,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -26,8 +27,25 @@ type RunMeta struct {
 	// -buildvcs=off); Dirty marks uncommitted changes at build time.
 	GitCommit string `json:"git_commit"`
 	Dirty     bool   `json:"git_dirty,omitempty"`
+	// Topology describes the machine shape scaling numbers depend on.
+	Topology Topology `json:"topology"`
 	// Timestamp is the collection time, UTC RFC3339.
 	Timestamp string `json:"timestamp"`
+}
+
+// Topology is the machine shape a scaling benchmark ran on: worker-placement
+// and barrier numbers are meaningless without knowing how many cores and
+// sockets shared them, and false-sharing padding is relative to the cache
+// line size.
+type Topology struct {
+	// Cores is the schedulable CPU count (runtime.NumCPU).
+	Cores int `json:"cores"`
+	// Sockets is the number of physical packages (distinct "physical id"
+	// values in /proc/cpuinfo); 1 where the platform does not say.
+	Sockets int `json:"sockets"`
+	// CacheLineBytes is the coherency line size from sysfs; 64 where the
+	// platform does not expose it.
+	CacheLineBytes int `json:"cache_line_bytes"`
 }
 
 // CollectRunMeta gathers the stamp for the current process.
@@ -40,6 +58,7 @@ func CollectRunMeta() RunMeta {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		CPUModel:   cpuModel(),
 		GitCommit:  "unknown",
+		Topology:   collectTopology(),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
@@ -53,6 +72,29 @@ func CollectRunMeta() RunMeta {
 		}
 	}
 	return m
+}
+
+// collectTopology gathers the machine shape from Linux's /proc and /sys;
+// other platforms get the conservative defaults (1 socket, 64-byte lines).
+func collectTopology() Topology {
+	t := Topology{Cores: runtime.NumCPU(), Sockets: 1, CacheLineBytes: 64}
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		ids := make(map[string]struct{})
+		for _, line := range strings.Split(string(data), "\n") {
+			if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "physical id" {
+				ids[strings.TrimSpace(v)] = struct{}{}
+			}
+		}
+		if len(ids) > 0 {
+			t.Sockets = len(ids)
+		}
+	}
+	if data, err := os.ReadFile("/sys/devices/system/cpu/cpu0/cache/index0/coherency_line_size"); err == nil {
+		if n, err := strconv.Atoi(strings.TrimSpace(string(data))); err == nil && n > 0 {
+			t.CacheLineBytes = n
+		}
+	}
+	return t
 }
 
 // cpuModel reads the first "model name" line of /proc/cpuinfo (Linux); other

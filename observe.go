@@ -98,6 +98,12 @@ type Snapshot struct {
 	Solves      int64 `json:"solves"`
 	SolveErrors int64 `json:"solve_errors"`
 	Demotions   int64 `json:"demotions"`
+	// Steals and Reseeds aggregate the work-stealing executor's activity over
+	// served solves: w-partitions run off their seeded worker, and assignment
+	// re-seeds taken after persistent imbalance. Zero unless sessions run
+	// with Options.Steal.
+	Steals  int64 `json:"steals"`
+	Reseeds int64 `json:"reseeds"`
 	// SolveP50 / SolveP99 are latency estimates from the histogram buckets.
 	SolveP50 time.Duration `json:"solve_p50_ns"`
 	SolveP99 time.Duration `json:"solve_p99_ns"`
@@ -113,8 +119,11 @@ type serverObs struct {
 	solves    *telemetry.Counter
 	errors    *telemetry.Counter
 	demotions *telemetry.Counter
+	steals    *telemetry.Counter
+	reseeds   *telemetry.Counter
 	latency   *telemetry.Histogram
 	queueWait *telemetry.Histogram
+	barrier   *telemetry.Histogram
 
 	mu     sync.Mutex
 	demLog []DemotionRecord
@@ -130,8 +139,11 @@ func newServerObs(s *serve.Server, sc *ScheduleCache) *serverObs {
 		solves:    reg.Counter("spf_solves_total", "Fused executions served (RunOn)."),
 		errors:    reg.Counter("spf_solve_errors_total", "Served executions that returned an error."),
 		demotions: reg.Counter("spf_demotions_total", "Executor-ladder demotions observed on served operations and sessions."),
+		steals:    reg.Counter("spf_steals_total", "W-partitions executed off their seeded worker (work-stealing executor)."),
+		reseeds:   reg.Counter("spf_reseeds_total", "Work-stealing assignment re-seeds taken after persistent imbalance."),
 		latency:   reg.Histogram("spf_solve_seconds", "Served solve latency (admission wait included).", nil),
 		queueWait: reg.Histogram("spf_queue_wait_seconds", "Time queued admissions waited for a worker set.", nil),
+		barrier:   reg.Histogram("spf_barrier_wait_seconds", "Per-solve load-imbalance cost at executor barriers (slowest worker minus mean, summed over s-partitions).", nil),
 	}
 	reg.CounterFunc("spf_serve_admitted_total", "Executions that checked out a worker set.",
 		func() float64 { return float64(s.Stats().Admitted) })
@@ -143,8 +155,10 @@ func newServerObs(s *serve.Server, sc *ScheduleCache) *serverObs {
 		func() float64 { return float64(s.Stats().Waiting) })
 	reg.GaugeFunc("spf_serve_max_concurrent", "Admission bound K (worker-set fleet size).",
 		func() float64 { return float64(s.Stats().MaxConcurrent) })
-	reg.GaugeFunc("spf_serve_width", "Worker width of each pooled worker set.",
+	reg.GaugeFunc("spf_serve_width", "Configured worker width of each pooled worker set.",
 		func() float64 { return float64(s.Stats().Width) })
+	reg.GaugeFunc("spf_serve_width_effective", "Effective worker width right now: min(configured width, GOMAXPROCS).",
+		func() float64 { return float64(s.Stats().EffectiveWidth) })
 	if sc != nil {
 		st := func() CacheStats { return sc.Stats() }
 		reg.CounterFunc("spf_cache_hits_total", "Schedule-cache lock-free hits.",
@@ -169,20 +183,36 @@ func newServerObs(s *serve.Server, sc *ScheduleCache) *serverObs {
 
 // observeSolve records one served execution and harvests any demotions the
 // run took (or construction-time demotions not yet reported).
-func (sv *Server) observeSolve(e *execState, d time.Duration, runErr error) {
+func (sv *Server) observeSolve(e *execState, d time.Duration, rep Report, runErr error) {
 	o := sv.obs
 	o.solves.Add(1)
 	o.latency.Observe(d.Seconds())
+	o.barrier.Observe(rep.BarrierWait.Seconds())
 	if runErr != nil {
 		o.errors.Add(1)
 	}
 	var fresh []Demotion
+	var dSteals, dReseeds int64
 	e.mu.Lock()
 	if n := len(e.demotions); n > e.demSeen {
 		fresh = append(fresh, e.demotions[e.demSeen:]...)
 		e.demSeen = n
 	}
+	if e.runner != nil {
+		// Harvest the runner's cumulative steal counters as deltas, demSeen
+		// style, so solves through any number of RunOn calls count each steal
+		// and re-seed exactly once.
+		steals, reseeds := e.runner.StealStats()
+		dSteals, dReseeds = steals-e.stealSeen, reseeds-e.reseedSeen
+		e.stealSeen, e.reseedSeen = steals, reseeds
+	}
 	e.mu.Unlock()
+	if dSteals > 0 {
+		o.steals.Add(dSteals)
+	}
+	if dReseeds > 0 {
+		o.reseeds.Add(dReseeds)
+	}
 	if len(fresh) == 0 {
 		return
 	}
@@ -214,6 +244,8 @@ func (sv *Server) Snapshot() Snapshot {
 		Solves:      o.solves.Value(),
 		SolveErrors: o.errors.Value(),
 		Demotions:   o.demotions.Value(),
+		Steals:      o.steals.Value(),
+		Reseeds:     o.reseeds.Value(),
 		SolveP50:    time.Duration(o.latency.Quantile(0.50) * 1e9),
 		SolveP99:    time.Duration(o.latency.Quantile(0.99) * 1e9),
 	}

@@ -174,6 +174,19 @@ type Options struct {
 	// of the operation and its sessions (creation, demotions with typed
 	// cause). Nil costs one pointer check per event site.
 	Tracer *Tracer
+	// Steal enables work-stealing execution: each s-partition's w-partitions
+	// are seeded onto worker queues by a load-balanced static assignment, and
+	// workers that drain their queue steal whole w-partitions from the
+	// heaviest neighbor. Results stay bit-identical to the static executor —
+	// per-w-partition arithmetic order is preserved — while tail latency on
+	// imbalanced partitions drops and schedules wider than the pool still run.
+	// Stealing does not change the schedule, so it shares cache entries with
+	// non-stealing options. DESIGN.md §14 documents the protocol.
+	Steal bool
+	// SpinBudget overrides the executor's barrier spin budget (iterations a
+	// worker spins before yielding, then parking). <= 0 keeps the default
+	// (30000, or the SPARSEFUSION_SPIN_BUDGET environment override).
+	SpinBudget int
 }
 
 func (o Options) threads() int {
@@ -301,6 +314,11 @@ type Report struct {
 	Time time.Duration
 	// Barriers counts synchronizations performed.
 	Barriers int
+	// BarrierWait is the load-imbalance cost summed over those barriers: for
+	// each s-partition, the gap between the slowest worker and the mean. It is
+	// the time the average worker spent waiting at barriers — the quantity
+	// work-stealing (Options.Steal) exists to shrink.
+	BarrierWait time.Duration
 	// GFlops is the achieved floating-point rate.
 	GFlops float64
 }
@@ -352,6 +370,11 @@ type execState struct {
 	// representation and the state runs the legacy executor.
 	prog *core.Program
 	th   int
+	// steal and spin are the executor tuning carried from Options (Steal,
+	// SpinBudget), applied to every runner this state builds — including the
+	// rebuilt runner of a session bound to shared artifacts.
+	steal bool
+	spin  int
 	// progErr and layErr record why prog or the packed layout is absent, for
 	// demotion records of sessions derived from this state.
 	progErr, layErr string
@@ -371,6 +394,9 @@ type execState struct {
 	// demSeen is how many demotions a Server has already harvested into its
 	// log (guarded by mu alongside demotions).
 	demSeen int
+	// stealSeen/reseedSeen are the runner steal counters a Server has already
+	// harvested into its metrics (guarded by mu, like demSeen).
+	stealSeen, reseedSeen int64
 }
 
 // demote appends demotion records and emits their trace events. Caller must
@@ -429,7 +455,7 @@ func NewOperation(c Combination, m *Matrix, opts Options) (*Operation, error) {
 		return nil, err
 	}
 	op := &Operation{
-		execState: execState{inst: inst, th: opts.threads(), id: nextStateID.Add(1), tr: tr},
+		execState: execState{inst: inst, th: opts.threads(), steal: opts.Steal, spin: opts.SpinBudget, id: nextStateID.Add(1), tr: tr},
 		fp:        opts.fingerprint(c, m),
 	}
 	tr.raw().Emit("inspect.dag_build",
@@ -548,6 +574,9 @@ func (e *execState) bindArtifacts(art cache.Artifacts, shared bool) {
 	}
 	e.prog = art.Program
 	e.runner = exec.NewRunner(e.inst.Kernels, art.Program)
+	if e.steal || e.spin > 0 {
+		e.runner.Configure(exec.Config{Steal: e.steal, SpinBudget: e.spin})
+	}
 	lay := art.Layout
 	if lay == nil {
 		e.demote(Demotion{From: ModePacked, To: ModeCompiled, Reason: art.LayoutErr})
@@ -662,16 +691,17 @@ func (e *execState) RunOn(sv *Server) (Report, error) {
 	}); err != nil {
 		return Report{}, err
 	}
-	sv.observeSolve(e, time.Since(t0), runErr)
+	sv.observeSolve(e, time.Since(t0), rep, runErr)
 	return rep, runErr
 }
 
 func (e *execState) run(pl *exec.Pool) (Report, error) {
 	st, err := e.runLadder(pl)
 	return Report{
-		Time:     st.Elapsed,
-		Barriers: st.Barriers,
-		GFlops:   metrics.GFlops(e.inst.FlopCount(), st.Elapsed),
+		Time:        st.Elapsed,
+		Barriers:    st.Barriers,
+		BarrierWait: st.PotentialGain,
+		GFlops:      metrics.GFlops(e.inst.FlopCount(), st.Elapsed),
 	}, err
 }
 
@@ -767,7 +797,7 @@ func (op *Operation) NewSession() (*Session, error) {
 		LayoutErr:  op.layErr,
 	}
 	op.mu.Unlock()
-	s := &Session{execState: execState{inst: clone, th: op.th, id: nextStateID.Add(1), tr: op.tr}}
+	s := &Session{execState: execState{inst: clone, th: op.th, steal: op.steal, spin: op.spin, id: nextStateID.Add(1), tr: op.tr}}
 	s.tr.raw().Emit("session.new",
 		telemetry.Int("session", s.id),
 		telemetry.Int("op", op.id),
@@ -779,7 +809,10 @@ func (op *Operation) NewSession() (*Session, error) {
 // ServerConfig tunes a Server.
 type ServerConfig struct {
 	// MaxConcurrent is the admission bound K: at most K fused executions run
-	// at once; excess requests queue in arrival order. <= 0 selects 1.
+	// at once; excess requests queue in arrival order. <= 0 sizes the fleet
+	// from the machine — GOMAXPROCS/Width worker sets (at least 1), so the
+	// fleet's spinning workers roughly cover the cores without
+	// oversubscribing them.
 	MaxConcurrent int
 	// Width is the worker width of each of the K persistent worker sets; it
 	// should cover the widest schedule the server will execute (wider
@@ -843,9 +876,12 @@ func (sv *Server) Close() { sv.s.Close() }
 
 // ServerStats is a snapshot of a Server's admission counters.
 type ServerStats struct {
-	// MaxConcurrent and Width echo the configuration.
-	MaxConcurrent int `json:"max_concurrent"`
-	Width         int `json:"width"`
+	// MaxConcurrent and Width echo the configuration; EffectiveWidth is the
+	// parallelism each worker set actually achieves right now
+	// (min(Width, GOMAXPROCS)) — the number capacity planning should read.
+	MaxConcurrent  int `json:"max_concurrent"`
+	Width          int `json:"width"`
+	EffectiveWidth int `json:"effective_width"`
 	// Admitted counts executions that acquired a worker set; Queued counts
 	// those that had to wait for one; Active is the in-flight gauge.
 	Admitted int64 `json:"admitted"`
@@ -860,12 +896,13 @@ type ServerStats struct {
 func (sv *Server) Stats() ServerStats {
 	st := sv.s.Stats()
 	return ServerStats{
-		MaxConcurrent: st.MaxConcurrent,
-		Width:         st.Width,
-		Admitted:      st.Admitted,
-		Queued:        st.Queued,
-		Active:        st.Active,
-		Waiting:       st.Waiting,
+		MaxConcurrent:  st.MaxConcurrent,
+		Width:          st.Width,
+		EffectiveWidth: st.EffectiveWidth,
+		Admitted:       st.Admitted,
+		Queued:         st.Queued,
+		Active:         st.Active,
+		Waiting:        st.Waiting,
 	}
 }
 
@@ -906,7 +943,7 @@ func NewOperationFromSchedule(c Combination, m *Matrix, r io.Reader, opts Option
 		return nil, err
 	}
 	op := &Operation{
-		execState: execState{inst: inst, th: opts.threads(), id: nextStateID.Add(1), tr: opts.Tracer},
+		execState: execState{inst: inst, th: opts.threads(), steal: opts.Steal, spin: opts.SpinBudget, id: nextStateID.Add(1), tr: opts.Tracer},
 		fp:        opts.fingerprint(c, m),
 	}
 	br := bufio.NewReader(r)

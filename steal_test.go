@@ -1,0 +1,117 @@
+package sparsefusion
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestStealOptionBitIdentical: Options.Steal must not change the computed
+// bits — per-w-partition arithmetic order is preserved, so a gather-only
+// combination produces float64-identical output with stealing on or off.
+func TestStealOptionBitIdentical(t *testing.T) {
+	m := RandomSPD(400, 5, 29)
+	static, err := NewOperation(TrsvTrsv, m, Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := static.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := static.Output()
+
+	for _, workers := range []int{1, 2, 4} {
+		op, err := NewOperation(TrsvTrsv, m, Options{Threads: workers, Steal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !op.runner.Stealing() {
+			t.Fatalf("workers=%d: Options.Steal did not configure the runner", workers)
+		}
+		rep, err := op.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.BarrierWait < 0 {
+			t.Fatalf("workers=%d: negative BarrierWait %v", workers, rep.BarrierWait)
+		}
+		got := op.Output()
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: output length %d, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("workers=%d: output[%d] = %v, static %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStealOptionPropagatesToSessions: sessions derived from a stealing
+// operation rebuild their runner with stealing configured.
+func TestStealOptionPropagatesToSessions(t *testing.T) {
+	op, err := NewOperation(TrsvTrsv, RandomSPD(300, 4, 31), Options{Threads: 2, Steal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := op.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.runner == nil || !s.runner.Stealing() {
+		t.Fatal("session runner is not configured for stealing")
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStealMetricsSurface: the serving metrics expose the work-stealing
+// counters and the configured-vs-effective width split, and Snapshot carries
+// the same numbers.
+func TestStealMetricsSurface(t *testing.T) {
+	op, err := NewOperation(TrsvTrsv, RandomSPD(300, 4, 33), Options{Threads: 2, Steal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := NewServer(ServerConfig{MaxConcurrent: 1, Width: 2})
+	defer sv.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := op.RunOn(sv); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := sv.Snapshot()
+	if snap.Steals < 0 || snap.Reseeds < 0 {
+		t.Fatalf("snapshot steal counters negative: %+v", snap)
+	}
+	if snap.Serve.EffectiveWidth < 1 || snap.Serve.EffectiveWidth > snap.Serve.Width {
+		t.Fatalf("effective width %d outside [1, %d]", snap.Serve.EffectiveWidth, snap.Serve.Width)
+	}
+
+	srv := httptest.NewServer(sv.Handler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"spf_steals_total",
+		"spf_reseeds_total",
+		"spf_serve_width_effective",
+		"spf_barrier_wait_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
