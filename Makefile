@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-inspector bench-serve bench-profile bench-scale check-inspector check-exec check-serve check-profile check-scale
+.PHONY: build test race fuzz bench bench-inspector bench-serve bench-profile bench-scale bench-chain check-inspector check-exec check-serve check-profile check-scale check-chain
 
 # FUZZTIME bounds each fuzz target's wall-clock budget (go test -fuzztime).
 FUZZTIME ?= 15s
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/exec/... ./internal/core/... ./internal/dag/... ./internal/lbc/... ./internal/cache/... ./internal/serve/... ./internal/telemetry/...
+	$(GO) test -race . ./internal/exec/... ./internal/core/... ./internal/dag/... ./internal/lbc/... ./internal/cache/... ./internal/combos/... ./internal/kernels/... ./internal/serve/... ./internal/telemetry/...
 
 # fuzz smoke-runs the native Go fuzz targets on the two untrusted-input
 # parsers: the binary schedule loader and the Matrix Market reader. Each
@@ -86,3 +86,20 @@ bench-scale:
 # committed BENCH_scale.json.
 check-scale:
 	$(GO) run ./cmd/spbench -mode scale -check -out BENCH_scale.json
+
+# bench-chain regenerates BENCH_chain.json: k-kernel chain composition — the
+# same sweep chain fully composed vs pairwise-fused vs unfused, with exact
+# barriers-per-pass counts and the composed inspection's break-even run count,
+# plus the end-to-end fused-iteration PCG solver against the pairwise-fused
+# host-orchestrated one. The run itself hard-fails if any fused execution is
+# not bit-identical to its reference or if composition added barriers
+# (DESIGN.md §15).
+bench-chain:
+	$(GO) run ./cmd/spbench -mode chain -out BENCH_chain.json
+
+# check-chain re-measures and fails (exit 1) if the composed chain does not
+# synchronize strictly less than pairwise, if fused PCG loses to the pairwise
+# solver beyond a 10% noise allowance, if any bit-identity gate tripped, or if
+# a fused time regressed more than 25% against the committed BENCH_chain.json.
+check-chain:
+	$(GO) run ./cmd/spbench -mode chain -check -out BENCH_chain.json

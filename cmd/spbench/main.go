@@ -31,6 +31,21 @@
 //	                   width; -check additionally gates stealing to never be
 //	                   slower than static beyond a 10% noise allowance
 //	                   (BENCH_scale.json)
+//	-mode chain      — k-kernel chain composition: the same chain at the
+//	                   three composition policies — fully composed (one
+//	                   fused schedule spanning all k loops), pairwise
+//	                   (adjacent pairs fused, the paper's Table 1 shape),
+//	                   and unfused (one schedule per kernel) — with exact
+//	                   barriers-per-pass counts, per-run times, and the
+//	                   break-even run count for the composed inspection;
+//	                   plus the end-to-end preconditioned CG solver, fused
+//	                   whole-iteration chain vs the host-orchestrated
+//	                   pairwise-fused solver. Bit-identity of every fused
+//	                   execution against its reference is enforced
+//	                   unconditionally; -check additionally gates the
+//	                   composed chain to strictly fewer barriers than
+//	                   pairwise and fused PCG to never lose to pairwise
+//	                   beyond a 10% noise allowance (BENCH_chain.json)
 //
 // Fixtures are deterministic, so reruns on one machine are comparable; each
 // file records the machine shape alongside the numbers. -check re-measures
@@ -54,6 +69,7 @@ import (
 
 	sf "sparsefusion"
 
+	"sparsefusion/internal/combos"
 	"sparsefusion/internal/core"
 	"sparsefusion/internal/dag"
 	"sparsefusion/internal/exec"
@@ -250,6 +266,43 @@ type profileResult struct {
 	Partitions       []partitionProfile `json:"partitions"`
 }
 
+// chainResult is one subject of the -mode chain suite: a k-kernel chain at
+// the three composition policies, or the end-to-end fused PCG solver against
+// its pairwise-fused host-orchestrated counterpart.
+type chainResult struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	K    int    `json:"chain_length"`
+	// Exact barrier economics for the chain subjects: how many barrier
+	// sequences one pass over the chain pays under each composition policy
+	// (schedule s-partition counts, not timings). BarrierReduction is
+	// pairwise over composed — the ~k× the tentpole exists for.
+	FusedBarriers    int     `json:"fused_barriers,omitempty"`
+	PairwiseBarriers int     `json:"pairwise_barriers,omitempty"`
+	UnfusedBarriers  int     `json:"unfused_barriers,omitempty"`
+	BarrierReduction float64 `json:"barrier_reduction_vs_pairwise,omitempty"`
+	// Per-pass (chain subjects) or per-solve (pcg subject) wall times.
+	FusedNs           int64   `json:"fused_ns_per_run"`
+	PairwiseNs        int64   `json:"pairwise_ns_per_run"`
+	UnfusedNs         int64   `json:"unfused_ns_per_run,omitempty"`
+	SpeedupVsPairwise float64 `json:"speedup_vs_pairwise"`
+	SpeedupVsUnfused  float64 `json:"speedup_vs_unfused,omitempty"`
+	// Composition economics: the one-time cost of inspecting the composed
+	// chain and how many runs amortize it against the cheapest alternative
+	// (unfused for the chain subjects, the pairwise solver for pcg).
+	InspectNs     int64   `json:"inspect_ns"`
+	BreakEvenRuns float64 `json:"break_even_runs"`
+	// Solver columns (pcg subject only): iterations to convergence and the
+	// barriers per solver iteration the fused run observed — one barrier per
+	// s-partition of the single composed schedule.
+	Iterations      int `json:"iterations,omitempty"`
+	BarriersPerIter int `json:"barriers_per_iteration,omitempty"`
+	// BitIdentical confirms the fused execution reproduced its reference bit
+	// for bit (the sequential kernel-by-kernel chain, or the one-worker
+	// solve); a mismatch aborts the run.
+	BitIdentical bool `json:"bit_identical"`
+}
+
 type report struct {
 	// Meta stamps the machine and source revision that produced the numbers;
 	// shared by every BENCH_*.json this command writes.
@@ -261,6 +314,7 @@ type report struct {
 	Serve     []serveResult     `json:"serve,omitempty"`
 	Profile   []profileResult   `json:"profile,omitempty"`
 	Scale     []scaleResult     `json:"scale,omitempty"`
+	Chain     []chainResult     `json:"chain,omitempty"`
 }
 
 type fixture struct {
@@ -276,7 +330,7 @@ var fixtures = []fixture{
 }
 
 func main() {
-	mode := flag.String("mode", "exec", "benchmark suite: exec, inspector, serve, profile or scale")
+	mode := flag.String("mode", "exec", "benchmark suite: exec, inspector, serve, profile, scale or chain")
 	out := flag.String("out", "", "output file (default BENCH_<mode>.json)")
 	threads := flag.Int("threads", 8, "schedule width r (and inspector workers)")
 	n := flag.Int("n", 40000, "fixture size")
@@ -302,8 +356,10 @@ func main() {
 		runProfile(&rep, *threads, *n, *minTime)
 	case "scale":
 		runScale(&rep, *threads, *n, *minTime)
+	case "chain":
+		runChain(&rep, *threads, *n, *minTime)
 	default:
-		log.Fatalf("unknown -mode %q (want exec, inspector, serve, profile or scale)", *mode)
+		log.Fatalf("unknown -mode %q (want exec, inspector, serve, profile, scale or chain)", *mode)
 	}
 
 	if *check {
@@ -807,6 +863,230 @@ func runScale(rep *report, threads, n int, minTime time.Duration) {
 	}
 }
 
+// runChain measures what chain composition buys: the same k-kernel chain at
+// the three composition policies, and the end-to-end fused PCG solver against
+// the pairwise-fused host-orchestrated one. Two invariants hold
+// unconditionally (write and -check mode alike): every fused execution is
+// bit-identical to its reference, and the composed chain synchronizes no more
+// than the pairwise split.
+func runChain(rep *report, threads, n int, minTime time.Duration) {
+	runChainSweeps(rep, threads, n, minTime)
+	runChainPCG(rep, threads, n, minTime)
+}
+
+// chainSweepSpec builds the Gauss-Seidel-style sweep chain x1 = L\b,
+// x2 = L\x1, ..., xk = L\x(k-1) on the Laplacian factor — k coupled
+// triangular solves, each adjacency a diagonal F — plus a snapshot of every
+// sweep's output for the bit-identity gate.
+func chainSweepSpec(n, k int) (combos.ChainSpec, func() []float64, int) {
+	a := fixtureMatrix(n)
+	n = a.Rows
+	l := a.Lower()
+	in := sparse.RandomVec(n, 5)
+	spec := combos.ChainSpec{Name: "gs-sweeps"}
+	var outs [][]float64
+	for j := 0; j < k; j++ {
+		out := make([]float64, n)
+		var f *sparse.CSR
+		if j > 0 {
+			f = core.FDiagonal(n)
+		}
+		spec.Links = append(spec.Links, combos.ChainLink{K: kernels.NewSpTRSVCSR(l, in, out), F: f})
+		outs = append(outs, out)
+		in = out
+	}
+	snap := func() []float64 {
+		var s []float64
+		for _, o := range outs {
+			s = append(s, o...)
+		}
+		return s
+	}
+	return spec, snap, n
+}
+
+func runChainSweeps(rep *report, threads, n int, minTime time.Duration) {
+	const k = 4
+	spec, snap, rows := chainSweepSpec(n, k)
+	name := fmt.Sprintf("gs-sweeps/k%d", k)
+	lp := lbc.Params{InitialCut: 3, Agg: 8}
+
+	// One build per composition policy over the same kernels and buffers
+	// (triangular solves overwrite their outputs completely, so repeated
+	// timed runs need no reset).
+	build := func(maxGroup int) (*combos.Impl, []*core.Schedule, *combos.Chain, time.Duration) {
+		s := spec
+		s.MaxGroup = maxGroup
+		c, err := combos.BuildChain(s)
+		if err != nil {
+			log.Fatalf("%s: build (max group %d): %v", name, maxGroup, err)
+		}
+		im, scheds := c.SparseFusion(threads, lp)
+		t0 := time.Now()
+		if err := im.Inspect(); err != nil {
+			log.Fatalf("%s: inspect (max group %d): %v", name, maxGroup, err)
+		}
+		return im, scheds, c, time.Since(t0)
+	}
+	fused, fusedScheds, fc, inspect := build(0)
+	pair, pairScheds, pc, _ := build(2)
+	unf, unfScheds, uc, _ := build(1)
+	if !fc.Fused() {
+		log.Fatalf("%s: unbounded spec did not compose into one group", name)
+	}
+
+	// Bit-identity gate: the composed execution against the sequential
+	// kernel-by-kernel reference.
+	if err := fc.RunSequential(); err != nil {
+		log.Fatalf("%s: sequential reference: %v", name, err)
+	}
+	want := snap()
+	if _, err := fused.Execute(); err != nil {
+		log.Fatalf("%s: fused execute: %v", name, err)
+	}
+	got := snap()
+	identical := len(got) == len(want)
+	for i := 0; identical && i < len(want); i++ {
+		identical = math.Float64bits(got[i]) == math.Float64bits(want[i])
+	}
+	if !identical {
+		log.Fatalf("%s: composed chain diverged from the sequential reference (gather chain must be bit-identical)", name)
+	}
+
+	run := func(im *combos.Impl) func() {
+		return func() {
+			if _, err := im.Execute(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fusedNs := measure(minTime, run(fused))
+	pairNs := measure(minTime, run(pair))
+	unfNs := measure(minTime, run(unf))
+
+	fb := fc.Barriers(fusedScheds)
+	pb := pc.Barriers(pairScheds)
+	ub := uc.Barriers(unfScheds)
+	if fb > pb {
+		log.Fatalf("%s: composed chain pays %d barriers per pass, pairwise %d — composition must not add synchronization", name, fb, pb)
+	}
+	gain := unfNs - fusedNs
+	breakEven := float64(-1)
+	if gain > 0 {
+		breakEven = float64(inspect.Nanoseconds()) / float64(gain.Nanoseconds())
+	}
+	rep.Chain = append(rep.Chain, chainResult{
+		Name:              name,
+		N:                 rows,
+		K:                 k,
+		FusedBarriers:     fb,
+		PairwiseBarriers:  pb,
+		UnfusedBarriers:   ub,
+		BarrierReduction:  ratio(float64(pb), float64(fb)),
+		FusedNs:           fusedNs.Nanoseconds(),
+		PairwiseNs:        pairNs.Nanoseconds(),
+		UnfusedNs:         unfNs.Nanoseconds(),
+		SpeedupVsPairwise: ratio(float64(pairNs.Nanoseconds()), float64(fusedNs.Nanoseconds())),
+		SpeedupVsUnfused:  ratio(float64(unfNs.Nanoseconds()), float64(fusedNs.Nanoseconds())),
+		InspectNs:         inspect.Nanoseconds(),
+		BreakEvenRuns:     breakEven,
+		BitIdentical:      identical,
+	})
+	fmt.Printf("%-22s fused %10v (%d barriers)  pairwise %10v (%d)  unfused %10v (%d)  speedup %.2fx/%.2fx  break-even %.1f runs\n",
+		name, fusedNs, fb, pairNs, pb, unfNs, ub,
+		ratio(float64(pairNs), float64(fusedNs)), ratio(float64(unfNs), float64(fusedNs)), breakEven)
+}
+
+// runChainPCG is the solver-level subject: a whole preconditioned-CG
+// iteration — SpMV, two dot products, two AXPYs, the forward and backward
+// IC0 solves, and the direction update — as one composed 8-loop chain,
+// against the host-orchestrated solver that fuses only the preconditioner
+// pair. Both amortize inspection through a shared schedule cache, so the
+// comparison is steady-state solve against steady-state solve.
+func runChainPCG(rep *report, threads, n int, minTime time.Duration) {
+	side := 1
+	for (side+1)*(side+1) <= n {
+		side++
+	}
+	m := sf.Laplacian2D(side)
+	const name = "pcg/laplacian"
+	b := make([]float64, m.Rows())
+	for i := range b {
+		b[i] = 1 + float64(i%7)
+	}
+	sc := sf.NewScheduleCache(sf.CacheConfig{})
+	base := sf.Options{Threads: threads, LBCInitialCut: 3, LBCAgg: 8, Cache: sc}
+
+	t0 := time.Now()
+	f, err := sf.NewFusedCG(m, sf.FusedCGOptions{Options: base, Precondition: true})
+	if err != nil {
+		log.Fatalf("%s: fused solver: %v", name, err)
+	}
+	inspect := time.Since(t0)
+	x, it, solveRep, err := f.Solve(b)
+	if err != nil {
+		log.Fatalf("%s: fused solve: %v", name, err)
+	}
+	if it <= 0 {
+		log.Fatalf("%s: fused solver did not converge", name)
+	}
+
+	// Bit-identity gate: a one-worker fused solve must reproduce the wide
+	// one exactly — iteration count and every solution bit.
+	f1, err := sf.NewFusedCG(m, sf.FusedCGOptions{
+		Options: sf.Options{Threads: 1, LBCInitialCut: 3, LBCAgg: 8}, Precondition: true,
+	})
+	if err != nil {
+		log.Fatalf("%s: one-worker solver: %v", name, err)
+	}
+	x1, it1, _, err := f1.Solve(b)
+	if err != nil {
+		log.Fatalf("%s: one-worker solve: %v", name, err)
+	}
+	identical := it == it1 && len(x) == len(x1)
+	for i := 0; identical && i < len(x); i++ {
+		identical = math.Float64bits(x[i]) == math.Float64bits(x1[i])
+	}
+	if !identical {
+		log.Fatalf("%s: fused solve diverged across worker counts (chain must be bit-identical)", name)
+	}
+
+	fusedNs := measure(minTime, func() {
+		if _, _, _, err := f.Solve(b); err != nil {
+			log.Fatal(err)
+		}
+	})
+	// The pairwise baseline warms the shared cache on its first call, so the
+	// measured window is all steady-state solves.
+	pairwiseNs := measure(minTime, func() {
+		if _, _, err := m.SolveCG(b, sf.CGOptions{Options: base, Precondition: true}); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	gain := pairwiseNs - fusedNs
+	breakEven := float64(-1)
+	if gain > 0 {
+		breakEven = float64(inspect.Nanoseconds()) / float64(gain.Nanoseconds())
+	}
+	rep.Chain = append(rep.Chain, chainResult{
+		Name:              name,
+		N:                 m.Rows(),
+		K:                 f.ChainLength(),
+		FusedNs:           fusedNs.Nanoseconds(),
+		PairwiseNs:        pairwiseNs.Nanoseconds(),
+		SpeedupVsPairwise: ratio(float64(pairwiseNs.Nanoseconds()), float64(fusedNs.Nanoseconds())),
+		InspectNs:         inspect.Nanoseconds(),
+		BreakEvenRuns:     breakEven,
+		Iterations:        it,
+		BarriersPerIter:   solveRep.Barriers / it,
+		BitIdentical:      identical,
+	})
+	fmt.Printf("%-22s fused %10v  pairwise %10v  speedup %.2fx  %d iterations, %d barriers/iteration (chain k=%d)  break-even %.1f solves\n",
+		name, fusedNs, pairwiseNs,
+		ratio(float64(pairwiseNs), float64(fusedNs)), it, solveRep.Barriers/it, f.ChainLength(), breakEven)
+}
+
 // overheadPct is how much slower enabled is than disabled, in percent
 // (negative when enabled happened to measure faster).
 func overheadPct(enabled, disabled time.Duration) float64 {
@@ -952,6 +1232,38 @@ func checkRegression(path string, fresh *report) error {
 		if float64(f.StealNs) > float64(c.StealNs)*slack {
 			failures = append(failures, fmt.Sprintf(
 				"scale w=%d: stealing %dns > committed %dns +25%%", f.Workers, f.StealNs, c.StealNs))
+		}
+	}
+	chnC := make(map[string]chainResult, len(committed.Chain))
+	for _, r := range committed.Chain {
+		chnC[r.Name] = r
+	}
+	for _, f := range fresh.Chain {
+		// Self-consistency gates, independent of the committed file: fused
+		// executions must have reproduced their references bit for bit (also
+		// enforced while measuring), a composed chain must synchronize
+		// strictly less than its pairwise split, and the fused PCG solver may
+		// never lose to the pairwise-fused one beyond a 10% noise allowance.
+		if !f.BitIdentical {
+			failures = append(failures, fmt.Sprintf(
+				"chain %s: fused execution diverged from its reference", f.Name))
+		}
+		if f.PairwiseBarriers > 0 && f.FusedBarriers >= f.PairwiseBarriers {
+			failures = append(failures, fmt.Sprintf(
+				"chain %s: composed chain pays %d barriers, pairwise %d — want strictly fewer",
+				f.Name, f.FusedBarriers, f.PairwiseBarriers))
+		}
+		if f.Iterations > 0 && float64(f.FusedNs) > float64(f.PairwiseNs)*1.10 {
+			failures = append(failures, fmt.Sprintf(
+				"chain %s: fused solve %dns > pairwise %dns +10%%", f.Name, f.FusedNs, f.PairwiseNs))
+		}
+		c, ok := chnC[f.Name]
+		if !ok {
+			continue
+		}
+		if float64(f.FusedNs) > float64(c.FusedNs)*slack {
+			failures = append(failures, fmt.Sprintf(
+				"chain %s: fused %dns > committed %dns +25%%", f.Name, f.FusedNs, c.FusedNs))
 		}
 	}
 	if len(failures) > 0 {

@@ -1,0 +1,388 @@
+package sparsefusion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"sparsefusion/internal/cache"
+	"sparsefusion/internal/combos"
+	"sparsefusion/internal/core"
+	"sparsefusion/internal/kernels"
+	"sparsefusion/internal/lbc"
+	"sparsefusion/internal/sparse"
+	"sparsefusion/internal/telemetry"
+)
+
+// This file is the chain-composition facade: a whole CG/PCG iteration —
+// SpMV, the dot products, the vector updates and (preconditioned) both
+// triangular solves — composed by the inspector into ONE fused schedule, so
+// a solver iteration pays one barrier per s-partition of one schedule instead
+// of a full barrier sequence per kernel pair plus host-side joins between
+// every vector operation. The reductions that classically force a return to
+// the host (alpha = rz/p·Ap, beta = rz'/rz) stay inside the schedule: the dot
+// kernels materialize per-block partials and every consumer block re-sums
+// them in fixed index order (see internal/kernels/vector.go), which keeps the
+// arithmetic bit-identical at every worker count on every executor.
+
+// fusedCGBlock is the default element count per vector-kernel iteration.
+// Large enough that the dense inter-reduction F matrices stay negligible
+// (ceil(n/block)^2 entries), small enough that the blocks spread across
+// workers.
+const fusedCGBlock = 512
+
+// FusedCGOptions configures the chain-fused conjugate-gradient solver.
+type FusedCGOptions struct {
+	Options
+	// Tol is the relative-residual convergence threshold (default 1e-8).
+	Tol float64
+	// MaxIter bounds the iteration count (default 10*n).
+	MaxIter int
+	// Precondition fuses the IC0 preconditioner's forward and backward
+	// triangular solves into the same schedule, making it an 8-loop chain.
+	Precondition bool
+	// BlockSize overrides the vector-kernel block size (default 512). It is
+	// part of the schedule's structural fingerprint.
+	BlockSize int
+}
+
+// FusedCG is an inspected chain-fused CG/PCG solver: NewFusedCG composes the
+// per-iteration kernel chain and inspects it once (or not at all on a cache
+// hit); Solve then runs the fused schedule once per solver iteration, with
+// only the convergence check and the scalar handover (rz) on the host.
+//
+// A FusedCG serves one Solve at a time. It reports executor Health, Mode and
+// Barriers like an Operation.
+type FusedCG struct {
+	execState
+	fp     cache.Key
+	cached bool
+
+	chain   *combos.Chain
+	n       int
+	block   int
+	tol     float64
+	maxIter int
+	precond bool
+
+	// Solver state. x/r/p/z/q/y are the CG vectors wired into the chain's
+	// kernels; the part arrays are the per-block reduction partials; rzCell is
+	// the host-owned scalar cell (previous r·z) the update kernels read.
+	x, r, p, z, q, y       []float64
+	partPQ, partRZ, partRR []float64
+	rzCell                 []float64
+
+	// Setup kernels for the initial z = (LL')^{-1} r (nil unpreconditioned)
+	// and the chain's own dot kernel, reused to seed the first rz.
+	fwd, bwd kernels.Kernel
+	dotK     kernels.Kernel
+}
+
+// NewFusedCG composes and inspects the fused solver chain for the SPD matrix
+// m: 6 loops unpreconditioned (SpMV, p·Ap partials, the x and r updates, the
+// r·r partials, the direction update), 8 loops preconditioned (plus the
+// forward solve L\r and the backward solve L'\y between the residual update
+// and the reductions). With Options.Cache set, inspection runs at most once
+// per fingerprint; chain fingerprints are keyed by the ordered kernel ids and
+// block size, so they never collide with pairwise entries.
+func NewFusedCG(m *Matrix, opts FusedCGOptions) (*FusedCG, error) {
+	a := m.csr
+	n := a.Rows
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparsefusion: CG needs a square matrix")
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("sparsefusion: empty matrix")
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-8
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 10 * n
+	}
+	block := opts.BlockSize
+	if block <= 0 {
+		block = fusedCGBlock
+	}
+	nb := (n + block - 1) / block
+
+	f := &FusedCG{
+		n: n, block: block, tol: opts.Tol, maxIter: opts.MaxIter, precond: opts.Precondition,
+		x: make([]float64, n), r: make([]float64, n), p: make([]float64, n),
+		q:      make([]float64, n),
+		partPQ: make([]float64, nb), partRR: make([]float64, nb),
+		rzCell: []float64{1},
+	}
+
+	// The chain, in program order. Each link names the dependency matrix F
+	// from the previous kernel's iteration space to its own; WAR hazards
+	// (this iteration's p is read by the SpMV and overwritten by the last
+	// loop) are covered transitively — every reader of a vector precedes its
+	// writer through the F chain, which Loops.Check/Validate verify.
+	links := []combos.ChainLink{
+		// L0: q = A*p (Prepare re-zeroes q every run).
+		{K: kernels.NewSpMVCSR(a, f.p, f.q)},
+		// L1: partPQ[i] = p·q over block i.
+		{K: kernels.NewVecDot(f.p, f.q, f.partPQ, block), F: core.FBlockAgg(nb, n, block)},
+		// L2: x += (rz/Σ partPQ)·p, with the SPD curvature check. Dense F:
+		// every block re-sums all partials.
+		{K: kernels.NewVecAxpyDot(f.p, f.x, f.rzCell, f.partPQ, +1, block, true), F: core.FDense(nb, nb)},
+		// L3: r -= (rz/Σ partPQ)·q; block i only needs block i of L2 to have
+		// re-summed first (the dense hop to L1 is already behind L2).
+		{K: kernels.NewVecAxpyDot(f.q, f.r, f.rzCell, f.partPQ, -1, block, false), F: core.FDiagonal(nb)},
+	}
+	if opts.Precondition {
+		lc := a.Lower().ToCSC()
+		if err := kernels.RunSeq(kernels.NewSpIC0CSC(lc)); err != nil {
+			return nil, fmt.Errorf("sparsefusion: IC0 factorization failed: %w", err)
+		}
+		// The forward solve gathers row-wise from the CSR form of the factor;
+		// both solves are gather-only (one writer per element, fixed interior
+		// order), which is what keeps the whole chain bit-reproducible —
+		// unlike the scatter/atomic CSC forward solve.
+		lcsr := lc.ToCSR()
+		f.y = make([]float64, n)
+		f.z = make([]float64, n)
+		f.partRZ = make([]float64, nb)
+		fwd := kernels.NewSpTRSVCSR(lcsr, f.r, f.y)
+		bwd := kernels.NewSpTRSVTransCSC(lc, f.y, f.z)
+		dot := kernels.NewVecDotDual(f.r, f.z, f.partRZ, f.r, f.r, f.partRR, block)
+		f.fwd, f.bwd, f.dotK = fwd, bwd, dot
+		links = append(links,
+			// L4: y = L \ r; row j reads exactly r[j], produced by block
+			// j/block of L3.
+			combos.ChainLink{K: fwd, F: core.FBlockExpand(n, nb, block)},
+			// L5: z = L' \ y; iteration it finalizes element n-1-it.
+			combos.ChainLink{K: bwd, F: core.FAntiDiagonal(n)},
+			// L6: partRZ = r·z and partRR = r·r in one pass; the producer
+			// iterates in reversed order, so the aggregation F is flipped.
+			combos.ChainLink{K: dot, F: core.FBlockAggFlip(nb, n, block)},
+			// L7: p = z + (Σ partRZ / rz)·p.
+			combos.ChainLink{K: kernels.NewVecXpayDot(f.z, f.p, f.rzCell, f.partRZ, block), F: core.FDense(nb, nb)},
+		)
+	} else {
+		// Unpreconditioned: z is r, rz is r·r.
+		dot := kernels.NewVecDot(f.r, f.r, f.partRR, block)
+		f.dotK = dot
+		links = append(links,
+			// L4: partRR[i] = r·r over block i; needs only block i of L3.
+			combos.ChainLink{K: dot, F: core.FDiagonal(nb)},
+			// L5: p = r + (Σ partRR / rz)·p.
+			combos.ChainLink{K: kernels.NewVecXpayDot(f.r, f.p, f.rzCell, f.partRR, block), F: core.FDense(nb, nb)},
+		)
+	}
+
+	name := "cg"
+	if opts.Precondition {
+		name = "pcg"
+	}
+	chain, err := combos.BuildChain(combos.ChainSpec{Name: name, Links: links})
+	if err != nil {
+		return nil, err
+	}
+	if !chain.Fused() {
+		return nil, fmt.Errorf("sparsefusion: internal error: solver chain did not compose into one group")
+	}
+	f.chain = chain
+	inst := chain.Groups[0]
+	inst.Snapshot = func() []float64 { return append([]float64(nil), f.x...) }
+	inst.Output = f.x
+
+	tr := opts.Tracer
+	f.execState = execState{inst: inst, th: opts.threads(), steal: opts.Steal, spin: opts.SpinBudget, id: nextStateID.Add(1), tr: tr}
+	f.fp = opts.chainFingerprint(m, chain, block)
+	tr.raw().Emit("inspect.dag_build",
+		telemetry.Int("op", f.id),
+		telemetry.String("combo", inst.Name),
+		telemetry.Int("n", int64(n)),
+		telemetry.Int("nnz", int64(m.NNZ())),
+		telemetry.Int("chain_len", int64(chain.NumKernels())))
+
+	params := core.Params{Threads: f.th, ReuseRatio: inst.Reuse, LBC: opts.lbc()}
+	ico := func() (*core.Schedule, error) {
+		if tr == nil {
+			return core.ICO(inst.Loops, params)
+		}
+		t := time.Now()
+		sched, tm, err := core.ICOTimed(inst.Loops, params)
+		if err != nil {
+			return nil, err
+		}
+		tr.raw().Emit("inspect.ico",
+			telemetry.Int("op", f.id),
+			telemetry.Dur("dur_ns", time.Since(t)),
+			telemetry.Dur("setup_ns", tm.Setup),
+			telemetry.Dur("lbc_ns", tm.Head),
+			telemetry.Dur("pairing_ns", tm.Pairing),
+			telemetry.Dur("merge_ns", tm.Merge),
+			telemetry.Dur("slack_ns", tm.Slack),
+			telemetry.Dur("pack_ns", tm.Pack),
+			telemetry.Int("s_partitions", int64(sched.NumSPartitions())),
+			telemetry.Bool("interleaved", sched.Interleaved))
+		return sched, nil
+	}
+	if opts.Cache == nil {
+		sched, err := ico()
+		if err != nil {
+			return nil, err
+		}
+		f.bindArtifacts(buildArtifacts(inst, sched, tr, f.id), false)
+		return f, nil
+	}
+	entry, err := opts.Cache.c.GetOrBuild(f.fp, cache.Builder{
+		Inspect:  ico,
+		Validate: inst.Loops.Validate,
+		Complete: func(s *core.Schedule) (cache.Artifacts, error) {
+			return buildArtifacts(inst, s, tr, f.id), nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.cached = true
+	f.bindArtifacts(entry.Artifacts, true)
+	return f, nil
+}
+
+// chainFingerprint content-addresses a composed chain's artifact set: the
+// matrix pattern and scheduling options as usual, plus the chain length, the
+// ordered kernel ids, and the vector block size (which shapes the blocked
+// DAGs and every inter-reduction F).
+func (o FusedCGOptions) chainFingerprint(m *Matrix, c *combos.Chain, block int) cache.Key {
+	d := lbc.DefaultParams()
+	ic, agg := o.LBCInitialCut, o.LBCAgg
+	if ic <= 0 {
+		ic = d.InitialCut
+	}
+	if agg <= 0 {
+		agg = d.Agg
+	}
+	ids := append(c.KernelIDs(), fmt.Sprintf("block=%d", block))
+	return cache.Fingerprint(m.csr, cache.Params{
+		Threads:       o.threads(),
+		LBCInitialCut: ic,
+		LBCAgg:        agg,
+		ChainLen:      c.NumKernels(),
+		ChainKernels:  ids,
+	})
+}
+
+// Fingerprint returns the chain's content address in hex.
+func (f *FusedCG) Fingerprint() string { return f.fp.String() }
+
+// ChainLength is the number of kernels composed into the fused schedule
+// (8 preconditioned, 6 unpreconditioned).
+func (f *FusedCG) ChainLength() int { return f.chain.NumKernels() }
+
+// Preconditioned reports whether the chain embeds the IC0 solves.
+func (f *FusedCG) Preconditioned() bool { return f.precond }
+
+// Solve runs chain-fused CG on b and returns the solution, the iterations
+// performed, and the accumulated executor report (Time/Barriers/BarrierWait
+// summed over all fused runs — Barriers/iterations is the paper's
+// barriers-per-solver-iteration). Results are bit-identical at every worker
+// count and on every executor rung: each vector element is written by exactly
+// one iteration with a fixed interior order, and reductions are re-summed in
+// index order everywhere.
+func (f *FusedCG) Solve(b []float64) ([]float64, int, Report, error) {
+	return f.solve(b, nil)
+}
+
+// SolveOn is Solve under a server's admission control: each fused iteration
+// waits for one of the server's worker sets, so at most MaxConcurrent fused
+// executions run at once across everything sharing the server, and every
+// iteration is observed by the server's metrics (spf_barriers_total counts
+// the k-times-fewer barriers this solver is the point of).
+func (f *FusedCG) SolveOn(b []float64, sv *Server) ([]float64, int, Report, error) {
+	return f.solve(b, sv)
+}
+
+func (f *FusedCG) solve(b []float64, sv *Server) ([]float64, int, Report, error) {
+	var total Report
+	n := f.n
+	if len(b) != n {
+		return nil, 0, total, fmt.Errorf("sparsefusion: rhs length %d, want %d", len(b), n)
+	}
+	diag := func(it int, err error) error {
+		var brk *kernels.BreakdownError
+		if errors.As(err, &brk) {
+			return fmt.Errorf("sparsefusion: fused CG broke down at iteration %d (%s, row %d); is the matrix SPD?: %w", it, brk.Kernel, brk.Row, err)
+		}
+		return err
+	}
+
+	// Setup: x = 0, r = b, z = (LL')^{-1} r (or r), p = z, rz = r·z. The
+	// initial solves and dot run sequentially — they are one-time setup; the
+	// per-iteration chain is what fusion amortizes.
+	for i := range f.x {
+		f.x[i] = 0
+	}
+	copy(f.r, b)
+	if f.precond {
+		if err := kernels.RunSeq(f.fwd); err != nil {
+			return nil, 0, total, diag(0, err)
+		}
+		if err := kernels.RunSeq(f.bwd); err != nil {
+			return nil, 0, total, diag(0, err)
+		}
+		copy(f.p, f.z)
+	} else {
+		copy(f.p, f.r)
+	}
+	if err := kernels.RunSeq(f.dotK); err != nil {
+		return nil, 0, total, diag(0, err)
+	}
+	rz := sumInOrder(f.partRZIfPrecond())
+	f.rzCell[0] = rz
+	normB := sparse.Norm2(b)
+	if normB == 0 {
+		return append([]float64(nil), f.x...), 0, total, nil
+	}
+
+	for it := 1; it <= f.maxIter; it++ {
+		var rep Report
+		var err error
+		if sv == nil {
+			rep, err = f.run(nil)
+		} else {
+			rep, err = f.RunOn(sv)
+		}
+		total.Time += rep.Time
+		total.Barriers += rep.Barriers
+		total.BarrierWait += rep.BarrierWait
+		if err != nil {
+			return nil, it, total, diag(it, err)
+		}
+		rr := sumInOrder(f.partRR)
+		if math.Sqrt(rr)/normB < f.tol {
+			return append([]float64(nil), f.x...), it, total, nil
+		}
+		rz = sumInOrder(f.partRZIfPrecond())
+		if rz == 0 || math.IsNaN(rz) {
+			return nil, it, total, fmt.Errorf("sparsefusion: fused CG broke down at iteration %d (r·z = %v); is the matrix SPD?", it, rz)
+		}
+		f.rzCell[0] = rz
+	}
+	return append([]float64(nil), f.x...), f.maxIter, total, nil
+}
+
+// partRZIfPrecond is the scalar-handover partial array: r·z preconditioned,
+// r·r otherwise (z = r).
+func (f *FusedCG) partRZIfPrecond() []float64 {
+	if f.precond {
+		return f.partRZ
+	}
+	return f.partRR
+}
+
+// sumInOrder reduces partials in ascending index order — the one order every
+// consumer block and the host agree on, so the scalar is bit-identical
+// everywhere it is derived.
+func sumInOrder(part []float64) float64 {
+	s := 0.0
+	for _, v := range part {
+		s += v
+	}
+	return s
+}

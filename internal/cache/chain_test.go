@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+
+	"sparsefusion/internal/sparse"
+)
+
+// TestChainFingerprintBackCompat pins the pairwise key format: a Params with
+// no chain fields must hash to exactly the pre-chain fingerprint (the golden
+// derivation below), so every existing disk-tier file and saved schedule
+// still resolves.
+func TestChainFingerprintBackCompat(t *testing.T) {
+	a := sparse.Must(sparse.Laplacian2D(7))
+	p := Params{Combo: 3, Threads: 6, LBCInitialCut: 4, LBCAgg: 400}
+
+	h := sha256.New()
+	writeInts := func(xs []int) {
+		buf := make([]byte, 8*len(xs))
+		for i, x := range xs {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(x))
+		}
+		h.Write(buf)
+	}
+	writeInts([]int{1, a.Rows, a.Cols, p.Combo, p.Threads, p.LBCInitialCut, p.LBCAgg, len(a.P), len(a.I)})
+	writeInts(a.P)
+	writeInts(a.I)
+	var golden Key
+	h.Sum(golden[:0])
+
+	if got := Fingerprint(a, p); got != golden {
+		t.Fatalf("pairwise fingerprint changed: got %s, golden %s", got, golden)
+	}
+}
+
+// TestChainFingerprintDistinct: chain identity (length, ordered ids, shape
+// tokens) separates keys from pairwise entries and from differently shaped
+// chains, while equal chains agree.
+func TestChainFingerprintDistinct(t *testing.T) {
+	a := sparse.Must(sparse.Laplacian2D(7))
+	base := Params{Threads: 6, LBCInitialCut: 4, LBCAgg: 400}
+	pairwise := Fingerprint(a, base)
+
+	chain := base
+	chain.ChainLen = 3
+	chain.ChainKernels = []string{"SpTRSV-CSR", "SpTRSV-CSR", "SpMV-CSR", "block=512"}
+	k1 := Fingerprint(a, chain)
+	if k1 == pairwise {
+		t.Fatal("chain key collides with pairwise key")
+	}
+	if Fingerprint(a, chain) != k1 {
+		t.Fatal("chain fingerprint is not deterministic")
+	}
+
+	longer := chain
+	longer.ChainLen = 4
+	if Fingerprint(a, longer) == k1 {
+		t.Fatal("chain length not part of the key")
+	}
+	reordered := chain
+	reordered.ChainKernels = []string{"SpTRSV-CSR", "SpMV-CSR", "SpTRSV-CSR", "block=512"}
+	if Fingerprint(a, reordered) == k1 {
+		t.Fatal("kernel order not part of the key")
+	}
+	otherBlock := chain
+	otherBlock.ChainKernels = []string{"SpTRSV-CSR", "SpTRSV-CSR", "SpMV-CSR", "block=64"}
+	if Fingerprint(a, otherBlock) == k1 {
+		t.Fatal("shape token not part of the key")
+	}
+	// Id boundaries are length-prefixed: ["ab","c"] must differ from ["a","bc"].
+	s1, s2 := chain, chain
+	s1.ChainKernels = []string{"ab", "c"}
+	s2.ChainKernels = []string{"a", "bc"}
+	if Fingerprint(a, s1) == Fingerprint(a, s2) {
+		t.Fatal("id concatenation ambiguity: boundaries not hashed")
+	}
+}
+
+// TestContainerVersionCompat: the writer stamps version 2; a hand-crafted
+// version-1 file (the pre-chain format, byte-identical envelope) still loads;
+// futures are rejected.
+func TestContainerVersionCompat(t *testing.T) {
+	sched := testSchedule(5)
+	key := testKey(9)
+	var buf bytes.Buffer
+	if err := WriteScheduleFile(&buf, key, sched); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if v := binary.LittleEndian.Uint64(raw[8:16]); v != 2 {
+		t.Fatalf("writer stamps version %d, want 2", v)
+	}
+
+	v1 := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint64(v1[8:16], 1)
+	gotKey, got, err := ReadScheduleFile(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("version-1 container rejected: %v", err)
+	}
+	if gotKey != key || !bytes.Equal(got.Bytes(), sched.Bytes()) {
+		t.Fatal("version-1 payload did not round-trip")
+	}
+
+	v3 := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint64(v3[8:16], 3)
+	if _, _, err := ReadScheduleFile(bytes.NewReader(v3)); err == nil {
+		t.Fatal("future container version accepted")
+	}
+}

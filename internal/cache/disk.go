@@ -26,8 +26,14 @@ import (
 // distinguish pre-fingerprint files.
 const containerMagic = 0x43465053
 
-// containerVersion is bumped on envelope layout changes.
-const containerVersion = 1
+// containerVersion is bumped on envelope layout changes. Version 2 marks
+// files whose key may be a chain-extended fingerprint (Params.ChainLen /
+// ChainKernels); the envelope bytes are laid out identically, so readers
+// accept both versions and pre-chain files keep loading.
+const containerVersion = 2
+
+// containerVersionMin is the oldest envelope still readable.
+const containerVersionMin = 1
 
 // WriteScheduleFile writes the fingerprinted container: magic, version, key,
 // then the core schedule serialization.
@@ -63,7 +69,7 @@ func ReadScheduleFile(r io.Reader) (Key, *core.Schedule, error) {
 	if m := binary.LittleEndian.Uint64(hdr[0:]); m != containerMagic {
 		return key, nil, fmt.Errorf("cache: not a fingerprinted schedule container (magic %#x)", m)
 	}
-	if v := binary.LittleEndian.Uint64(hdr[8:]); v != containerVersion {
+	if v := binary.LittleEndian.Uint64(hdr[8:]); v < containerVersionMin || v > containerVersion {
 		return key, nil, fmt.Errorf("cache: unsupported container version %d", v)
 	}
 	if _, err := io.ReadFull(r, key[:]); err != nil {

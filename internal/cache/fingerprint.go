@@ -44,6 +44,13 @@ type Params struct {
 	// LBCInitialCut and LBCAgg are the head-DAG partitioner tuning, already
 	// normalized (zero values resolved to their defaults) by the caller.
 	LBCInitialCut, LBCAgg int
+	// ChainLen and ChainKernels identify a composed k-kernel chain (combos.
+	// BuildChain): the chain length and the ordered kernel ids (plus any
+	// shape tokens like the vector block size). Zero/empty for the Table 1
+	// pair combinations — their keys are byte-identical to pre-chain
+	// fingerprints, so existing disk tiers and saved schedules still resolve.
+	ChainLen     int
+	ChainKernels []string
 }
 
 // fingerprintVersion is folded into every key so a change to the fingerprint
@@ -65,6 +72,15 @@ func Fingerprint(a *sparse.CSR, p Params) Key {
 	})
 	hashInts(h, a.P)
 	hashInts(h, a.I)
+	// Chain identity is appended only when present, so pair-combination keys
+	// stay byte-for-byte what they were before chains existed.
+	if p.ChainLen != 0 || len(p.ChainKernels) != 0 {
+		hashInts(h, []int{p.ChainLen, len(p.ChainKernels)})
+		for _, id := range p.ChainKernels {
+			hashInts(h, []int{len(id)})
+			io.WriteString(h, id)
+		}
+	}
 	var k Key
 	h.Sum(k[:0])
 	return k

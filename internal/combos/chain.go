@@ -1,0 +1,196 @@
+package combos
+
+import (
+	"fmt"
+
+	"sparsefusion/internal/core"
+	"sparsefusion/internal/exec"
+	"sparsefusion/internal/kernels"
+	"sparsefusion/internal/lbc"
+	"sparsefusion/internal/sparse"
+)
+
+// BuildChain generalizes BuildGS from the fixed sweep chain to an arbitrary
+// k-kernel chain: the caller lists the kernels in program order with one
+// dependency matrix per adjacent pair, and the builder composes them into
+// fused groups driven by the reuse ratio of each adjacency. A group becomes
+// one Instance — one ICO inspection, one fused schedule, one barrier per
+// s-partition spanning every loop in the group — so a fully-composed chain
+// pays k× fewer barrier sequences than pairwise fusion, and MaxGroup = 2
+// reproduces the pairwise solver exactly (the comparison baseline).
+
+// ChainLink is one kernel of a chain plus the dependency matrix F from the
+// previous kernel's iteration space to its own (F[i][j] != 0 when iteration
+// i of this kernel reads what iteration j of the previous one wrote). The
+// first link's F must be nil.
+type ChainLink struct {
+	K kernels.Kernel
+	F *sparse.CSR
+}
+
+// ChainSpec describes a chain and its composition policy.
+type ChainSpec struct {
+	Name  string
+	Links []ChainLink
+	// MinReuse cuts the chain between two kernels whose reuse ratio falls
+	// below it — adjacencies that share too little data to be worth packing
+	// into one schedule. Zero or negative never cuts on reuse.
+	MinReuse float64
+	// MaxGroup caps the kernels per fused group; 0 means unbounded (compose
+	// the whole chain), 2 reproduces pairwise fusion, 1 disables fusion.
+	MaxGroup int
+}
+
+// Chain is a composed chain: consecutive fused groups, each an Instance
+// ready for inspection, plus the per-adjacency reuse ratios that drove the
+// composition.
+type Chain struct {
+	Spec   ChainSpec
+	Groups []*Instance
+	// PairReuse[i] is ReuseRatio(Links[i].K, Links[i+1].K).
+	PairReuse []float64
+}
+
+// BuildChain composes the chain per the spec's reuse/size policy.
+func BuildChain(spec ChainSpec) (*Chain, error) {
+	if len(spec.Links) == 0 {
+		return nil, fmt.Errorf("combos: chain %q has no links", spec.Name)
+	}
+	if spec.Links[0].F != nil {
+		return nil, fmt.Errorf("combos: chain %q: first link carries a dependency matrix", spec.Name)
+	}
+	for i := 1; i < len(spec.Links); i++ {
+		if spec.Links[i].F == nil {
+			return nil, fmt.Errorf("combos: chain %q: link %d has no dependency matrix", spec.Name, i)
+		}
+	}
+	c := &Chain{Spec: spec, PairReuse: make([]float64, len(spec.Links)-1)}
+	for i := 0; i+1 < len(spec.Links); i++ {
+		c.PairReuse[i] = core.ReuseRatio(spec.Links[i].K, spec.Links[i+1].K)
+	}
+	lo := 0
+	for i := 1; i <= len(spec.Links); i++ {
+		cut := i == len(spec.Links) ||
+			(spec.MaxGroup > 0 && i-lo >= spec.MaxGroup) ||
+			(spec.MinReuse > 0 && c.PairReuse[i-1] < spec.MinReuse)
+		if !cut {
+			continue
+		}
+		ks := make([]kernels.Kernel, 0, i-lo)
+		fs := make([]*sparse.CSR, 0, i-lo-1)
+		for _, ln := range spec.Links[lo:i] {
+			ks = append(ks, ln.K)
+			if len(ks) > 1 {
+				fs = append(fs, ln.F)
+			}
+		}
+		g := &Instance{
+			Name:    fmt.Sprintf("%s[%d:%d]", spec.Name, lo, i),
+			Kernels: ks,
+			Loops:   &core.Loops{F: fs},
+		}
+		finishChain(g)
+		if err := g.Loops.Check(); err != nil {
+			return nil, fmt.Errorf("combos: chain %q group [%d:%d): %w", spec.Name, lo, i, err)
+		}
+		c.Groups = append(c.Groups, g)
+		lo = i
+	}
+	return c, nil
+}
+
+// finishChain fills an instance's derived chain fields — per-kernel DAGs,
+// MKL-sequential flags, and the chain reuse ratio — from Kernels and the
+// already-set Loops.F. Shared by BuildChain groups and BuildGSWorkers, so the
+// GS chain is the k = 2·nSweeps special case of the general assembly.
+func finishChain(in *Instance) {
+	for _, k := range in.Kernels {
+		in.Loops.G = append(in.Loops.G, k.DAG())
+		in.mklSeq = append(in.mklSeq, false)
+	}
+	in.Reuse = core.ReuseRatioChain(in.Kernels)
+}
+
+// Fused reports whether the whole chain composed into a single fused group.
+func (c *Chain) Fused() bool { return len(c.Groups) == 1 }
+
+// NumKernels is the chain length k.
+func (c *Chain) NumKernels() int { return len(c.Spec.Links) }
+
+// KernelIDs returns the ordered kernel names — the chain identity the cache
+// fingerprints content-address by.
+func (c *Chain) KernelIDs() []string {
+	ids := make([]string, len(c.Spec.Links))
+	for i, ln := range c.Spec.Links {
+		ids[i] = ln.K.Name()
+	}
+	return ids
+}
+
+// Barriers sums the groups' s-partition counts after inspection — the
+// barrier sequences one pass over the chain pays (each group runs one fused
+// schedule; crossing from one group to the next is one more join).
+func (c *Chain) Barriers(scheds []*core.Schedule) int {
+	b := 0
+	for _, s := range scheds {
+		b += s.NumSPartitions()
+	}
+	return b
+}
+
+// SparseFusion inspects every group with ICO and compiles it; execution runs
+// the groups back to back, summing executor statistics (Stats.Barriers is
+// the observed barriers-per-pass the chain benchmark reports).
+func (c *Chain) SparseFusion(threads int, lp lbc.Params) (*Impl, []*core.Schedule) {
+	scheds := make([]*core.Schedule, len(c.Groups))
+	runners := make([]*exec.Runner, len(c.Groups))
+	im := &Impl{
+		Name: "sparse-fusion-chain",
+		inspect: func() error {
+			for i, g := range c.Groups {
+				s, err := core.ICO(g.Loops, core.Params{Threads: threads, ReuseRatio: g.Reuse, LBC: lp})
+				if err != nil {
+					return err
+				}
+				scheds[i] = s
+				// Groups too big for the compiled form fall back to the
+				// legacy walker at execution, like Instance.SparseFusion.
+				runners[i], _ = exec.CompileFused(g.Kernels, s)
+			}
+			return nil
+		},
+		execute: func() (exec.Stats, error) {
+			var tot exec.Stats
+			for i, g := range c.Groups {
+				var st exec.Stats
+				var err error
+				if runners[i] != nil {
+					st, err = runners[i].Run(threads)
+				} else {
+					st, err = exec.RunFusedLegacy(g.Kernels, scheds[i], threads)
+				}
+				tot.Elapsed += st.Elapsed
+				tot.Barriers += st.Barriers
+				tot.PotentialGain += st.PotentialGain
+				if err != nil {
+					return tot, err
+				}
+			}
+			return tot, nil
+		},
+	}
+	return im, scheds
+}
+
+// RunSequential executes every kernel of the chain back to back,
+// single-threaded — the bit-identity reference for all fused executions.
+func (c *Chain) RunSequential() error {
+	for _, g := range c.Groups {
+		for _, k := range g.Kernels {
+			if err := kernels.RunSeq(k); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

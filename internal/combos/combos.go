@@ -285,14 +285,10 @@ func BuildGSWorkers(a *sparse.CSR, nSweeps, workers int) (*Instance, error) {
 			in.Loops.F[i] = core.FPattern(u)
 		}
 	})
-	for _, k := range in.Kernels {
-		in.Loops.G = append(in.Loops.G, k.DAG())
-		in.mklSeq = append(in.mklSeq, false)
-	}
+	finishChain(in)
 	final := xs[nSweeps]
 	in.Snapshot = snap(final)
 	in.Input, in.Output = b, final
-	in.Reuse = core.ReuseRatioChain(in.Kernels)
 	return in, nil
 }
 
@@ -493,27 +489,29 @@ func (in *Instance) UnfusedMKL(threads int) *Impl {
 	}
 }
 
-// JointGraph builds the joint DAG of a two-kernel instance (the baselines'
-// input; exported for the figure and benchmark harnesses).
+// JointGraph builds the joint DAG of the instance's chain — any length, via
+// dag.JointChain (the baselines' input; exported for the figure and benchmark
+// harnesses, and the structural oracle of the chain-composition tests).
 func (in *Instance) JointGraph() (*dag.Graph, error) { return in.joint() }
 
-// joint builds the joint DAG of a two-kernel instance.
+// joint builds the joint DAG of the instance's kernel chain.
 func (in *Instance) joint() (*dag.Graph, error) {
-	if len(in.Kernels) != 2 {
-		return nil, fmt.Errorf("combos: joint-DAG baselines support exactly 2 kernels, got %d", len(in.Kernels))
-	}
-	return dag.Joint(in.Loops.G[0], in.Loops.G[1], in.Loops.F[0])
+	return dag.JointChain(in.Loops.G, in.Loops.F)
 }
 
 // jointImpl wraps a joint-DAG scheduler into an Impl: inspection builds the
 // joint DAG, schedules it, and compiles the result; execution runs the
-// compiled form (or the legacy walker if compilation did not fit).
+// compiled form (or the legacy walker if compilation did not fit). The joint
+// executors dispatch exactly two kernels, so longer chains are rejected.
 func (in *Instance) jointImpl(name string, threads int, schedule func(*dag.Graph) (*partition.Partitioning, error)) *Impl {
 	var p *partition.Partitioning
 	var r *exec.Runner
 	return &Impl{
 		Name: name,
 		inspect: func() error {
+			if len(in.Kernels) != 2 {
+				return fmt.Errorf("combos: joint-DAG baselines support exactly 2 kernels, got %d", len(in.Kernels))
+			}
 			j, err := in.joint()
 			if err != nil {
 				return err

@@ -98,3 +98,94 @@ func FPattern(a *sparse.CSR) *sparse.CSR {
 		I: append([]int(nil), a.I...),
 	}
 }
+
+// The builders below cover the chain-composition combinations: an
+// element-wise loop over n iterations feeding (or fed by) a blocked vector
+// loop over ceil(n/block) iterations, and the reversed-iteration handover of
+// a backward substitution. Together with FDiagonal and a dense F they are
+// every adjacency a fused CG/PCG iteration needs.
+
+// FBlockAgg is the aggregation F of an element-wise producer feeding a
+// blocked consumer: block i of the second loop reads the elements
+// [i*block, min((i+1)*block, n)) of the first loop's output — SpMV feeding a
+// blocked partial dot.
+func FBlockAgg(nb, n, block int) *sparse.CSR {
+	f := &sparse.CSR{Rows: nb, Cols: n, P: make([]int, nb+1), I: make([]int, n)}
+	for j := 0; j < n; j++ {
+		f.I[j] = j
+	}
+	for i := 0; i < nb; i++ {
+		hi := (i + 1) * block
+		if hi > n {
+			hi = n
+		}
+		f.P[i+1] = hi
+	}
+	return f
+}
+
+// FBlockExpand is the inverse handover: element j of the second loop depends
+// on block j/block of the first — a blocked vector update feeding an
+// element-wise consumer such as a triangular solve reading the updated
+// residual.
+func FBlockExpand(n, nb, block int) *sparse.CSR {
+	f := &sparse.CSR{Rows: n, Cols: nb, P: make([]int, n+1), I: make([]int, n)}
+	for j := 0; j < n; j++ {
+		f.P[j+1] = j + 1
+		f.I[j] = j / block
+	}
+	return f
+}
+
+// FBlockAggFlip aggregates the output of a reversed-iteration producer
+// (SpTRSV-trans-CSC, whose iteration it finalizes element n-1-it): block i of
+// the consumer reads elements [i*block, hi), produced by iterations
+// [n-hi, n-1-i*block] — a contiguous ascending range, so each row is one
+// span.
+func FBlockAggFlip(nb, n, block int) *sparse.CSR {
+	f := &sparse.CSR{Rows: nb, Cols: n, P: make([]int, nb+1), I: make([]int, n)}
+	p := 0
+	for i := 0; i < nb; i++ {
+		lo := i * block
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		for it := n - hi; it <= n-1-lo; it++ {
+			f.I[p] = it
+			p++
+		}
+		f.P[i+1] = p
+	}
+	return f
+}
+
+// FAntiDiagonal is the handover between a forward and a backward
+// substitution over the same n elements: the backward solve's iteration it
+// consumes element j = n-1-it, so row it depends on column n-1-it. Also the
+// degenerate nb = n case of FBlockAggFlip.
+func FAntiDiagonal(n int) *sparse.CSR {
+	f := &sparse.CSR{Rows: n, Cols: n, P: make([]int, n+1), I: make([]int, n)}
+	for i := 0; i < n; i++ {
+		f.P[i+1] = i + 1
+		f.I[i] = n - 1 - i
+	}
+	return f
+}
+
+// FDense is the all-pairs F of a reduction crossing: every consumer block
+// re-sums all producer partials, so every row depends on every column. Rows
+// and cols are block counts, so the density is ceil(n/block)² — negligible
+// next to the matrix pattern.
+func FDense(rows, cols int) *sparse.CSR {
+	f := &sparse.CSR{Rows: rows, Cols: cols, P: make([]int, rows+1), I: make([]int, rows*cols)}
+	p := 0
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			f.I[p] = j
+			p++
+		}
+		f.P[i+1] = p
+	}
+	return f
+}

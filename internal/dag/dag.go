@@ -358,6 +358,70 @@ func Joint(g1, g2 *Graph, f *sparse.CSR) (*Graph, error) {
 	return g, nil
 }
 
+// JointChain generalizes Joint to a k-kernel chain: vertex blocks are the
+// loops' iteration spaces laid out in chain order, and fs[k] (the dependency
+// matrix between loop k and loop k+1, so len(fs) = len(gs)-1) contributes an
+// edge off[k]+j -> off[k+1]+i for every nonzero fs[k][i][j]. Same direct CSR
+// counting assembly as Joint, and Joint(g1, g2, f) ≡ JointChain([g1 g2], [f]).
+func JointChain(gs []*Graph, fs []*sparse.CSR) (*Graph, error) {
+	if len(gs) == 0 {
+		return nil, fmt.Errorf("dag: joint chain of zero loops")
+	}
+	if len(fs) != len(gs)-1 {
+		return nil, fmt.Errorf("dag: %d loops with %d dependency matrices, want %d", len(gs), len(fs), len(gs)-1)
+	}
+	off := make([]int, len(gs)+1)
+	for k, gk := range gs {
+		off[k+1] = off[k] + gk.N
+	}
+	for k, f := range fs {
+		if f.Rows != gs[k+1].N || f.Cols != gs[k].N {
+			return nil, fmt.Errorf("dag: F[%d] is %dx%d, want %dx%d", k, f.Rows, f.Cols, gs[k+1].N, gs[k].N)
+		}
+	}
+	n := off[len(gs)]
+	g := &Graph{N: n, P: make([]int, n+1), W: make([]int, n)}
+	for k, gk := range gs {
+		for v := 0; v < gk.N; v++ {
+			g.P[off[k]+v+1] = gk.P[v+1] - gk.P[v]
+			g.W[off[k]+v] = gk.Weight(v)
+		}
+	}
+	for k, f := range fs {
+		for _, j := range f.I {
+			g.P[off[k]+j+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		g.P[v+1] += g.P[v]
+	}
+	g.I = make([]int, g.P[n])
+	next := make([]int, n)
+	copy(next, g.P[:n])
+	// Per source vertex: intra-DAG successors first (all inside the source's
+	// own block), then F successors (all in the next block, rows ascending) —
+	// both ascending, so each list stays sorted without an edge list or sort.
+	for k, gk := range gs {
+		for v := 0; v < gk.N; v++ {
+			for _, s := range gk.Succ(v) {
+				g.I[next[off[k]+v]] = off[k] + s
+				next[off[k]+v]++
+			}
+		}
+		if k < len(fs) {
+			f := fs[k]
+			for i := 0; i < f.Rows; i++ {
+				for p := f.P[i]; p < f.P[i+1]; p++ {
+					j := off[k] + f.I[p]
+					g.I[next[j]] = off[k+1] + i
+					next[j]++
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
 // Reach returns the set of vertices reachable from the seeds (inclusive),
 // as a sorted slice. Allocating convenience form of Scratch.Reach, the
 // flat-array CSR BFS that replaced the former map-based search.

@@ -121,6 +121,8 @@ type serverObs struct {
 	demotions *telemetry.Counter
 	steals    *telemetry.Counter
 	reseeds   *telemetry.Counter
+	barriers  *telemetry.Counter
+	chainLen  *telemetry.Gauge
 	latency   *telemetry.Histogram
 	queueWait *telemetry.Histogram
 	barrier   *telemetry.Histogram
@@ -141,6 +143,8 @@ func newServerObs(s *serve.Server, sc *ScheduleCache) *serverObs {
 		demotions: reg.Counter("spf_demotions_total", "Executor-ladder demotions observed on served operations and sessions."),
 		steals:    reg.Counter("spf_steals_total", "W-partitions executed off their seeded worker (work-stealing executor)."),
 		reseeds:   reg.Counter("spf_reseeds_total", "Work-stealing assignment re-seeds taken after persistent imbalance."),
+		barriers:  reg.Counter("spf_barriers_total", "Executor barriers (s-partition synchronizations) crossed by served solves — the quantity chain composition divides by ~k."),
+		chainLen:  reg.Gauge("spf_chain_length", "Kernels fused into the most recently served operation's schedule (2 for pair combinations, k for composed chains)."),
 		latency:   reg.Histogram("spf_solve_seconds", "Served solve latency (admission wait included).", nil),
 		queueWait: reg.Histogram("spf_queue_wait_seconds", "Time queued admissions waited for a worker set.", nil),
 		barrier:   reg.Histogram("spf_barrier_wait_seconds", "Per-solve load-imbalance cost at executor barriers (slowest worker minus mean, summed over s-partitions).", nil),
@@ -188,6 +192,8 @@ func (sv *Server) observeSolve(e *execState, d time.Duration, rep Report, runErr
 	o.solves.Add(1)
 	o.latency.Observe(d.Seconds())
 	o.barrier.Observe(rep.BarrierWait.Seconds())
+	o.barriers.Add(int64(rep.Barriers))
+	o.chainLen.Set(float64(len(e.inst.Kernels)))
 	if runErr != nil {
 		o.errors.Add(1)
 	}

@@ -57,15 +57,9 @@ func NewIC0Preconditioner(m *Matrix, opts Options) (*IC0Preconditioner, error) {
 	p.ks = []kernels.Kernel{fwd, bwd}
 
 	// F: backward iteration it (column j = n-1-it) reads y[j], produced by
-	// forward iteration j.
-	ts := make([]sparse.Triplet, n)
-	for j := 0; j < n; j++ {
-		ts[j] = sparse.Triplet{Row: n - 1 - j, Col: j, Val: 1}
-	}
-	f, err := sparse.FromTriplets(n, n, ts)
-	if err != nil {
-		return nil, err
-	}
+	// forward iteration j — the anti-diagonal handover shared with the chain
+	// builders.
+	f := core.FAntiDiagonal(n)
 	loops := &core.Loops{G: []*dag.Graph{fwd.DAG(), bwd.DAG()}, F: []*sparse.CSR{f}}
 	reuse := core.ReuseRatioChain(p.ks)
 	sched, err := core.ICO(loops, core.Params{Threads: p.th, ReuseRatio: reuse, LBC: opts.lbc()})
