@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-inspector bench-serve bench-profile bench-scale bench-chain check-inspector check-exec check-serve check-profile check-scale check-chain
+.PHONY: build test race fuzz chaos bench bench-inspector bench-serve bench-profile bench-scale bench-chain bench-chaos check-inspector check-exec check-serve check-profile check-scale check-chain check-chaos
 
 # FUZZTIME bounds each fuzz target's wall-clock budget (go test -fuzztime).
 FUZZTIME ?= 15s
@@ -103,3 +103,21 @@ bench-chain:
 # a fused time regressed more than 25% against the committed BENCH_chain.json.
 check-chain:
 	$(GO) run ./cmd/spbench -mode chain -check -out BENCH_chain.json
+
+# chaos runs the deterministic fault-injection scenario matrix (DESIGN.md
+# §16) without touching the committed baseline: seeded cancel storms,
+# injected panics and breakdowns, a barrier-watchdog trip, corrupt/truncated
+# schedule containers, and an overload burst — every run must end in its
+# typed error or a bit-identical result, under a per-scenario stuck-run
+# watchdog, with cancellation-polling overhead hard-gated at 5%.
+chaos:
+	$(GO) run ./cmd/spbench -mode chaos -out /dev/null
+
+# bench-chaos runs the same matrix and regenerates BENCH_chaos.json.
+bench-chaos:
+	$(GO) run ./cmd/spbench -mode chaos -out BENCH_chaos.json
+
+# check-chaos re-runs the matrix and fails (exit 1) if any scenario loses
+# bit-identity or the cancellation-polling overhead exceeds its 5% budget.
+check-chaos:
+	$(GO) run ./cmd/spbench -mode chaos -check -out BENCH_chaos.json

@@ -1,10 +1,12 @@
 package sparsefusion
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"sparsefusion/internal/exec"
 	"sparsefusion/internal/kernels"
 	"sparsefusion/internal/sparse"
 )
@@ -26,6 +28,15 @@ type CGOptions struct {
 // preconditioned) conjugate gradient, returning the solution and the number
 // of iterations performed.
 func (m *Matrix) SolveCG(b []float64, opts CGOptions) ([]float64, int, error) {
+	return m.SolveCGContext(nil, b, opts)
+}
+
+// SolveCGContext is SolveCG under cooperative cancellation: ctx is checked
+// between solver iterations, so a cancelled solve returns a *CancelledError
+// instead of iterating to MaxIter. Iterations completed before the
+// cancellation are exactly what an uncancelled solve would have computed.
+// A nil ctx means no bound.
+func (m *Matrix) SolveCGContext(ctx context.Context, b []float64, opts CGOptions) ([]float64, int, error) {
 	n := m.csr.Rows
 	if m.csr.Rows != m.csr.Cols {
 		return nil, 0, fmt.Errorf("sparsefusion: CG needs a square matrix")
@@ -82,6 +93,9 @@ func (m *Matrix) SolveCG(b []float64, opts CGOptions) ([]float64, int, error) {
 		return x, 0, nil
 	}
 	for it := 1; it <= opts.MaxIter; it++ {
+		if ctx != nil && ctx.Err() != nil {
+			return x, it - 1, exec.Cancelled(ctx)
+		}
 		ap, err := m.MulVec(p)
 		if err != nil {
 			return nil, 0, err

@@ -46,6 +46,20 @@
 //	                   composed chain to strictly fewer barriers than
 //	                   pairwise and fused PCG to never lose to pairwise
 //	                   beyond a 10% noise allowance (BENCH_chain.json)
+//	-mode chaos      — the deterministic fault-injection matrix
+//	                   (internal/chaos): seeded cancel storms against the
+//	                   compiled executor, an injected worker panic, an
+//	                   injected numerical breakdown, a slow worker under the
+//	                   barrier watchdog, a corrupted and a truncated
+//	                   disk-tier schedule file, and an admission-control
+//	                   storm against a saturated server. Every scenario runs
+//	                   under a harness watchdog and must end in the expected
+//	                   typed error (or a clean result), with a follow-up
+//	                   clean run reproducing the fault-free reference bit
+//	                   for bit. Also measures what an armed-but-idle
+//	                   cancellation context costs a run and enforces the
+//	                   ≤5% overhead budget unconditionally
+//	                   (BENCH_chaos.json)
 //
 // Fixtures are deterministic, so reruns on one machine are comparable; each
 // file records the machine shape alongside the numbers. -check re-measures
@@ -56,19 +70,25 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	sf "sparsefusion"
 
+	"sparsefusion/internal/chaos"
 	"sparsefusion/internal/combos"
 	"sparsefusion/internal/core"
 	"sparsefusion/internal/dag"
@@ -303,6 +323,40 @@ type chainResult struct {
 	BitIdentical bool `json:"bit_identical"`
 }
 
+// chaosResult is one scenario of the -mode chaos suite. Chaos scenarios are
+// pass/fail while measuring — an untyped error, a hang past the harness
+// watchdog, or a diverged follow-up run aborts the whole suite — so the
+// recorded numbers describe *how* the run passed (how many storm requests
+// were cancelled vs completed, how many admission rejections of each kind),
+// not whether it did.
+type chaosResult struct {
+	Scenario string `json:"scenario"`
+	// Seed reproduces the scenario exactly: same stall, same flipped byte,
+	// same cancellation instants.
+	Seed uint64 `json:"seed,omitempty"`
+	Runs int    `json:"runs,omitempty"`
+	// Storm outcome tallies (cancel-storm and overload subjects).
+	Cancelled        int `json:"cancelled,omitempty"`
+	Completed        int `json:"completed,omitempty"`
+	Overloaded       int `json:"overloaded,omitempty"`
+	DeadlineExceeded int `json:"deadline_exceeded,omitempty"`
+	// Quarantines is how many defective disk-tier files the cache moved
+	// aside while rebuilding (disk-cache subjects).
+	Quarantines int64 `json:"quarantines,omitempty"`
+	// Outcome names the typed error (or clean result) the scenario ended in.
+	Outcome string `json:"outcome"`
+	// BitIdentical confirms the post-fault clean run reproduced the
+	// fault-free reference bit for bit; a mismatch aborts the run. True for
+	// admission-only subjects with no numeric output to compare.
+	BitIdentical bool `json:"bit_identical"`
+	// Armed-context overhead (cancel-poll-overhead subject): a plain Run vs
+	// RunContext under a context that never fires. OverheadPct above the
+	// ≤5% budget aborts the run.
+	PlainNs     int64   `json:"plain_ns,omitempty"`
+	ArmedNs     int64   `json:"armed_ns,omitempty"`
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
+}
+
 type report struct {
 	// Meta stamps the machine and source revision that produced the numbers;
 	// shared by every BENCH_*.json this command writes.
@@ -315,6 +369,7 @@ type report struct {
 	Profile   []profileResult   `json:"profile,omitempty"`
 	Scale     []scaleResult     `json:"scale,omitempty"`
 	Chain     []chainResult     `json:"chain,omitempty"`
+	Chaos     []chaosResult     `json:"chaos,omitempty"`
 }
 
 type fixture struct {
@@ -330,7 +385,7 @@ var fixtures = []fixture{
 }
 
 func main() {
-	mode := flag.String("mode", "exec", "benchmark suite: exec, inspector, serve, profile, scale or chain")
+	mode := flag.String("mode", "exec", "benchmark suite: exec, inspector, serve, profile, scale, chain or chaos")
 	out := flag.String("out", "", "output file (default BENCH_<mode>.json)")
 	threads := flag.Int("threads", 8, "schedule width r (and inspector workers)")
 	n := flag.Int("n", 40000, "fixture size")
@@ -358,8 +413,10 @@ func main() {
 		runScale(&rep, *threads, *n, *minTime)
 	case "chain":
 		runChain(&rep, *threads, *n, *minTime)
+	case "chaos":
+		runChaos(&rep, *threads, *n, *minTime)
 	default:
-		log.Fatalf("unknown -mode %q (want exec, inspector, serve, profile, scale or chain)", *mode)
+		log.Fatalf("unknown -mode %q (want exec, inspector, serve, profile, scale, chain or chaos)", *mode)
 	}
 
 	if *check {
@@ -1125,6 +1182,415 @@ func executorEconomics(ks []kernels.Kernel, loops *core.Loops, sched *core.Sched
 // checkRegression compares fresh headline metrics against the committed
 // report: executor compiled ns/run and inspector optimized ns must not be
 // more than 25% worse.
+// runChaos drives the deterministic fault-injection matrix: every scenario
+// derives its faults from a fixed seed (a failing run replays exactly), runs
+// under a harness watchdog, and must terminate in the expected typed error —
+// or, for the storm subjects, in nothing but typed errors and clean results.
+// After every fault a clean run over the *same* kernel instances must
+// reproduce the pre-fault reference bit for bit: faults may abandon a run,
+// they may never corrupt the artifacts the next run executes on. The
+// armed-context overhead subject enforces the ≤5% cancellation-polling
+// budget unconditionally, same as -mode profile does for the recorder.
+func runChaos(rep *report, threads, n int, minTime time.Duration) {
+	const seed = 0x5eedc4a05 // any fixed value; recorded per scenario
+	const harness = 10 * time.Second
+
+	scenario := func(name string, fn func() chaosResult) {
+		var res chaosResult
+		if err := chaos.Under(harness, func() error { res = fn(); return nil }); err != nil {
+			log.Fatalf("chaos %s: %v", name, err)
+		}
+		res.Scenario = name
+		rep.Chaos = append(rep.Chaos, res)
+		fmt.Printf("%-24s %s\n", name, res.Outcome)
+	}
+
+	// subject bundles the gs-pair fixture one scenario injects faults into:
+	// the clean compiled runner, the shared kernel instances, the schedule
+	// (for compiling faulty variants over the same partitioning), the output
+	// snapshot closure, and the clean reference output the post-fault clean
+	// run must reproduce.
+	type subject struct {
+		runner *exec.Runner
+		ks     []kernels.Kernel
+		sched  *core.Schedule
+		snap   func() []float64
+		ref    []float64
+	}
+	mkSubject := func(name string) subject {
+		ks, loops, snap := gsPairSnap(n)
+		sched, err := core.ICO(loops, icoParams(threads, 0.5, 0))
+		if err != nil {
+			log.Fatalf("chaos %s: inspect: %v", name, err)
+		}
+		runner, err := exec.CompileFused(ks, sched)
+		if err != nil {
+			log.Fatalf("chaos %s: compile: %v", name, err)
+		}
+		if _, err := runner.Run(threads); err != nil {
+			log.Fatalf("chaos %s: clean reference run: %v", name, err)
+		}
+		return subject{runner: runner, ks: ks, sched: sched, snap: snap, ref: snap()}
+	}
+
+	// rerunClean runs the subject's clean runner again — over the same
+	// kernel instances a fault just abandoned mid-run — and insists on the
+	// reference bits: a fault may abandon a run, it may never corrupt the
+	// artifacts the next run executes on.
+	rerunClean := func(name string, sub subject) {
+		if _, err := sub.runner.Run(threads); err != nil {
+			log.Fatalf("chaos %s: post-fault clean run: %v", name, err)
+		}
+		if !bitsEqual(sub.snap(), sub.ref) {
+			log.Fatalf("chaos %s: post-fault clean run diverged from the reference", name)
+		}
+	}
+
+	// Seeded cancel storm: repeated runs each under a context cancelled at a
+	// seeded instant inside (twice) the run's own duration. Every outcome
+	// must be a clean result or a typed *exec.CancelledError; afterwards the
+	// same runner must still produce the reference bits.
+	scenario("cancel-storm", func() chaosResult {
+		sub := mkSubject("cancel-storm")
+		runner := sub.runner
+		t0 := time.Now()
+		if _, err := runner.Run(threads); err != nil {
+			log.Fatal(err)
+		}
+		window := 2 * time.Since(t0)
+		if window < 100*time.Microsecond {
+			window = 100 * time.Microsecond
+		}
+		rng := chaos.NewRng(seed)
+		const runs = 32
+		var cancelled, completed int
+		for i := 0; i < runs; i++ {
+			ctx, cancel := rng.CancelAfter(context.Background(), window)
+			_, err := runner.RunContext(ctx, threads)
+			cancel()
+			if err == nil {
+				completed++
+				continue
+			}
+			var c *exec.CancelledError
+			if !errors.As(err, &c) {
+				log.Fatalf("chaos cancel-storm: run %d returned %T (%v), want *exec.CancelledError or success", i, err, err)
+			}
+			cancelled++
+		}
+		if cancelled == 0 {
+			log.Fatalf("chaos cancel-storm: none of %d seeded windows cancelled a run; widen the storm", runs)
+		}
+		if _, err := runner.RunContext(context.Background(), threads); err != nil {
+			log.Fatalf("chaos cancel-storm: clean run after the storm: %v", err)
+		}
+		if !bitsEqual(sub.snap(), sub.ref) {
+			log.Fatal("chaos cancel-storm: clean run after the storm diverged from the reference")
+		}
+		return chaosResult{
+			Seed: seed, Runs: runs, Cancelled: cancelled, Completed: completed, BitIdentical: true,
+			Outcome: fmt.Sprintf("%d cancelled (typed), %d completed, then bit-identical", cancelled, completed),
+		}
+	})
+
+	// Injected worker panic: one iteration panics with a plain value. The
+	// pool must recover it into an *exec.ExecError (not a watchdog trip, not
+	// a hang) and the kernels must survive for the next run.
+	scenario("worker-panic", func() chaosResult {
+		sub := mkSubject("worker-panic")
+		armed := sub.ks[1].Iterations() / 2
+		faulty, err := exec.CompileFused(
+			[]kernels.Kernel{sub.ks[0], chaos.NewPanic(sub.ks[1], armed)}, sub.sched)
+		if err != nil {
+			log.Fatalf("chaos worker-panic: compile: %v", err)
+		}
+		_, err = faulty.Run(threads)
+		var xe *exec.ExecError
+		if !errors.As(err, &xe) || xe.Watchdog {
+			log.Fatalf("chaos worker-panic: got %T (%v), want *exec.ExecError", err, err)
+		}
+		if !strings.Contains(fmt.Sprint(xe.Recovered), "chaos: injected panic") {
+			log.Fatalf("chaos worker-panic: recovered %q lost the injected panic value", fmt.Sprint(xe.Recovered))
+		}
+		rerunClean("worker-panic", sub)
+		return chaosResult{Seed: seed, Runs: 1, BitIdentical: true,
+			Outcome: fmt.Sprintf("*exec.ExecError (worker %d, s-partition %d), then bit-identical", xe.Worker, xe.SPartition)}
+	})
+
+	// Injected numerical breakdown: one iteration raises a typed
+	// *kernels.BreakdownError, exactly as a zero pivot does. errors.As must
+	// reach it through the executor's wrapping.
+	scenario("breakdown", func() chaosResult {
+		sub := mkSubject("breakdown")
+		armed := sub.ks[1].Iterations() / 3
+		faulty, err := exec.CompileFused(
+			[]kernels.Kernel{sub.ks[0], chaos.NewBreakdown(sub.ks[1], armed)}, sub.sched)
+		if err != nil {
+			log.Fatalf("chaos breakdown: compile: %v", err)
+		}
+		_, err = faulty.Run(threads)
+		var brk *kernels.BreakdownError
+		if !errors.As(err, &brk) || brk.Row != armed {
+			log.Fatalf("chaos breakdown: got %T (%v), want *kernels.BreakdownError at row %d", err, err, armed)
+		}
+		rerunClean("breakdown", sub)
+		return chaosResult{Seed: seed, Runs: 1, BitIdentical: true,
+			Outcome: fmt.Sprintf("*kernels.BreakdownError (row %d) through errors.As, then bit-identical", brk.Row)}
+	})
+
+	// Slow worker under the barrier watchdog: one iteration stalls far past
+	// the pool's watchdog bound. The stall must land on a non-calling worker
+	// slot — the caller cannot time out on its own arrival, a stall there
+	// merely makes the run slow — so the armed iteration is read off the
+	// schedule: on the static path, w-partition w of an s-partition runs on
+	// pool slot w and slot 0 is the caller, so any iteration in w-partition
+	// 1 of a multi-partition round is guaranteed off-caller.
+	scenario("slow-worker-watchdog", func() chaosResult {
+		wdThreads := threads
+		if wdThreads < 2 {
+			wdThreads = 2
+		}
+		sub := mkSubject("slow-worker-watchdog")
+		armedLoop, armedIter := -1, -1
+		var armedS int
+		for si, sp := range sub.sched.S {
+			if len(sp) >= 2 && len(sp[1]) > 0 {
+				armedLoop, armedIter, armedS = sp[1][0].Loop, sp[1][0].Idx, si
+				break
+			}
+		}
+		if armedLoop < 0 {
+			log.Fatal("chaos slow-worker-watchdog: schedule has no multi-partition s-partition to stall")
+		}
+		faultyKs := append([]kernels.Kernel(nil), sub.ks...)
+		faultyKs[armedLoop] = chaos.NewDelay(sub.ks[armedLoop], armedIter, 250*time.Millisecond)
+		faulty, err := exec.CompileFused(faultyKs, sub.sched)
+		if err != nil {
+			log.Fatalf("chaos slow-worker-watchdog: compile: %v", err)
+		}
+		faulty.Configure(exec.Config{Watchdog: 40 * time.Millisecond})
+		_, err = faulty.Run(wdThreads)
+		var xe *exec.ExecError
+		if !errors.As(err, &xe) || !xe.Watchdog {
+			log.Fatalf("chaos slow-worker-watchdog: stalled loop %d iteration %d (s-partition %d slot 1), got %T (%v), want watchdog *exec.ExecError",
+				armedLoop, armedIter, armedS, err, err)
+		}
+		rerunClean("slow-worker-watchdog", sub)
+		return chaosResult{Seed: seed, Runs: 1, BitIdentical: true,
+			Outcome: fmt.Sprintf("watchdog *exec.ExecError (s-partition %d), then bit-identical", xe.SPartition)}
+	})
+
+	// Disk-tier defects: a seeded byte flip inside a schedule container, then
+	// a torn tail. Each must be quarantined (renamed .bad) on the next load,
+	// rebuilt from scratch, and the rebuilt schedule must solve to the
+	// cache-less reference bits.
+	scenario("disk-cache-defects", func() chaosResult {
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		m := sf.Laplacian2D(side)
+		opts := func(sc *sf.ScheduleCache) sf.Options {
+			return sf.Options{Threads: threads, LBCInitialCut: 3, LBCAgg: 8, Cache: sc}
+		}
+		input := sparse.RandomVec(m.Rows(), 7)
+		solve := func(sc *sf.ScheduleCache) []float64 {
+			op, err := sf.NewOperation(sf.TrsvTrsv, m, opts(sc))
+			if err != nil {
+				log.Fatalf("chaos disk-cache-defects: operation: %v", err)
+			}
+			if err := op.SetInput(input); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := op.Run(); err != nil {
+				log.Fatalf("chaos disk-cache-defects: solve: %v", err)
+			}
+			return op.Output()
+		}
+		ref := solve(nil)
+
+		dir, err := os.MkdirTemp("", "spbench-chaos-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		solve(sf.NewScheduleCache(sf.CacheConfig{Dir: dir})) // seed the tier
+
+		tierFile := func() string {
+			files, err := filepath.Glob(filepath.Join(dir, "*.sched"))
+			if err != nil || len(files) != 1 {
+				log.Fatalf("chaos disk-cache-defects: want exactly one tier file, got %v (%v)", files, err)
+			}
+			return files[0]
+		}
+		damage := []struct {
+			name string
+			do   func(path string)
+		}{
+			{"corrupt", func(p string) {
+				if err := chaos.CorruptFile(p, seed); err != nil {
+					log.Fatal(err)
+				}
+			}},
+			{"truncate", func(p string) {
+				if err := chaos.TruncateFile(p, 40); err != nil { // tears the fingerprint
+					log.Fatal(err)
+				}
+			}},
+		}
+		var quarantines int64
+		for _, d := range damage {
+			p := tierFile()
+			d.do(p)
+			sc := sf.NewScheduleCache(sf.CacheConfig{Dir: dir}) // a later process warm-starting
+			got := solve(sc)
+			st := sc.Stats()
+			if st.DiskQuarantines != 1 {
+				log.Fatalf("chaos disk-cache-defects/%s: %d quarantines, want 1", d.name, st.DiskQuarantines)
+			}
+			if _, err := os.Stat(p + ".bad"); err != nil {
+				log.Fatalf("chaos disk-cache-defects/%s: no .bad corpse after quarantine: %v", d.name, err)
+			}
+			if !bitsEqual(got, ref) {
+				log.Fatalf("chaos disk-cache-defects/%s: rebuilt schedule diverged from the cache-less reference", d.name)
+			}
+			quarantines += st.DiskQuarantines
+		}
+		return chaosResult{Seed: seed, Runs: len(damage), Quarantines: quarantines, BitIdentical: true,
+			Outcome: fmt.Sprintf("%d defects quarantined to .bad, rebuilt bit-identical", quarantines)}
+	})
+
+	// Admission-control storm: a 1-pool, 1-slot-queue server under 16
+	// concurrent clients with sub-millisecond deadlines, plus a batch of
+	// already-expired requests. Every failure must be typed —
+	// ErrServerOverloaded at the queue bound, ErrDeadlineExceeded while
+	// queued, *CancelledError once in flight; nothing may hang.
+	scenario("overload-deadline", func() chaosResult {
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		m := sf.Laplacian2D(side)
+		op, err := sf.NewOperation(sf.TrsvTrsv, m, sf.Options{Threads: threads, LBCInitialCut: 3, LBCAgg: 8})
+		if err != nil {
+			log.Fatalf("chaos overload-deadline: operation: %v", err)
+		}
+		sv := sf.NewServer(sf.ServerConfig{MaxConcurrent: 1, Width: threads, MaxQueue: 1})
+		defer sv.Close()
+
+		var completed, overloaded, deadlined, cancelled atomic.Int64
+		tally := func(err error) {
+			var c *sf.CancelledError
+			switch {
+			case err == nil:
+				completed.Add(1)
+			case errors.Is(err, sf.ErrServerOverloaded):
+				overloaded.Add(1)
+			case errors.Is(err, sf.ErrDeadlineExceeded):
+				deadlined.Add(1)
+			case errors.As(err, &c):
+				// Admitted before the deadline, cancelled in flight — the
+				// third legitimate typed outcome.
+				cancelled.Add(1)
+			default:
+				log.Fatalf("chaos overload-deadline: untyped admission outcome %T (%v)", err, err)
+			}
+		}
+
+		// Already-expired requests are rejected deterministically, before
+		// any queueing.
+		expired, cancelExpired := context.WithTimeout(context.Background(), -time.Second)
+		defer cancelExpired()
+		for i := 0; i < 4; i++ {
+			s, err := op.NewSession()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := s.RunOnContext(expired, sv); err == nil {
+				log.Fatal("chaos overload-deadline: expired request was admitted")
+			} else {
+				tally(err)
+			}
+		}
+
+		const clients = 16
+		const perClient = 24
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s, err := op.NewSession()
+				if err != nil {
+					log.Fatalf("chaos overload-deadline: session: %v", err)
+				}
+				for i := 0; i < perClient; i++ {
+					ctx, cancel := context.WithTimeout(context.Background(), 500*time.Microsecond)
+					_, err := s.RunOnContext(ctx, sv)
+					cancel()
+					tally(err)
+				}
+			}()
+		}
+		wg.Wait()
+		st := sv.Stats()
+		if deadlined.Load() == 0 {
+			log.Fatal("chaos overload-deadline: no request was rejected for its deadline")
+		}
+		return chaosResult{
+			Runs:             4 + clients*perClient,
+			Completed:        int(completed.Load()),
+			Cancelled:        int(cancelled.Load()),
+			Overloaded:       int(overloaded.Load()),
+			DeadlineExceeded: int(deadlined.Load()),
+			BitIdentical:     true, // admission-only: no numeric output to compare
+			Outcome: fmt.Sprintf("%d completed, %d cancelled in flight, %d overloaded, %d deadline-exceeded (server: shed=%d deadline=%d)",
+				completed.Load(), cancelled.Load(), overloaded.Load(), deadlined.Load(), st.Shed, st.DeadlineExceeded),
+		}
+	})
+
+	// Armed-context overhead: what does merely *being cancellable* cost a
+	// run? RunContext under a context that never fires pays the watcher
+	// goroutine and the per-round fault poll it shares with panic recovery.
+	// The budget is the same ≤5% the profiler's recorder lives under.
+	scenario("cancel-poll-overhead", func() chaosResult {
+		runner := mkSubject("cancel-poll-overhead").runner
+		plain := measure(minTime, func() {
+			if _, err := runner.Run(threads); err != nil {
+				log.Fatal(err)
+			}
+		})
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		armed := measure(minTime, func() {
+			if _, err := runner.RunContext(ctx, threads); err != nil {
+				log.Fatal(err)
+			}
+		})
+		overhead := 100 * (float64(armed.Nanoseconds()) - float64(plain.Nanoseconds())) / float64(plain.Nanoseconds())
+		if overhead > maxOverheadPct {
+			log.Fatalf("chaos cancel-poll-overhead: armed context costs %.1f%% (plain %v, armed %v), budget is %.0f%%",
+				overhead, plain, armed, maxOverheadPct)
+		}
+		return chaosResult{Runs: 2, BitIdentical: true,
+			PlainNs: plain.Nanoseconds(), ArmedNs: armed.Nanoseconds(), OverheadPct: overhead,
+			Outcome: fmt.Sprintf("plain %v, armed %v: %+.1f%% (budget %.0f%%)", plain, armed, overhead, maxOverheadPct)}
+	})
+}
+
+// bitsEqual compares two vectors bit for bit (NaN-safe, unlike ==).
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 func checkRegression(path string, fresh *report) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -1264,6 +1730,21 @@ func checkRegression(path string, fresh *report) error {
 		if float64(f.FusedNs) > float64(c.FusedNs)*slack {
 			failures = append(failures, fmt.Sprintf(
 				"chain %s: fused %dns > committed %dns +25%%", f.Name, f.FusedNs, c.FusedNs))
+		}
+	}
+	for _, f := range fresh.Chaos {
+		// Self-consistency gates, independent of the committed file (chaos
+		// scenarios are pass/fail while measuring, so -check re-asserts the
+		// two headline invariants): post-fault clean runs reproduced their
+		// references, and an armed cancellation context stays within the
+		// ≤5% budget.
+		if !f.BitIdentical {
+			failures = append(failures, fmt.Sprintf(
+				"chaos %s: post-fault clean run diverged from its reference", f.Scenario))
+		}
+		if f.PlainNs > 0 && f.OverheadPct > maxOverheadPct {
+			failures = append(failures, fmt.Sprintf(
+				"chaos %s: armed-context overhead %.1f%% > %.0f%% budget", f.Scenario, f.OverheadPct, maxOverheadPct))
 		}
 	}
 	if len(failures) > 0 {

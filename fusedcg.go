@@ -1,6 +1,7 @@
 package sparsefusion
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -9,6 +10,7 @@ import (
 	"sparsefusion/internal/cache"
 	"sparsefusion/internal/combos"
 	"sparsefusion/internal/core"
+	"sparsefusion/internal/exec"
 	"sparsefusion/internal/kernels"
 	"sparsefusion/internal/lbc"
 	"sparsefusion/internal/sparse"
@@ -190,7 +192,7 @@ func NewFusedCG(m *Matrix, opts FusedCGOptions) (*FusedCG, error) {
 	inst.Output = f.x
 
 	tr := opts.Tracer
-	f.execState = execState{inst: inst, th: opts.threads(), steal: opts.Steal, spin: opts.SpinBudget, id: nextStateID.Add(1), tr: tr}
+	f.execState = execState{inst: inst, th: opts.threads(), steal: opts.Steal, spin: opts.SpinBudget, watchdog: opts.Watchdog, id: nextStateID.Add(1), tr: tr}
 	f.fp = opts.chainFingerprint(m, chain, block)
 	tr.raw().Emit("inspect.dag_build",
 		telemetry.Int("op", f.id),
@@ -286,7 +288,18 @@ func (f *FusedCG) Preconditioned() bool { return f.precond }
 // one iteration with a fixed interior order, and reductions are re-summed in
 // index order everywhere.
 func (f *FusedCG) Solve(b []float64) ([]float64, int, Report, error) {
-	return f.solve(b, nil)
+	return f.solve(nil, b, nil)
+}
+
+// SolveContext is Solve under cooperative cancellation: ctx is checked
+// between solver iterations and observed inside each fused run at
+// s-partition granularity, so a cancelled solve returns a *CancelledError
+// within one s-partition round. Every iteration completed before the
+// cancellation computed exactly what an uncancelled solve would have — x
+// holds the bit-identical partial trajectory — and the solver is immediately
+// reusable.
+func (f *FusedCG) SolveContext(ctx context.Context, b []float64) ([]float64, int, Report, error) {
+	return f.solve(ctx, b, nil)
 }
 
 // SolveOn is Solve under a server's admission control: each fused iteration
@@ -295,10 +308,18 @@ func (f *FusedCG) Solve(b []float64) ([]float64, int, Report, error) {
 // iteration is observed by the server's metrics (spf_barriers_total counts
 // the k-times-fewer barriers this solver is the point of).
 func (f *FusedCG) SolveOn(b []float64, sv *Server) ([]float64, int, Report, error) {
-	return f.solve(b, sv)
+	return f.solve(nil, b, sv)
 }
 
-func (f *FusedCG) solve(b []float64, sv *Server) ([]float64, int, Report, error) {
+// SolveOnContext is SolveOn under a deadline: ctx bounds each iteration's
+// admission wait (ErrServerOverloaded / ErrDeadlineExceeded) and the fused
+// runs themselves (*CancelledError), with SolveContext's bit-identity
+// guarantees.
+func (f *FusedCG) SolveOnContext(ctx context.Context, b []float64, sv *Server) ([]float64, int, Report, error) {
+	return f.solve(ctx, b, sv)
+}
+
+func (f *FusedCG) solve(ctx context.Context, b []float64, sv *Server) ([]float64, int, Report, error) {
 	var total Report
 	n := f.n
 	if len(b) != n {
@@ -341,12 +362,15 @@ func (f *FusedCG) solve(b []float64, sv *Server) ([]float64, int, Report, error)
 	}
 
 	for it := 1; it <= f.maxIter; it++ {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, it - 1, total, exec.Cancelled(ctx)
+		}
 		var rep Report
 		var err error
 		if sv == nil {
-			rep, err = f.run(nil)
+			rep, err = f.run(ctx, nil)
 		} else {
-			rep, err = f.RunOn(sv)
+			rep, err = f.RunOnContext(ctx, sv)
 		}
 		total.Time += rep.Time
 		total.Barriers += rep.Barriers

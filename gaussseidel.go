@@ -1,6 +1,7 @@
 package sparsefusion
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -91,6 +92,15 @@ func NewGaussSeidel(m *Matrix, opts GSOptions) (*GaussSeidel, error) {
 // residual ||b - A*x|| / ||b|| drops below tol or maxSweeps sweeps have run.
 // It returns the solution and the number of sweeps performed.
 func (g *GaussSeidel) Solve(b []float64, tol float64, maxSweeps int) ([]float64, int, error) {
+	return g.SolveContext(nil, b, tol, maxSweeps)
+}
+
+// SolveContext is Solve under cooperative cancellation: ctx is checked
+// between sweep chains and observed inside each fused run at s-partition
+// granularity. A cancelled solve returns the sweeps completed so far (a
+// bit-identical prefix of an uncancelled solve) alongside a *CancelledError.
+// A nil ctx means no bound.
+func (g *GaussSeidel) SolveContext(ctx context.Context, b []float64, tol float64, maxSweeps int) ([]float64, int, error) {
 	n := g.a.Rows
 	if len(b) != n {
 		return nil, 0, fmt.Errorf("sparsefusion: rhs length %d, want %d", len(b), n)
@@ -106,15 +116,27 @@ func (g *GaussSeidel) Solve(b []float64, tol float64, maxSweeps int) ([]float64,
 	ax := make([]float64, n)
 	sweeps := 0
 	for sweeps < maxSweeps {
+		if ctx != nil && ctx.Err() != nil {
+			out := make([]float64, n)
+			copy(out, g.x0)
+			return out, sweeps, exec.Cancelled(ctx)
+		}
 		var err error
 		if g.run != nil {
-			_, err = g.run.Run(g.th)
+			_, err = g.run.RunContext(orBackground(ctx), g.th)
 		} else {
-			_, err = exec.RunFusedLegacy(g.ks, g.sch, g.th)
+			_, err = exec.RunFusedLegacyContext(orBackground(ctx), g.ks, g.sch, g.th)
 		}
 		if err != nil {
 			out := make([]float64, n)
 			copy(out, g.x0)
+			// A cancellation mid-chain leaves x0 at the last completed chain
+			// (the fused run's output commits only via the copy below); pass
+			// the typed error through untranslated.
+			var c *CancelledError
+			if errors.As(err, &c) {
+				return out, sweeps, err
+			}
 			// A zero diagonal in L stops the sweep with a typed breakdown;
 			// translate it into the solver's vocabulary while keeping the
 			// kernel error reachable through errors.As.

@@ -89,6 +89,12 @@ const (
 	// EventDiskError is an unreadable, mismatched, invalid, or unwritable
 	// tier file; Err carries the cause when one is known.
 	EventDiskError EventKind = "disk_error"
+	// EventDiskQuarantine is a corrupt, truncated, mismatched, or invalid
+	// tier file moved aside (renamed to <file>.bad) so the next request for
+	// its fingerprint rebuilds and rewrites it instead of re-reading and
+	// re-failing on the same bytes forever. Err carries the defect that
+	// triggered it.
+	EventDiskQuarantine EventKind = "disk_quarantine"
 )
 
 // Event is one observed cache transition.
@@ -139,6 +145,7 @@ type Cache struct {
 	hits, misses, waits    atomic.Int64
 	evictions              atomic.Int64
 	diskHits, diskErrors   atomic.Int64
+	diskQuarantines        atomic.Int64
 	inflightN, inflightMax atomic.Int64
 }
 
@@ -246,12 +253,19 @@ func (c *Cache) build(key Key, b Builder) (*Entry, error) {
 				c.diskHits.Add(1)
 				c.emit(EventDiskLoad, key, time.Since(t0), "")
 			} else {
+				// The container parsed but its schedule fails validation:
+				// the file is stale or corrupt in a way the envelope cannot
+				// catch. Quarantine it so this process rebuilds (and the
+				// save below rewrites a good file) instead of every future
+				// request re-reading and re-failing the same bytes.
 				c.diskErrors.Add(1)
 				c.emit(EventDiskError, key, time.Since(t0), err.Error())
+				c.quarantine(key, err)
 			}
 		} else if !isNotExist(err) {
 			c.diskErrors.Add(1)
 			c.emit(EventDiskError, key, time.Since(t0), err.Error())
+			c.quarantine(key, err)
 		}
 	}
 	if sched == nil {
@@ -326,6 +340,9 @@ type Stats struct {
 	// DiskHits are misses served by the disk tier instead of inspection;
 	// DiskErrors count unreadable, mismatched, or unwritable tier files.
 	DiskHits, DiskErrors int64
+	// DiskQuarantines counts corrupt or invalid tier files moved aside
+	// (renamed to .bad) so their fingerprints rebuild instead of re-failing.
+	DiskQuarantines int64
 	// Entries and Inflight are current gauges; InflightPeak is the high-water
 	// concurrent-build mark.
 	Entries, Inflight, InflightPeak int
@@ -346,15 +363,16 @@ func (s Stats) HitRate() float64 {
 // Stats snapshots the counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:         c.hits.Load(),
-		Misses:       c.misses.Load(),
-		Waits:        c.waits.Load(),
-		Evictions:    c.evictions.Load(),
-		DiskHits:     c.diskHits.Load(),
-		DiskErrors:   c.diskErrors.Load(),
-		Entries:      int(c.count.Load()),
-		Inflight:     int(c.inflightN.Load()),
-		InflightPeak: int(c.inflightMax.Load()),
-		MaxEntries:   c.max,
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		Waits:           c.waits.Load(),
+		Evictions:       c.evictions.Load(),
+		DiskHits:        c.diskHits.Load(),
+		DiskErrors:      c.diskErrors.Load(),
+		DiskQuarantines: c.diskQuarantines.Load(),
+		Entries:         int(c.count.Load()),
+		Inflight:        int(c.inflightN.Load()),
+		InflightPeak:    int(c.inflightMax.Load()),
+		MaxEntries:      c.max,
 	}
 }

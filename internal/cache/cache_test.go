@@ -2,6 +2,7 @@ package cache
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -337,5 +338,76 @@ func TestContainerRoundTrip(t *testing.T) {
 	}
 	if IsContainer(sched.Bytes()) {
 		t.Fatal("bare schedule misdetected as container")
+	}
+}
+
+// TestQuarantineCorruptTierFile: a defective tier file is moved aside to
+// <file>.bad on the failed load — with the quarantine counter bumped and a
+// disk_quarantine event emitted — so the rebuild that follows rewrites a good
+// file instead of every later process re-reading the same corrupt bytes.
+func TestQuarantineCorruptTierFile(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(6)
+	c1 := New(Config{Dir: dir})
+	if _, err := c1.GetOrBuild(key, builderFor(testSchedule(6), nil)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key.String()+".sched")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []Event
+	c2 := New(Config{Dir: dir, OnEvent: func(e Event) { events = append(events, e) }})
+	if _, err := c2.GetOrBuild(key, builderFor(testSchedule(6), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.DiskQuarantines != 1 {
+		t.Fatalf("DiskQuarantines = %d, want 1", st.DiskQuarantines)
+	}
+	if _, err := os.Stat(path + ".bad"); err != nil {
+		t.Fatalf("no .bad corpse after quarantine: %v", err)
+	}
+	var sawQuarantine bool
+	for _, e := range events {
+		if e.Kind == EventDiskQuarantine {
+			sawQuarantine = true
+		}
+	}
+	if !sawQuarantine {
+		t.Fatalf("no disk_quarantine event emitted (events: %+v)", events)
+	}
+
+	// The rebuild rewrote a good tier file: a third process gets a disk hit
+	// and no further quarantine.
+	c3 := New(Config{Dir: dir})
+	e3, err := c3.GetOrBuild(key, builderFor(testSchedule(6), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e3.FromDisk {
+		t.Fatal("rebuild did not rewrite a loadable tier file")
+	}
+	if st := c3.Stats(); st.DiskQuarantines != 0 {
+		t.Fatalf("healthy reload quarantined %d files", st.DiskQuarantines)
+	}
+}
+
+// TestQuarantineMissingFileIsSilent: quarantining is best-effort — racing
+// processes may both fail a load and only one wins the rename; the loser
+// must not count a quarantine or emit an event for a file that is gone.
+func TestQuarantineMissingFileIsSilent(t *testing.T) {
+	var events []Event
+	c := New(Config{Dir: t.TempDir(), OnEvent: func(e Event) { events = append(events, e) }})
+	c.quarantine(testKey(3), errors.New("synthetic defect"))
+	if st := c.Stats(); st.DiskQuarantines != 0 {
+		t.Fatalf("DiskQuarantines = %d for a missing file, want 0", st.DiskQuarantines)
+	}
+	if len(events) != 0 {
+		t.Fatalf("missing-file quarantine emitted events: %+v", events)
 	}
 }

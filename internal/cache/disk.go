@@ -133,5 +133,27 @@ func (c *Cache) saveDisk(key Key, s *core.Schedule) error {
 	return os.Rename(tmp.Name(), c.path(key))
 }
 
+// quarantine moves a defective tier file aside — <fp>.sched becomes
+// <fp>.sched.bad — so the next request for this fingerprint sees a cold miss,
+// rebuilds, and rewrites a good file, instead of every request re-reading and
+// re-failing on the same corrupt bytes. cause is the defect that triggered
+// it, carried on the emitted disk_quarantine event. A .bad file already
+// sitting there (an earlier quarantine whose rebuild never wrote back) is
+// overwritten: the newest corpse is the one worth examining. The rename is
+// best-effort — a failure (e.g. a read-only tier) is reported as a disk
+// error and the file stays; the in-process rebuild proceeds regardless.
+func (c *Cache) quarantine(key Key, cause error) {
+	p := c.path(key)
+	if err := os.Rename(p, p+".bad"); err != nil {
+		if !isNotExist(err) {
+			c.diskErrors.Add(1)
+			c.emit(EventDiskError, key, 0, "quarantine failed: "+err.Error())
+		}
+		return
+	}
+	c.diskQuarantines.Add(1)
+	c.emit(EventDiskQuarantine, key, 0, cause.Error())
+}
+
 // isNotExist reports a missing tier file (a plain cold miss, not an error).
 func isNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"time"
 
 	"sparsefusion/internal/core"
@@ -151,6 +152,17 @@ func (r *Runner) Recorder() *Recorder { return r.rec }
 // s-partitions and returns as an *ExecError; the Runner itself stays usable
 // (the fault channel is re-armed, the pool torn down as always).
 func (r *Runner) Run(threads int) (Stats, error) {
+	return r.RunContext(context.Background(), threads)
+}
+
+// RunContext is Run under cooperative cancellation: when ctx is cancelled
+// (or its deadline expires) mid-run, the current s-partition completes, every
+// worker arrives at the barrier, and the run returns a *CancelledError within
+// one s-partition round. Completed s-partitions are bit-identical to an
+// uncancelled run's; the Runner stays usable. A context that can never fire
+// (context.Background()) costs nothing; an armed one costs one watcher
+// goroutine per run and no extra branch in the round loop.
+func (r *Runner) RunContext(ctx context.Context, threads int) (Stats, error) {
 	poolWidth := r.prog.MaxWidth
 	if r.cfg.Steal && threads < poolWidth {
 		// Stealing multiplexes the schedule's w-partitions over the slots it
@@ -162,14 +174,19 @@ func (r *Runner) Run(threads int) (Stats, error) {
 	if poolWidth < 1 {
 		poolWidth = 1
 	}
-	pl := newPoolSpin(poolWidth, r.cfg.SpinBudget)
+	pl := newPoolCfg(poolWidth, r.cfg.SpinBudget, r.cfg.Watchdog)
 	defer pl.close()
-	return r.runOnPool(pl, threads)
+	return r.runOnPool(ctx, pl, threads)
 }
 
 // runOnPool is Run's body over a caller-supplied pool, which must be at least
 // prog.MaxWidth wide and exclusively owned for the duration of the call.
-func (r *Runner) runOnPool(pl *pool, threads int) (Stats, error) {
+func (r *Runner) runOnPool(ctx context.Context, pl *pool, threads int) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, newCancelled(ctx)
+	}
+	watch := pl.watchCancel(ctx)
+	defer watch.finish(pl)
 	p := r.prog
 	parallel := threads > 1 && p.MaxWidth > 1
 	setAtomics(r.ks, parallel)
@@ -240,12 +257,17 @@ func (r *Runner) runOnPool(pl *pool, threads int) (Stats, error) {
 			}
 		}
 		if f := pl.takeFault(); f != nil {
-			wp := w0 + f.worker
-			if sst != nil {
-				wp = int(sst.curW[f.worker])
+			// Synthetic faults (cancellation, watchdog) carry worker -1 and
+			// have no w-partition to attribute.
+			wp := -1
+			if f.worker >= 0 {
+				wp = w0 + f.worker
+				if sst != nil {
+					wp = int(sst.curW[f.worker])
+				}
 			}
 			st.Elapsed = time.Since(t0)
-			return st, f.execError(s, wp)
+			return st, f.runError(s, wp)
 		}
 	}
 	if sst != nil {

@@ -1,8 +1,10 @@
 package exec
 
+import "time"
+
 // Config tunes a Runner's parallel execution. The zero value reproduces the
 // classic behavior: static w-partition→worker-slot assignment, env/default
-// spin budget.
+// spin budget, no barrier watchdog.
 type Config struct {
 	// Steal enables bounded work-stealing inside s-partitions: worker slots
 	// drain per-slot deques seeded from a deterministic LPT assignment
@@ -29,6 +31,14 @@ type Config struct {
 	// and re-seeding restores affinity instead of paying steal traffic every
 	// run. <= 0 selects the default of 8.
 	ReseedAfter int
+
+	// Watchdog bounds how long the barrier waits for a worker to arrive at
+	// the end of an s-partition round on pools the Runner creates itself. A
+	// round that exceeds it returns an *ExecError with Watchdog set instead
+	// of hanging the caller behind a stuck worker body; the private pool is
+	// poisoned and torn down with the run. 0 disables the bound (waiting is
+	// unbounded, the classic behavior).
+	Watchdog time.Duration
 }
 
 const defaultReseedAfter = 8

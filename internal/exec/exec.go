@@ -11,6 +11,7 @@
 package exec
 
 import (
+	"context"
 	"time"
 
 	"sparsefusion/internal/core"
@@ -72,9 +73,17 @@ func accumulate(st *Stats, durs []time.Duration, threads int) {
 // breakdown or corrupt schedule) abandons the remaining s-partitions and is
 // returned as an *ExecError.
 func RunFusedLegacy(ks []kernels.Kernel, sched *core.Schedule, threads int) (Stats, error) {
+	return RunFusedLegacyContext(context.Background(), ks, sched, threads)
+}
+
+// RunFusedLegacyContext is RunFusedLegacy under cooperative cancellation: a
+// context fired mid-run stops at the next s-partition boundary and returns a
+// *CancelledError, with every completed s-partition bit-identical to an
+// uncancelled run's.
+func RunFusedLegacyContext(ctx context.Context, ks []kernels.Kernel, sched *core.Schedule, threads int) (Stats, error) {
 	pl := newPool(sched.MaxWidth())
 	defer pl.close()
-	return runFusedLegacyOnPool(ks, sched, threads, pl)
+	return runFusedLegacyOnPool(ctx, ks, sched, threads, pl)
 }
 
 // RunPartitionedLegacy executes one kernel under a baseline partitioning by
@@ -99,7 +108,7 @@ func RunPartitionedLegacy(k kernels.Kernel, p *partition.Partitioning, threads i
 		accumulate(&st, durs[:len(sp)], threads)
 		if f := pl.takeFault(); f != nil {
 			st.Elapsed = time.Since(t0)
-			return st, f.execError(si, -1)
+			return st, f.runError(si, -1)
 		}
 	}
 	st.Elapsed = time.Since(t0)
@@ -182,7 +191,7 @@ func RunJointLegacy(k1, k2 kernels.Kernel, p *partition.Partitioning, threads in
 		accumulate(&st, durs[:len(sp)], threads)
 		if f := pl.takeFault(); f != nil {
 			st.Elapsed = time.Since(t0)
-			return st, f.execError(si, -1)
+			return st, f.runError(si, -1)
 		}
 	}
 	st.Elapsed = time.Since(t0)

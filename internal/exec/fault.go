@@ -17,13 +17,25 @@ import (
 // normally, and the executors convert the first recorded fault into an
 // *ExecError after the round, abandoning the remaining s-partitions.
 
-// workerFault captures one recovered worker-body panic. The pool keeps the
-// first fault of a run in an atomic pointer; later faults in the same or
-// subsequent rounds are dropped (the first is the one that explains the rest).
+// workerFault captures one recovered worker-body panic — or one of the two
+// synthetic conditions that ride the same channel: a cooperative cancellation
+// (cancel non-nil, installed by the context watcher) and a stuck-barrier
+// watchdog trip (watchdog true, installed by the caller when a worker failed
+// to arrive within the bound). The pool keeps the first fault of a run in an
+// atomic pointer; later faults in the same or subsequent rounds are dropped
+// (the first is the one that explains the rest).
 type workerFault struct {
 	worker    int
 	recovered any
 	stack     []byte
+	// cancel, when non-nil, marks this as a synthetic cancellation fault;
+	// the executor returns it (with the s-partition filled in) instead of an
+	// *ExecError.
+	cancel *CancelledError
+	// watchdog marks a synthetic stuck-barrier fault: a worker failed to
+	// arrive at the barrier within the configured bound, so the caller gave
+	// up waiting instead of hanging. The pool is poisoned afterwards.
+	watchdog bool
 }
 
 // ExecError is the typed error executors return when a worker body panicked.
@@ -43,6 +55,11 @@ type ExecError struct {
 	Recovered any
 	// Stack is the faulting goroutine's stack at recovery time.
 	Stack []byte
+	// Watchdog marks a stuck-barrier trip: the slot failed to arrive at the
+	// barrier within the configured bound, so the caller abandoned the round
+	// instead of hanging. The worker set is poisoned — the serving layer
+	// replaces it — and the straggler, if it ever finishes, is discarded.
+	Watchdog bool
 }
 
 func (e *ExecError) Error() string {
@@ -76,5 +93,19 @@ func (f *workerFault) execError(sPart, wPart int) *ExecError {
 		WPartition: wPart,
 		Recovered:  f.recovered,
 		Stack:      f.stack,
+		Watchdog:   f.watchdog,
 	}
+}
+
+// runError converts a recorded fault into the error a run returns: the typed
+// *CancelledError for synthetic cancellation faults (with the observing
+// s-partition filled in), an *ExecError for everything else. This is the one
+// extra branch cancellation costs — and only on the already-error path; the
+// uncancelled hot loop still pays a single atomic load per round.
+func (f *workerFault) runError(sPart, wPart int) error {
+	if f.cancel != nil {
+		f.cancel.SPartition = sPart
+		return f.cancel
+	}
+	return f.execError(sPart, wPart)
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"log"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -31,6 +32,15 @@ type pool struct {
 	workers int
 	spin    int // spin iterations before yielding
 
+	// watchdog, when positive, bounds how long the caller waits at the
+	// barrier for workers to arrive. A round that exceeds it is converted
+	// into a synthetic watchdog fault instead of a hang — and the pool is
+	// poisoned: a straggler that eventually finishes could corrupt the next
+	// round's arrival accounting, so a tripped pool refuses further runs and
+	// must be replaced (the serving layer does this on checkout return).
+	watchdog time.Duration
+	poison   atomic.Bool
+
 	// word publishes rounds to the workers as epoch<<wordPartsBits | parts.
 	// Packing the width into the same word the workers synchronize on means
 	// a worker always decodes the width from the exact round it observed —
@@ -39,8 +49,11 @@ type pool struct {
 	arrived atomic.Int32 // workers finished with the current round
 	closed  atomic.Bool
 
-	// body and durs are the current round's work; they are published by the
-	// atomic store to word and stable until every participant has arrived.
+	// body is the current round's work; it is published by the atomic store
+	// to word and stable until every participant has arrived. durs is the
+	// pool-private duration scratch workers write into — run copies it to the
+	// caller's slice only after every participant arrived, so a straggler
+	// leaked by a watchdog trip can never scribble on caller-owned memory.
 	body func(int)
 	durs []time.Duration
 
@@ -111,18 +124,36 @@ var (
 
 // envSpinBudget returns the process-wide spin budget: the value of
 // SPARSEFUSION_SPIN_BUDGET if set to a non-negative integer, else
-// defaultSpinBudget. Read once; the env var is a deployment knob, not a
-// per-pool one.
+// defaultSpinBudget. A malformed or negative value is rejected loudly — a
+// logged warning and the default — rather than silently ignored: a deployment
+// that typo'd its spin budget should find out from the log, not from a
+// mysteriously mis-tuned barrier. Read once; the env var is a deployment
+// knob, not a per-pool one.
 func envSpinBudget() int {
 	spinBudgetOnce.Do(func() {
-		spinBudgetEnv = defaultSpinBudget
-		if v := os.Getenv("SPARSEFUSION_SPIN_BUDGET"); v != "" {
-			if n, err := strconv.Atoi(v); err == nil && n >= 0 {
-				spinBudgetEnv = n
-			}
-		}
+		spinBudgetEnv = parseSpinBudget(os.Getenv("SPARSEFUSION_SPIN_BUDGET"))
 	})
 	return spinBudgetEnv
+}
+
+// parseSpinBudget is envSpinBudget's strict parser, separated so tests can
+// exercise every rejection branch without fighting the process-wide Once.
+// An unset variable selects the default silently; anything set but not a
+// non-negative integer is rejected with a logged warning.
+func parseSpinBudget(v string) int {
+	if v == "" {
+		return defaultSpinBudget
+	}
+	n, err := strconv.Atoi(v)
+	switch {
+	case err != nil:
+		log.Printf("sparsefusion: SPARSEFUSION_SPIN_BUDGET=%q is not an integer; using default %d", v, defaultSpinBudget)
+		return defaultSpinBudget
+	case n < 0:
+		log.Printf("sparsefusion: SPARSEFUSION_SPIN_BUDGET=%q is negative; using default %d", v, defaultSpinBudget)
+		return defaultSpinBudget
+	}
+	return n
 }
 
 // parkSlot is the per-goroutine parking space, padded out to its own cache
@@ -146,10 +177,18 @@ func newPool(workers int) *pool {
 // go straight to yielding). An explicit positive spin is used verbatim — a
 // caller that set it has already decided the trade.
 func newPoolSpin(workers, spin int) *pool {
+	return newPoolCfg(workers, spin, 0)
+}
+
+// newPoolCfg is the full constructor: spin budget plus the stuck-barrier
+// watchdog bound (0 disables the watchdog; waiting is then unbounded, the
+// pre-watchdog behavior).
+func newPoolCfg(workers, spin int, watchdog time.Duration) *pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &pool{workers: workers, spin: spin}
+	p := &pool{workers: workers, spin: spin, watchdog: watchdog,
+		durs: make([]time.Duration, workers)}
 	if spin <= 0 {
 		p.spin = envSpinBudget()
 		if runtime.GOMAXPROCS(0) < workers {
@@ -178,6 +217,13 @@ func (p *pool) run(parts int, body func(w int), durs []time.Duration) {
 	if parts > p.workers {
 		panic(fmt.Sprintf("exec: pool.run called with %d parts on a pool of %d workers", parts, p.workers))
 	}
+	if p.poison.Load() {
+		// A straggler from the watchdog-tripped round may still be running
+		// and would corrupt this round's arrival accounting; refuse instead.
+		p.fault.CompareAndSwap(nil, &workerFault{worker: -1, watchdog: true,
+			recovered: "exec: run refused: pool poisoned by an earlier barrier-watchdog trip"})
+		return
+	}
 	if parts == 1 {
 		p.body = body
 		t0 := time.Now()
@@ -186,7 +232,6 @@ func (p *pool) run(parts int, body func(w int), durs []time.Duration) {
 		return
 	}
 	p.body = body
-	p.durs = durs
 	p.arrived.Store(0)
 	want := int32(parts - 1)
 	if parts > treeBarrierThreshold {
@@ -201,7 +246,21 @@ func (p *pool) run(parts int, body func(w int), durs []time.Duration) {
 	t0 := time.Now()
 	p.invoke(0)
 	durs[0] = time.Since(t0)
-	p.awaitArrived(want)
+	if !p.awaitArrived(want) {
+		// A worker failed to arrive within the watchdog bound: convert the
+		// stuck barrier into a synthetic fault (a real worker fault wins the
+		// CAS — it is probably why the round looks stuck) and poison the
+		// pool so no further round races the straggler. The caller's durs are
+		// left untouched: the straggler may still write its pool-private slot
+		// arbitrarily late, and the round is reported as an error anyway.
+		p.poison.Store(true)
+		p.fault.CompareAndSwap(nil, &workerFault{worker: -1, watchdog: true,
+			recovered: fmt.Sprintf("exec: barrier watchdog: worker failed to arrive within %v", p.watchdog)})
+		return
+	}
+	// Every participant arrived (the arrival counter's acquire edge orders
+	// their scratch writes before this copy), so the durations are stable.
+	copy(durs[1:parts], p.durs[1:parts])
 }
 
 // buildTree sizes the combining tree for a pool of workers slots: level 0
@@ -296,7 +355,11 @@ func (p *pool) takeFault() *workerFault {
 	return f
 }
 
-// close stops the workers and waits for them to exit.
+// close stops the workers and waits for them to exit. A poisoned pool (a
+// watchdog-tripped round whose straggler may be stuck in a worker body
+// forever) waits only one watchdog bound longer, then leaks the stragglers
+// rather than hanging the closer: the goroutines cost memory, a deadlocked
+// Close costs the service.
 func (p *pool) close() {
 	if p.workers == 1 {
 		return
@@ -305,6 +368,18 @@ func (p *pool) close() {
 	p.word.Add(1 << wordPartsBits) // new epoch so spinners re-check closed
 	for w := 1; w < p.workers; w++ {
 		p.release(w)
+	}
+	if p.poison.Load() && p.watchdog > 0 {
+		done := make(chan struct{})
+		go func() {
+			p.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(p.watchdog):
+		}
+		return
 	}
 	p.wg.Wait()
 }
@@ -364,18 +439,27 @@ func (p *pool) awaitWord(slot int, last uint64) uint64 {
 }
 
 // awaitArrived blocks the caller (slot 0) until want workers have finished
-// the current round, escalating spin -> yield -> park.
-func (p *pool) awaitArrived(want int32) {
+// the current round, escalating spin -> yield -> park. With a watchdog bound
+// configured, parking is bounded: a round whose workers do not arrive within
+// the bound returns false (the caller poisons the pool) instead of hanging
+// the caller forever behind a stuck or runaway worker body.
+func (p *pool) awaitArrived(want int32) bool {
 	for i := 0; i < p.spin; i++ {
 		if p.arrived.Load() == want {
-			return
+			return true
 		}
 	}
 	for i := 0; i < yieldRounds; i++ {
 		if p.arrived.Load() == want {
-			return
+			return true
 		}
 		runtime.Gosched()
+	}
+	var timeout <-chan time.Time
+	if p.watchdog > 0 {
+		t := time.NewTimer(p.watchdog)
+		defer t.Stop()
+		timeout = t.C
 	}
 	s := &p.park[0]
 	for {
@@ -384,11 +468,22 @@ func (p *pool) awaitArrived(want int32) {
 			if !s.flag.Swap(false) {
 				<-s.ch
 			}
-			return
+			return true
 		}
-		<-s.ch
-		if p.arrived.Load() == want {
-			return
+		select {
+		case <-s.ch:
+			if p.arrived.Load() == want {
+				return true
+			}
+		case <-timeout:
+			// Leave the park slot clean for close(): lower our flag, and if
+			// a releaser won the swap first, drain the token it is sending.
+			// That releaser means the round actually completed in the race
+			// window — re-check before declaring the barrier stuck.
+			if !s.flag.Swap(false) {
+				<-s.ch
+			}
+			return p.arrived.Load() == want
 		}
 	}
 }

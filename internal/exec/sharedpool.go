@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,24 +21,50 @@ import (
 // A Pool must be owned exclusively while a run is in flight; the serving
 // layer's checkout discipline (internal/serve) guarantees that. Worker
 // faults do not poison the pool — the fault channel re-arms after every run,
-// exactly as with Runner-private pools.
+// exactly as with Runner-private pools. A barrier-watchdog trip does poison
+// it (a straggling worker may still be in flight and would corrupt later
+// rounds); Poisoned reports that, and the serving layer replaces poisoned
+// pools instead of reusing them.
 type Pool struct {
 	p *pool
 }
 
-// NewPool starts a worker set of the given width (clamped to at least 1).
+// NewPool starts a worker set of the given width (clamped to at least 1),
+// with the default spin budget and no barrier watchdog.
 // Close it when done; an unclosed pool leaks width-1 parked goroutines.
 func NewPool(width int) *Pool {
+	return NewPoolCfg(width, 0, 0)
+}
+
+// NewPoolCfg starts a worker set with an explicit spin budget (<= 0 selects
+// the process default) and barrier-watchdog bound (0 disables it). A pool
+// whose watchdog trips is poisoned: subsequent runs fail fast with a
+// watchdog *ExecError and Close waits only the watchdog bound for
+// stragglers before leaking them.
+func NewPoolCfg(width, spin int, watchdog time.Duration) *Pool {
 	if width < 1 {
 		width = 1
 	}
-	return &Pool{p: newPool(width)}
+	return &Pool{p: newPoolCfg(width, spin, watchdog)}
 }
 
 // Width is the maximum schedule width the pool can execute.
 func (p *Pool) Width() int { return p.p.workers }
 
-// Close stops the workers and waits for them to exit.
+// PoisonForTest marks the pool poisoned exactly as a barrier-watchdog trip
+// would, so higher layers (the serving fleet's check-in replacement) can
+// exercise their retirement paths without staging a real multi-hundred-
+// millisecond stall. Test support only, like BenchBarrier.
+func (p *Pool) PoisonForTest() { p.p.poison.Store(true) }
+
+// Poisoned reports whether a barrier-watchdog trip has retired this pool.
+// A poisoned pool refuses further runs; the owner should Close and replace
+// it.
+func (p *Pool) Poisoned() bool { return p.p.poison.Load() }
+
+// Close stops the workers and waits for them to exit. On a poisoned pool
+// with a watchdog bound the wait itself is bounded: a straggler that never
+// returns is leaked rather than hanging Close.
 func (p *Pool) Close() { p.p.close() }
 
 // RunOn executes the compiled schedule on a caller-supplied pool instead of a
@@ -48,30 +75,48 @@ func (p *Pool) Close() { p.p.close() }
 // falls back to Run, which sizes its own). A steal-enabled runner accepts any
 // pool width: its slots multiplex the schedule's w-partitions.
 func (r *Runner) RunOn(pl *Pool, threads int) (Stats, error) {
+	return r.RunOnContext(context.Background(), pl, threads)
+}
+
+// RunOnContext is RunOn under cooperative cancellation, with RunContext's
+// semantics: a context fired mid-run stops the run at the next s-partition
+// boundary with a *CancelledError, all workers parked at the barrier and the
+// pool immediately reusable.
+func (r *Runner) RunOnContext(ctx context.Context, pl *Pool, threads int) (Stats, error) {
 	if pl == nil {
-		return r.Run(threads)
+		return r.RunContext(ctx, threads)
 	}
 	if w := r.prog.MaxWidth; w > pl.Width() && !(r.cfg.Steal && w > 1) {
 		return Stats{}, fmt.Errorf("exec: program width %d exceeds pool width %d", w, pl.Width())
 	}
-	return r.runOnPool(pl.p, threads)
+	return r.runOnPool(ctx, pl.p, threads)
 }
 
 // RunFusedLegacyOn is RunFusedLegacy on a caller-supplied pool: the serving
 // layer's path for operations on the legacy rung. The same width and
 // exclusivity requirements as RunOn apply.
 func RunFusedLegacyOn(ks []kernels.Kernel, sched *core.Schedule, threads int, pl *Pool) (Stats, error) {
+	return RunFusedLegacyOnContext(context.Background(), ks, sched, threads, pl)
+}
+
+// RunFusedLegacyOnContext is RunFusedLegacyOn under cooperative cancellation.
+func RunFusedLegacyOnContext(ctx context.Context, ks []kernels.Kernel, sched *core.Schedule, threads int, pl *Pool) (Stats, error) {
 	if pl == nil {
-		return RunFusedLegacy(ks, sched, threads)
+		return RunFusedLegacyContext(ctx, ks, sched, threads)
 	}
 	if w := sched.MaxWidth(); w > pl.Width() {
 		return Stats{}, fmt.Errorf("exec: schedule width %d exceeds pool width %d", w, pl.Width())
 	}
-	return runFusedLegacyOnPool(ks, sched, threads, pl.p)
+	return runFusedLegacyOnPool(ctx, ks, sched, threads, pl.p)
 }
 
 // runFusedLegacyOnPool is RunFusedLegacy's body over a caller-supplied pool.
-func runFusedLegacyOnPool(ks []kernels.Kernel, sched *core.Schedule, threads int, pl *pool) (Stats, error) {
+func runFusedLegacyOnPool(ctx context.Context, ks []kernels.Kernel, sched *core.Schedule, threads int, pl *pool) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, newCancelled(ctx)
+	}
+	watch := pl.watchCancel(ctx)
+	defer watch.finish(pl)
 	parallel := threads > 1 && sched.MaxWidth() > 1
 	setAtomics(ks, parallel)
 	defer setAtomics(ks, false)
@@ -94,7 +139,7 @@ func runFusedLegacyOnPool(ks []kernels.Kernel, sched *core.Schedule, threads int
 		accumulate(&st, durs[:len(sp)], threads)
 		if f := pl.takeFault(); f != nil {
 			st.Elapsed = time.Since(t0)
-			return st, f.execError(si, -1)
+			return st, f.runError(si, -1)
 		}
 	}
 	st.Elapsed = time.Since(t0)

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -163,4 +165,146 @@ func TestStatsEffectiveWidth(t *testing.T) {
 	if got := narrow.Stats().EffectiveWidth; got != 1 {
 		t.Fatalf("effective width of a 1-wide fleet = %d, want 1", got)
 	}
+}
+
+// The admission-control contract under test: a request that cannot be
+// served honestly — queue at its bound, deadline fired while waiting — is
+// rejected with its typed sentinel instead of queueing unboundedly, and a
+// pool poisoned by a barrier-watchdog trip is retired at check-in, never
+// handed to the next request.
+
+func TestDoContextDeadlineWhileQueued(t *testing.T) {
+	defer watchdog(t, 10*time.Second)()
+	s := NewCfg(1, 1, Config{})
+	defer s.Close()
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Do(func(*exec.Pool) error { <-release; return nil })
+	}()
+	for s.Stats().Active == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := s.DoContext(ctx, func(*exec.Pool) error { return nil })
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("got %v, want ErrDeadlineExceeded", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("context cause not reachable via errors.Is")
+	}
+	close(release)
+	wg.Wait()
+	if st := s.Stats(); st.DeadlineExceeded != 1 {
+		t.Fatalf("DeadlineExceeded = %d, want 1", st.DeadlineExceeded)
+	}
+}
+
+func TestDoContextShedsAtQueueBound(t *testing.T) {
+	defer watchdog(t, 10*time.Second)()
+	s := NewCfg(1, 1, Config{MaxQueue: 1})
+	defer s.Close()
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Do(func(*exec.Pool) error { <-release; return nil })
+	}()
+	for s.Stats().Active == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fill the one queue slot with a waiter, then overflow it.
+	waiterIn := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		close(waiterIn)
+		s.DoContext(ctx, func(*exec.Pool) error { return nil })
+	}()
+	<-waiterIn
+	for s.Stats().Waiting == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	err := s.DoContext(context.Background(), func(*exec.Pool) error { return nil })
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("got %v, want ErrOverloaded", err)
+	}
+	close(release)
+	wg.Wait()
+	if st := s.Stats(); st.Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", st.Shed)
+	}
+}
+
+func TestExpiredContextRejectedBeforeQueueing(t *testing.T) {
+	defer watchdog(t, 10*time.Second)()
+	s := NewCfg(1, 1, Config{})
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), -time.Second)
+	defer cancel()
+	// Even with a pool free, a dead context is rejected deterministically.
+	err := s.DoContext(ctx, func(*exec.Pool) error { t.Fatal("ran with an expired context"); return nil })
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("got %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+func TestPoisonedPoolReplacedOnCheckIn(t *testing.T) {
+	defer watchdog(t, 10*time.Second)()
+	s := NewCfg(1, 2, Config{Watchdog: 20 * time.Millisecond})
+	defer s.Close()
+
+	// Poison the pool inside a served execution, as a barrier-watchdog trip
+	// would; check-in must retire it.
+	if err := s.Do(func(pl *exec.Pool) error { pl.PoisonForTest(); return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next request must get a healthy replacement pool, not the
+	// poisoned one.
+	err := s.Do(func(pl *exec.Pool) error {
+		if pl.Poisoned() {
+			t.Fatal("server handed out a poisoned pool")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.PoolsReplaced != 1 {
+		t.Fatalf("PoolsReplaced = %d, want 1", st.PoolsReplaced)
+	}
+}
+
+func TestCloseContextHonoursDeadline(t *testing.T) {
+	defer watchdog(t, 10*time.Second)()
+	s := NewCfg(1, 1, Config{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Do(func(*exec.Pool) error { <-release; return nil })
+	}()
+	for s.Stats().Active == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.CloseContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("CloseContext under a held pool returned %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	wg.Wait()
 }

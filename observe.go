@@ -2,6 +2,7 @@ package sparsefusion
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
 	"io"
 	"net/http"
@@ -122,6 +123,8 @@ type serverObs struct {
 	steals    *telemetry.Counter
 	reseeds   *telemetry.Counter
 	barriers  *telemetry.Counter
+	cancels   *telemetry.Counter
+	watchdogs *telemetry.Counter
 	chainLen  *telemetry.Gauge
 	latency   *telemetry.Histogram
 	queueWait *telemetry.Histogram
@@ -144,6 +147,8 @@ func newServerObs(s *serve.Server, sc *ScheduleCache) *serverObs {
 		steals:    reg.Counter("spf_steals_total", "W-partitions executed off their seeded worker (work-stealing executor)."),
 		reseeds:   reg.Counter("spf_reseeds_total", "Work-stealing assignment re-seeds taken after persistent imbalance."),
 		barriers:  reg.Counter("spf_barriers_total", "Executor barriers (s-partition synchronizations) crossed by served solves — the quantity chain composition divides by ~k."),
+		cancels:   reg.Counter("spf_cancels_total", "Served runs cancelled in flight (returned *CancelledError at an s-partition boundary)."),
+		watchdogs: reg.Counter("spf_watchdog_trips_total", "Barrier-watchdog trips on served runs: a worker failed to arrive within the bound and the worker set was retired."),
 		chainLen:  reg.Gauge("spf_chain_length", "Kernels fused into the most recently served operation's schedule (2 for pair combinations, k for composed chains)."),
 		latency:   reg.Histogram("spf_solve_seconds", "Served solve latency (admission wait included).", nil),
 		queueWait: reg.Histogram("spf_queue_wait_seconds", "Time queued admissions waited for a worker set.", nil),
@@ -157,6 +162,12 @@ func newServerObs(s *serve.Server, sc *ScheduleCache) *serverObs {
 		func() float64 { return float64(s.Stats().Active) })
 	reg.GaugeFunc("spf_serve_queue_depth", "Requests blocked for a worker set right now.",
 		func() float64 { return float64(s.Stats().Waiting) })
+	reg.CounterFunc("spf_queue_shed_total", "Requests rejected with ErrServerOverloaded because the admission queue was at its bound.",
+		func() float64 { return float64(s.Stats().Shed) })
+	reg.CounterFunc("spf_deadline_exceeded_total", "Requests whose context fired while still queued for a worker set (the run never started).",
+		func() float64 { return float64(s.Stats().DeadlineExceeded) })
+	reg.CounterFunc("spf_pools_replaced_total", "Worker sets retired after a barrier-watchdog trip and replaced with fresh ones.",
+		func() float64 { return float64(s.Stats().PoolsReplaced) })
 	reg.GaugeFunc("spf_serve_max_concurrent", "Admission bound K (worker-set fleet size).",
 		func() float64 { return float64(s.Stats().MaxConcurrent) })
 	reg.GaugeFunc("spf_serve_width", "Configured worker width of each pooled worker set.",
@@ -177,6 +188,8 @@ func newServerObs(s *serve.Server, sc *ScheduleCache) *serverObs {
 			func() float64 { return float64(st().DiskHits) })
 		reg.CounterFunc("spf_cache_disk_errors_total", "Unreadable, mismatched, or unwritable disk-tier files.",
 			func() float64 { return float64(st().DiskErrors) })
+		reg.CounterFunc("spf_cache_disk_quarantines_total", "Corrupt or invalid disk-tier files renamed to .bad so their fingerprints rebuild.",
+			func() float64 { return float64(st().DiskQuarantines) })
 		reg.GaugeFunc("spf_cache_entries", "Published in-memory cache entries.",
 			func() float64 { return float64(st().Entries) })
 		reg.GaugeFunc("spf_cache_inflight", "Inspections in flight.",
@@ -196,6 +209,14 @@ func (sv *Server) observeSolve(e *execState, d time.Duration, rep Report, runErr
 	o.chainLen.Set(float64(len(e.inst.Kernels)))
 	if runErr != nil {
 		o.errors.Add(1)
+		var c *CancelledError
+		var xe *ExecError
+		switch {
+		case errors.As(runErr, &c):
+			o.cancels.Add(1)
+		case errors.As(runErr, &xe) && xe.Watchdog:
+			o.watchdogs.Add(1)
+		}
 	}
 	var fresh []Demotion
 	var dSteals, dReseeds int64

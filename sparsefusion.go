@@ -25,6 +25,7 @@ package sparsefusion
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -187,6 +188,21 @@ type Options struct {
 	// worker spins before yielding, then parking). <= 0 keeps the default
 	// (30000, or the SPARSEFUSION_SPIN_BUDGET environment override).
 	SpinBudget int
+	// Watchdog bounds how long the executor waits for a worker to arrive at
+	// an s-partition barrier before giving up on the round: a stuck worker
+	// body (a livelocked kernel, a scheduling pathology on an oversubscribed
+	// host) then surfaces as a typed error with ExecError.Watchdog set
+	// instead of hanging the caller forever. 0 disables the bound.
+	Watchdog time.Duration
+}
+
+// orBackground maps the facade's nil-means-unbounded contexts onto the
+// executor's non-nil contract.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }
 
 func (o Options) threads() int {
@@ -273,6 +289,10 @@ type CacheStats struct {
 	// DiskHits are misses served from the disk tier instead of inspection;
 	// DiskErrors count unreadable, mismatched, or unwritable tier files.
 	DiskHits, DiskErrors int64
+	// DiskQuarantines counts corrupt or invalid tier files renamed to .bad so
+	// their fingerprints rebuild (and rewrite a good file) instead of
+	// re-failing every request.
+	DiskQuarantines int64
 	// Entries and Inflight are current gauges; InflightPeak is the high-water
 	// concurrent-inspection mark.
 	Entries, Inflight, InflightPeak int
@@ -295,16 +315,17 @@ func (s CacheStats) HitRate() float64 {
 func (sc *ScheduleCache) Stats() CacheStats {
 	st := sc.c.Stats()
 	return CacheStats{
-		Hits:         st.Hits,
-		Misses:       st.Misses,
-		Waits:        st.Waits,
-		Evictions:    st.Evictions,
-		DiskHits:     st.DiskHits,
-		DiskErrors:   st.DiskErrors,
-		Entries:      st.Entries,
-		Inflight:     st.Inflight,
-		InflightPeak: st.InflightPeak,
-		MaxEntries:   st.MaxEntries,
+		Hits:            st.Hits,
+		Misses:          st.Misses,
+		Waits:           st.Waits,
+		Evictions:       st.Evictions,
+		DiskHits:        st.DiskHits,
+		DiskErrors:      st.DiskErrors,
+		DiskQuarantines: st.DiskQuarantines,
+		Entries:         st.Entries,
+		Inflight:        st.Inflight,
+		InflightPeak:    st.InflightPeak,
+		MaxEntries:      st.MaxEntries,
 	}
 }
 
@@ -370,11 +391,13 @@ type execState struct {
 	// representation and the state runs the legacy executor.
 	prog *core.Program
 	th   int
-	// steal and spin are the executor tuning carried from Options (Steal,
-	// SpinBudget), applied to every runner this state builds — including the
-	// rebuilt runner of a session bound to shared artifacts.
-	steal bool
-	spin  int
+	// steal, spin and watchdog are the executor tuning carried from Options
+	// (Steal, SpinBudget, Watchdog), applied to every runner this state
+	// builds — including the rebuilt runner of a session bound to shared
+	// artifacts.
+	steal    bool
+	spin     int
+	watchdog time.Duration
 	// progErr and layErr record why prog or the packed layout is absent, for
 	// demotion records of sessions derived from this state.
 	progErr, layErr string
@@ -455,7 +478,7 @@ func NewOperation(c Combination, m *Matrix, opts Options) (*Operation, error) {
 		return nil, err
 	}
 	op := &Operation{
-		execState: execState{inst: inst, th: opts.threads(), steal: opts.Steal, spin: opts.SpinBudget, id: nextStateID.Add(1), tr: tr},
+		execState: execState{inst: inst, th: opts.threads(), steal: opts.Steal, spin: opts.SpinBudget, watchdog: opts.Watchdog, id: nextStateID.Add(1), tr: tr},
 		fp:        opts.fingerprint(c, m),
 	}
 	tr.raw().Emit("inspect.dag_build",
@@ -574,8 +597,8 @@ func (e *execState) bindArtifacts(art cache.Artifacts, shared bool) {
 	}
 	e.prog = art.Program
 	e.runner = exec.NewRunner(e.inst.Kernels, art.Program)
-	if e.steal || e.spin > 0 {
-		e.runner.Configure(exec.Config{Steal: e.steal, SpinBudget: e.spin})
+	if e.steal || e.spin > 0 || e.watchdog > 0 {
+		e.runner.Configure(exec.Config{Steal: e.steal, SpinBudget: e.spin, Watchdog: e.watchdog})
 	}
 	lay := art.Layout
 	if lay == nil {
@@ -665,14 +688,26 @@ func (e *execState) Barriers() int { return e.sched.NumSPartitions() }
 //
 // Errors are typed: a numerical breakdown inside a kernel (zero pivot,
 // non-SPD input, ...) surfaces as a *kernels.BreakdownError wrapped in an
-// *exec.ExecError — reach it with errors.As. A non-numerical executor fault
+// *ExecError — reach it with errors.As. A non-numerical executor fault
 // (a panic out of a worker body, e.g. from a corrupted compiled program)
 // demotes the operation one ladder rung — packed to compiled, compiled to
 // legacy — after re-validating the schedule, and retries; only a fault on the
 // last rung, or a schedule that no longer validates, is returned. The
 // operation stays usable after any error.
 func (e *execState) Run() (Report, error) {
-	return e.run(nil)
+	return e.run(nil, nil)
+}
+
+// RunContext is Run under cooperative cancellation. When ctx is cancelled —
+// or its deadline expires — while the run is in flight, the run stops at the
+// next s-partition boundary and returns a *CancelledError naming it; all
+// s-partitions completed before that boundary are bit-identical to an
+// uncancelled run's, every worker is parked at the barrier, and the operation
+// (or session) is immediately reusable. Cancellation is observed within one
+// s-partition round and never demotes the executor ladder: it says nothing
+// about the artifacts, only about the caller's patience.
+func (e *execState) RunContext(ctx context.Context) (Report, error) {
+	return e.run(ctx, nil)
 }
 
 // RunOn is Run under a server's admission control: the execution waits for
@@ -682,21 +717,35 @@ func (e *execState) Run() (Report, error) {
 // sets still runs (on a private, per-call worker set) — the admission bound
 // holds either way. Returns ErrServerClosed after the server is closed.
 func (e *execState) RunOn(sv *Server) (Report, error) {
+	return e.RunOnContext(nil, sv)
+}
+
+// RunOnContext is RunOn under a deadline: ctx bounds both the wait for a
+// worker set (ErrServerOverloaded when the admission queue is full,
+// ErrDeadlineExceeded when ctx fires while queued — the run never started)
+// and the run itself (a *CancelledError once in flight, with RunContext's
+// bit-identity guarantees). A nil ctx means no bound.
+func (e *execState) RunOnContext(ctx context.Context, sv *Server) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var rep Report
 	var runErr error
 	t0 := time.Now()
-	if err := sv.s.Do(func(pl *exec.Pool) error {
-		rep, runErr = e.run(pl)
+	if err := sv.s.DoContext(ctx, func(pl *exec.Pool) error {
+		rep, runErr = e.run(ctx, pl)
 		return nil
 	}); err != nil {
+		// Shed and deadline outcomes are already counted by the admission
+		// layer itself (Stats.Shed / Stats.DeadlineExceeded).
 		return Report{}, err
 	}
 	sv.observeSolve(e, time.Since(t0), rep, runErr)
 	return rep, runErr
 }
 
-func (e *execState) run(pl *exec.Pool) (Report, error) {
-	st, err := e.runLadder(pl)
+func (e *execState) run(ctx context.Context, pl *exec.Pool) (Report, error) {
+	st, err := e.runLadder(ctx, pl)
 	return Report{
 		Time:        st.Elapsed,
 		Barriers:    st.Barriers,
@@ -708,7 +757,10 @@ func (e *execState) run(pl *exec.Pool) (Report, error) {
 // runLadder executes on the current rung, demoting and retrying on
 // non-numerical executor faults. With a non-nil pool, runs whose width fits
 // execute on it instead of spawning a private worker set.
-func (e *execState) runLadder(pl *exec.Pool) (exec.Stats, error) {
+func (e *execState) runLadder(ctx context.Context, pl *exec.Pool) (exec.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for {
 		e.mu.Lock()
 		r := e.runner
@@ -717,13 +769,13 @@ func (e *execState) runLadder(pl *exec.Pool) (exec.Stats, error) {
 		var err error
 		switch {
 		case r != nil && pl != nil && e.prog.MaxWidth <= pl.Width():
-			st, err = r.RunOn(pl, e.th)
+			st, err = r.RunOnContext(ctx, pl, e.th)
 		case r != nil:
-			st, err = r.Run(e.th)
+			st, err = r.RunContext(ctx, e.th)
 		case pl != nil && e.sched.MaxWidth() <= pl.Width():
-			st, err = exec.RunFusedLegacyOn(e.inst.Kernels, e.sched, e.th, pl)
+			st, err = exec.RunFusedLegacyOnContext(ctx, e.inst.Kernels, e.sched, e.th, pl)
 		default:
-			st, err = exec.RunFusedLegacy(e.inst.Kernels, e.sched, e.th)
+			st, err = exec.RunFusedLegacyContext(ctx, e.inst.Kernels, e.sched, e.th)
 		}
 		if err == nil {
 			return st, nil
@@ -732,6 +784,19 @@ func (e *execState) runLadder(pl *exec.Pool) (exec.Stats, error) {
 		// rung computes the same values, so demoting would only repeat it.
 		var b *kernels.BreakdownError
 		if errors.As(err, &b) {
+			return st, err
+		}
+		// Cancellation says nothing about the artifacts — only that the
+		// caller stopped waiting. Return it without touching the ladder.
+		var c *CancelledError
+		if errors.As(err, &c) {
+			return st, err
+		}
+		// A watchdog trip indicts the worker (stuck body, pathological
+		// scheduling), not the rung: demoting and retrying would re-run on a
+		// poisoned worker set. Surface it; the serving layer replaces the set.
+		var xe *ExecError
+		if errors.As(err, &xe) && xe.Watchdog {
 			return st, err
 		}
 		if r == nil {
@@ -797,7 +862,7 @@ func (op *Operation) NewSession() (*Session, error) {
 		LayoutErr:  op.layErr,
 	}
 	op.mu.Unlock()
-	s := &Session{execState: execState{inst: clone, th: op.th, steal: op.steal, spin: op.spin, id: nextStateID.Add(1), tr: op.tr}}
+	s := &Session{execState: execState{inst: clone, th: op.th, steal: op.steal, spin: op.spin, watchdog: op.watchdog, id: nextStateID.Add(1), tr: op.tr}}
 	s.tr.raw().Emit("session.new",
 		telemetry.Int("session", s.id),
 		telemetry.Int("op", op.id),
@@ -818,6 +883,17 @@ type ServerConfig struct {
 	// should cover the widest schedule the server will execute (wider
 	// schedules still run, on per-call worker sets). <= 0 selects GOMAXPROCS.
 	Width int
+	// MaxQueue bounds how many requests may wait for a worker set at once;
+	// a request arriving past the bound is shed immediately with
+	// ErrServerOverloaded instead of queueing behind work it would only slow
+	// down. <= 0 means unbounded (the classic behavior).
+	MaxQueue int
+	// Watchdog is the barrier-watchdog bound stamped onto every worker set in
+	// the fleet: a worker that fails to arrive at an s-partition barrier
+	// within it surfaces as a typed error (ExecError.Watchdog), the worker
+	// set is retired and replaced, and the next request gets a fresh one.
+	// 0 disables the bound.
+	Watchdog time.Duration
 	// Cache, when non-nil, attaches a ScheduleCache so the server's metrics
 	// registry, Snapshot, and /healthz report cache statistics alongside the
 	// serving counters.
@@ -846,6 +922,29 @@ type Server struct {
 // ErrServerClosed is returned by RunOn after the server is closed.
 var ErrServerClosed = serve.ErrClosed
 
+// ErrServerOverloaded is returned by RunOnContext when every worker set is
+// checked out and the admission queue is at its ServerConfig.MaxQueue bound:
+// the request is shed immediately instead of queueing.
+var ErrServerOverloaded = serve.ErrOverloaded
+
+// ErrDeadlineExceeded is returned by RunOnContext when the request's context
+// fired while it was still queued for a worker set — the run never started,
+// so retrying elsewhere is always safe. errors.Is(err,
+// context.DeadlineExceeded) also holds when the context carried a deadline.
+var ErrDeadlineExceeded = serve.ErrDeadlineExceeded
+
+// CancelledError is the typed error a cancelled in-flight run returns: the
+// run stopped at an s-partition boundary (SPartition), every earlier
+// s-partition is bit-identical to an uncancelled run's, and the operation,
+// session, and worker set are immediately reusable. Unwrap exposes
+// context.Canceled / context.DeadlineExceeded.
+type CancelledError = exec.CancelledError
+
+// ExecError is the typed error for a worker-body fault: a recovered panic
+// (Recovered, with Breakdown() for numerical breakdowns) or a barrier
+// watchdog trip (Watchdog true).
+type ExecError = exec.ExecError
+
 // NewServer starts a server; ServerConfig{} is usable (one worker set of
 // GOMAXPROCS workers). The server always carries a metrics registry
 // (Handler serves it at /metrics); attach ServerConfig.Cache to include the
@@ -855,7 +954,11 @@ func NewServer(cfg ServerConfig) *Server {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	sv := &Server{s: serve.New(cfg.MaxConcurrent, w), cache: cfg.Cache, tr: cfg.Tracer}
+	sv := &Server{
+		s:     serve.NewCfg(cfg.MaxConcurrent, w, serve.Config{MaxQueue: cfg.MaxQueue, Watchdog: cfg.Watchdog}),
+		cache: cfg.Cache,
+		tr:    cfg.Tracer,
+	}
 	sv.obs = newServerObs(sv.s, cfg.Cache)
 	obs, tr := sv.obs, cfg.Tracer.raw()
 	sv.s.Observe(func(info serve.AdmitInfo) {
@@ -874,6 +977,14 @@ func NewServer(cfg ServerConfig) *Server {
 // in-flight executions to finish. Safe to call more than once.
 func (sv *Server) Close() { sv.s.Close() }
 
+// CloseContext is Close with a bound: new work is rejected immediately, but
+// the drain of in-flight executions waits only while ctx is alive. When ctx
+// fires first, worker sets still pinned under running executions are
+// abandoned to them (their workers exit when the runs finish) and ctx.Err()
+// is returned. Cancel the in-flight runs' own contexts to make the drain
+// fast.
+func (sv *Server) CloseContext(ctx context.Context) error { return sv.s.CloseContext(ctx) }
+
 // ServerStats is a snapshot of a Server's admission counters.
 type ServerStats struct {
 	// MaxConcurrent and Width echo the configuration; EffectiveWidth is the
@@ -890,19 +1001,33 @@ type ServerStats struct {
 	// Waiting is the live queue depth — requests blocked for a worker set
 	// right now, as opposed to the cumulative Queued.
 	Waiting int64 `json:"waiting"`
+	// MaxQueue echoes the admission-queue bound (0 = unbounded); Shed counts
+	// requests rejected with ErrServerOverloaded at that bound, and
+	// DeadlineExceeded counts requests whose context fired while still queued
+	// (the run never started).
+	MaxQueue         int   `json:"max_queue"`
+	Shed             int64 `json:"shed"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	// PoolsReplaced counts worker sets retired after a barrier-watchdog trip
+	// and replaced with fresh ones.
+	PoolsReplaced int64 `json:"pools_replaced"`
 }
 
 // Stats snapshots the admission counters.
 func (sv *Server) Stats() ServerStats {
 	st := sv.s.Stats()
 	return ServerStats{
-		MaxConcurrent:  st.MaxConcurrent,
-		Width:          st.Width,
-		EffectiveWidth: st.EffectiveWidth,
-		Admitted:       st.Admitted,
-		Queued:         st.Queued,
-		Active:         st.Active,
-		Waiting:        st.Waiting,
+		MaxConcurrent:    st.MaxConcurrent,
+		Width:            st.Width,
+		EffectiveWidth:   st.EffectiveWidth,
+		Admitted:         st.Admitted,
+		Queued:           st.Queued,
+		Active:           st.Active,
+		Waiting:          st.Waiting,
+		MaxQueue:         st.MaxQueue,
+		Shed:             st.Shed,
+		DeadlineExceeded: st.DeadlineExceeded,
+		PoolsReplaced:    st.PoolsReplaced,
 	}
 }
 
@@ -943,7 +1068,7 @@ func NewOperationFromSchedule(c Combination, m *Matrix, r io.Reader, opts Option
 		return nil, err
 	}
 	op := &Operation{
-		execState: execState{inst: inst, th: opts.threads(), steal: opts.Steal, spin: opts.SpinBudget, id: nextStateID.Add(1), tr: opts.Tracer},
+		execState: execState{inst: inst, th: opts.threads(), steal: opts.Steal, spin: opts.SpinBudget, watchdog: opts.Watchdog, id: nextStateID.Add(1), tr: opts.Tracer},
 		fp:        opts.fingerprint(c, m),
 	}
 	br := bufio.NewReader(r)
